@@ -1,0 +1,117 @@
+// Ablation study of the joint method's design choices (DESIGN.md):
+//  1. performance constraints on/off — without eq. 6 and the utilization
+//     limit the search chases pure energy and degrades latency;
+//  2. the idle-aggregation window w (Table II uses 0.1 s) — too small floods
+//     the Pareto fit with unusable micro-gaps, too large discards real
+//     opportunities;
+//  3. the delayed-request limit D — tightening it forces longer timeouts and
+//     trades energy for latency.
+// Workload: 16 GB data set at 25 MB/s, popularity 0.1 — busy enough that the
+// constraints bind, idle enough that spin-down matters.
+#include "bench_common.h"
+
+using namespace jpm;
+
+namespace {
+
+void report_row(Table& t, const std::string& label,
+                const sim::RunMetrics& m, const sim::RunMetrics& base) {
+  const auto n = sim::normalize_energy(m, base);
+  t.row()
+      .cell(label)
+      .cell(bench::pct(n.total))
+      .cell(bench::pct(m.utilization()))
+      .cell(bench::num(m.long_latency_per_s()))
+      .cell(bench::ms(m.mean_latency_s()));
+}
+
+}  // namespace
+
+int main() {
+  const auto workload = bench::paper_workload(gib(16), 25e6, 0.1);
+  const auto base_engine = bench::paper_engine();
+  const auto baseline =
+      sim::run_simulation(workload, sim::always_on_policy(), base_engine);
+  std::cout << "Joint-method ablations (16 GB data set, 25 MB/s)\n";
+
+  {
+    Table t({"constraints", "total energy %", "utilization",
+             "long-latency req/s", "mean latency ms"});
+    auto engine = bench::paper_engine();
+    report_row(t, "U=10%, D=0.001 (paper)",
+               sim::run_simulation(workload, sim::joint_policy(), engine),
+               baseline);
+    engine.joint.util_limit = 1e9;
+    engine.joint.delay_limit = 1e9;
+    report_row(t, "constraints disabled",
+               sim::run_simulation(workload, sim::joint_policy(), engine),
+               baseline);
+    std::cout << "\n== (1) performance constraints ==\n" << t.to_string();
+  }
+
+  {
+    Table t({"window w", "total energy %", "utilization",
+             "long-latency req/s", "mean latency ms"});
+    for (double w : {0.01, 0.1, 1.0, 10.0}) {
+      auto engine = bench::paper_engine();
+      engine.joint.window_s = w;
+      report_row(t, bench::num(w, 2) + " s",
+                 sim::run_simulation(workload, sim::joint_policy(), engine),
+                 baseline);
+      bench::progress_line("w=" + bench::num(w, 2) + "s done");
+    }
+    std::cout << "\n== (2) idle-aggregation window ==\n" << t.to_string();
+  }
+
+  {
+    Table t({"delay limit D", "total energy %", "utilization",
+             "long-latency req/s", "mean latency ms"});
+    for (double d_lim : {1e-4, 1e-3, 1e-2}) {
+      auto engine = bench::paper_engine();
+      engine.joint.delay_limit = d_lim;
+      report_row(t, bench::num(d_lim, 4),
+                 sim::run_simulation(workload, sim::joint_policy(), engine),
+                 baseline);
+      bench::progress_line("D=" + bench::num(d_lim, 4) + " done");
+    }
+    std::cout << "\n== (3) delayed-request limit ==\n" << t.to_string();
+  }
+
+  {
+    Table t({"timeout rule", "total energy %", "utilization",
+             "long-latency req/s", "mean latency ms"});
+    const std::pair<const char*, core::TimeoutRule> rules[] = {
+        {"Pareto eq.5 (paper)", core::TimeoutRule::kPareto},
+        {"exponential (memoryless)", core::TimeoutRule::kExponential},
+        {"2-competitive t_be", core::TimeoutRule::kTwoCompetitive},
+    };
+    for (const auto& [label, rule] : rules) {
+      auto engine = bench::paper_engine();
+      engine.joint.timeout_rule = rule;
+      report_row(t, label,
+                 sim::run_simulation(workload, sim::joint_policy(), engine),
+                 baseline);
+      bench::progress_line(std::string(label) + " done");
+    }
+    std::cout << "\n== (4) timeout derivation rule ==\n" << t.to_string();
+  }
+
+  {
+    Table t({"alpha estimator", "total energy %", "utilization",
+             "long-latency req/s", "mean latency ms"});
+    const std::pair<const char*, core::AlphaEstimator> estimators[] = {
+        {"moment (paper)", core::AlphaEstimator::kMoment},
+        {"maximum likelihood", core::AlphaEstimator::kMle},
+    };
+    for (const auto& [label, est] : estimators) {
+      auto engine = bench::paper_engine();
+      engine.joint.alpha_estimator = est;
+      report_row(t, label,
+                 sim::run_simulation(workload, sim::joint_policy(), engine),
+                 baseline);
+      bench::progress_line(std::string(label) + " done");
+    }
+    std::cout << "\n== (5) Pareto shape estimator ==\n" << t.to_string();
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Shared configuration for the paper-reproduction harnesses.
+//
+// Every bench binary prints the rows/series of one table or figure from
+// "Joint Power Management of Memory and Disk Under Performance Constraints"
+// (Cai, Pettis, Lu — TCAD'06; extension of the DATE'05 paper). The default
+// scale matches the paper (128 GB physical memory, 16 MB banks, 10-minute
+// periods); the trace granularity (256 kB pages, 16x SPECWeb99 file sizes)
+// bounds trace length so a full 16-policy sweep runs in seconds per point.
+//
+// Set JPM_BENCH_FAST=1 to quarter the simulated duration for smoke runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "jpm/sim/runner.h"
+#include "jpm/util/table.h"
+
+namespace jpm::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("JPM_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+// One hour measured after a 20-minute warm-up (quarter scale in fast mode).
+inline double measured_duration_s() { return fast_mode() ? 900.0 : 3600.0; }
+inline double warm_up_s() { return fast_mode() ? 600.0 : 1200.0; }
+
+inline workload::SynthesizerConfig paper_workload(std::uint64_t dataset_bytes,
+                                                  double byte_rate,
+                                                  double popularity,
+                                                  std::uint64_t seed = 1) {
+  workload::SynthesizerConfig w;
+  w.dataset_bytes = dataset_bytes;
+  w.byte_rate = byte_rate;
+  w.popularity = popularity;
+  w.duration_s = warm_up_s() + measured_duration_s();
+  w.page_bytes = 256 * kKiB;
+  w.file_scale = 16.0;
+  // Gentle load variation across periods (paper Fig. 9 reports <5% average
+  // period-to-period change with occasional 15-25% spikes).
+  w.rate_modulation = 0.12;
+  w.modulation_period_s = 3600.0;
+  w.seed = seed;
+  return w;
+}
+
+inline sim::EngineConfig paper_engine() {
+  sim::EngineConfig e;
+  e.joint.physical_bytes = 128 * kGiB;
+  e.joint.unit_bytes = 16 * kMiB;
+  e.joint.page_bytes = 256 * kKiB;
+  e.joint.period_s = 600.0;
+  e.joint.window_s = 0.1;
+  e.joint.util_limit = 0.10;
+  e.joint.delay_limit = 1e-3;
+  e.prefill_cache = true;
+  e.warm_up_s = warm_up_s();
+  return e;
+}
+
+// Renders one metric across the sweep: rows = policies, columns = points.
+template <typename Fn>
+void print_metric_table(const std::string& title,
+                        const std::vector<sim::SweepPoint>& points, Fn metric) {
+  std::vector<std::string> headers{"method"};
+  for (const auto& p : points) headers.push_back(p.label);
+  Table t(headers);
+  const std::size_t n_policies = points.front().outcomes.size();
+  for (std::size_t i = 0; i < n_policies; ++i) {
+    t.row().cell(points.front().outcomes[i].spec.name);
+    for (const auto& p : points) t.cell(metric(p.outcomes[i]));
+  }
+  std::cout << "\n== " << title << " ==\n" << t.to_string();
+}
+
+inline std::string pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+inline std::string ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", seconds * 1e3);
+  return buf;
+}
+
+inline std::string num(double v, int precision = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+inline void progress_line(const std::string& line) {
+  std::cerr << "  " << line << "\n";
+}
+
+}  // namespace jpm::bench

@@ -1,0 +1,48 @@
+// Extension (paper Section II-A / VI): DRPM-style multi-speed disk versus
+// the spin-down disk, both with fixed memory and under joint memory
+// management. The paper argues spin-down policies suffer when idle intervals
+// are short (frequent accesses) because of the spin-up cliff; DRPM trades a
+// power floor for the absence of that cliff.
+//
+// Expected shape: at low rates (long idleness) the spin-down disk wins on
+// energy; as the rate grows and idle intervals shrink below the break-even
+// time, the multi-speed disk closes the gap and dominates the latency
+// columns throughout.
+#include "bench_common.h"
+
+using namespace jpm;
+
+int main() {
+  const auto engine = bench::paper_engine();
+  const std::vector<sim::PolicySpec> roster{
+      sim::joint_policy(),
+      sim::drpm_joint_policy(),
+      sim::fixed_policy(sim::DiskPolicyKind::kTwoCompetitive, gib(8)),
+      sim::drpm_fixed_policy(gib(8)),
+      sim::always_on_policy(),
+  };
+
+  std::cout << "Multi-speed (DRPM) disk vs spin-down (16 GB data set, "
+               "popularity 0.1)\n";
+  Table t({"rate", "method", "total energy %", "disk energy (kJ)",
+           "mean latency ms", "long-latency req/s", "shifts/spin-downs"});
+  for (int mbps : {5, 25, 100}) {
+    std::vector<std::pair<std::string, workload::SynthesizerConfig>> wl{
+        {std::to_string(mbps) + "MB/s",
+         bench::paper_workload(gib(16), mbps * 1e6, 0.1)}};
+    const auto points = sim::run_sweep(wl, roster, engine,
+                                       bench::progress_line);
+    for (const auto& o : points[0].outcomes) {
+      t.row()
+          .cell(wl[0].first)
+          .cell(o.spec.name)
+          .cell(bench::pct(o.normalized.total))
+          .cell(bench::num(o.metrics.disk_energy.total_j() / 1e3, 1))
+          .cell(bench::ms(o.metrics.mean_latency_s()))
+          .cell(bench::num(o.metrics.long_latency_per_s()))
+          .cell(o.metrics.disk_shutdowns);
+    }
+  }
+  std::cout << t.to_string();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces paper Fig. 5: cumulative probability of two Pareto idle-length
+// distributions — one short-tailed (large alpha, small beta), one heavy-
+// tailed (small alpha, larger beta) — and the timeout guidance each implies:
+// the energy-optimal timeout t_o = alpha * t_be (eq. 5) shrinks as the tail
+// gets heavier, while the performance-constrained lower bound (eq. 6) grows.
+#include "bench_common.h"
+#include "jpm/pareto/pareto.h"
+#include "jpm/pareto/timeout_math.h"
+
+using namespace jpm;
+
+int main() {
+  // alpha1 > alpha2, beta1 < beta2: the paper's two illustrative curves.
+  const pareto::ParetoDistribution d1(2.5, 0.5);
+  const pareto::ParetoDistribution d2(1.2, 2.0);
+  const pareto::DiskTimeoutParams disk = disk::DiskParams{}.timeout_params();
+
+  std::cout << "Fig. 5 — Pareto CDFs of idle-interval length\n";
+  Table t({"idle length (s)", "CDF (a=2.5, b=0.5)", "CDF (a=1.2, b=2.0)"});
+  for (double l : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0}) {
+    t.row()
+        .cell(bench::num(l, 1))
+        .cell(bench::num(d1.cdf(l), 4))
+        .cell(bench::num(d2.cdf(l), 4));
+  }
+  std::cout << t.to_string();
+
+  Table s({"distribution", "mean idle (s)", "optimal timeout a*t_be (s)",
+           "expected power at optimum (W)", "power if never off (W)"});
+  for (const auto* d : {&d1, &d2}) {
+    const double t_opt = pareto::optimal_timeout(*d, disk);
+    s.row()
+        .cell("alpha=" + bench::num(d->alpha(), 2) +
+              " beta=" + bench::num(d->beta(), 2))
+        .cell(bench::num(d->mean(), 2))
+        .cell(bench::num(t_opt, 1))
+        .cell(bench::num(pareto::expected_power(*d, 60, 600.0, t_opt, disk),
+                         2))
+        .cell(bench::num(disk.static_power_w, 2));
+  }
+  std::cout << "\n== timeout guidance (60 idle intervals per 10-min period) =="
+            << "\n"
+            << s.to_string();
+  return 0;
+}

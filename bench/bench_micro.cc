@@ -1,0 +1,86 @@
+// Google-benchmark microbenches for the simulator's hot kernels: LRU cache
+// operations, the Fenwick stack-distance tracker, the idle-interval sweep,
+// Pareto fitting, and trace synthesis.
+#include <benchmark/benchmark.h>
+
+#include "jpm/cache/idle_sweep.h"
+#include "jpm/cache/lru_cache.h"
+#include "jpm/cache/stack_distance.h"
+#include "jpm/pareto/pareto.h"
+#include "jpm/util/rng.h"
+#include "jpm/workload/synthesizer.h"
+
+namespace jpm {
+namespace {
+
+void BM_LruCacheAccess(benchmark::State& state) {
+  cache::LruCache cache(cache::LruCacheOptions{1 << 16, 64, 1 << 14});
+  Rng rng(1);
+  for (auto _ : state) {
+    const std::uint64_t page = rng.uniform_index(1 << 15);
+    if (!cache.lookup(page)) cache.insert(page);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruCacheAccess);
+
+void BM_StackDistance(benchmark::State& state) {
+  cache::StackDistanceTracker tracker;
+  Rng rng(2);
+  const std::uint64_t span = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.access(rng.uniform_index(span)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StackDistance)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_IdleSweep(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<cache::IdleEvent> events;
+  double t = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    t += rng.exponential(0.006);
+    events.push_back({t, 1 + rng.uniform_index(8192 * 64)});
+  }
+  std::vector<std::uint64_t> candidates;
+  for (std::uint64_t u = 1; u <= 8192; u += 32) candidates.push_back(u);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache::sweep_idle_intervals(
+        events, 0.0, t + 1.0, 64, 0.1, candidates));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_IdleSweep);
+
+void BM_ParetoFitAndTimeout(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    const double mean = 0.1 + rng.uniform() * 100.0;
+    const auto d = pareto::fit_from_mean(mean, 0.1);
+    benchmark::DoNotOptimize(d.alpha() * 11.7);
+  }
+}
+BENCHMARK(BM_ParetoFitAndTimeout);
+
+void BM_TraceSynthesis(benchmark::State& state) {
+  workload::SynthesizerConfig cfg;
+  cfg.dataset_bytes = gib(1);
+  cfg.byte_rate = 50e6;
+  cfg.duration_s = 60.0;
+  cfg.page_bytes = 256 * kKiB;
+  cfg.seed = 5;
+  for (auto _ : state) {
+    workload::TraceGenerator gen(cfg);
+    std::uint64_t n = 0;
+    while (gen.next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_TraceSynthesis);
+
+}  // namespace
+}  // namespace jpm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Prints the power models of paper Fig. 1 (RDRAM chip and Seagate IDE disk)
+// together with every derived constant of Table II, and replays the paper's
+// Fig. 3 extended-LRU worked example.
+#include "bench_common.h"
+#include "jpm/cache/miss_curve.h"
+#include "jpm/cache/stack_distance.h"
+#include "jpm/disk/disk_model.h"
+#include "jpm/mem/rdram_model.h"
+
+using namespace jpm;
+
+int main() {
+  const mem::RdramParams m;
+  const disk::DiskParams d;
+
+  std::cout << "Fig. 1 / Table II — power models and derived constants\n";
+  Table mt({"memory parameter", "value"});
+  mt.row().cell("bank size").cell(bench::num(to_mib(m.bank_bytes), 0) + " MB");
+  mt.row().cell("nap (static) power").cell(
+      bench::num(m.nap_mw_per_mb, 3) + " mW/MB");
+  mt.row().cell("dynamic energy").cell(bench::num(m.dynamic_mj_per_mb, 3) +
+                                       " mJ/MB");
+  mt.row().cell("power-down power / nap").cell(
+      bench::num(m.powerdown_fraction, 2));
+  mt.row().cell("power-down timeout").cell(
+      bench::num(m.powerdown_timeout_s * 1e6, 0) + " us");
+  mt.row().cell("disable timeout (break-even)").cell(
+      bench::num(m.disable_timeout_s, 0) + " s");
+  mt.row().cell("128 GB nap power").cell(
+      bench::num(m.nap_power_w(128 * kGiB), 1) + " W");
+  std::cout << mt.to_string();
+
+  Table dt({"disk parameter", "value"});
+  dt.row().cell("active power").cell(bench::num(d.active_w, 1) + " W");
+  dt.row().cell("idle power").cell(bench::num(d.idle_w, 1) + " W");
+  dt.row().cell("standby power").cell(bench::num(d.standby_w, 1) + " W");
+  dt.row().cell("static (manageable) power p_d").cell(
+      bench::num(d.static_power_w(), 1) + " W");
+  dt.row().cell("dynamic peak power").cell(
+      bench::num(d.dynamic_power_w(), 1) + " W");
+  dt.row().cell("round-trip transition energy").cell(
+      bench::num(d.transition_j, 1) + " J");
+  dt.row().cell("break-even time t_be").cell(bench::num(d.break_even_s(), 1) +
+                                             " s");
+  dt.row().cell("spin-up time t_tr").cell(bench::num(d.spin_up_s, 0) + " s");
+  std::cout << "\n" << dt.to_string();
+
+  const disk::ServiceModel svc(d);
+  Table bw({"request size", "bandwidth (MB/s)"});
+  for (std::uint64_t kb : {4, 16, 64, 128, 256, 1024, 4096, 16384}) {
+    bw.row()
+        .cell(std::to_string(kb) + " kB")
+        .cell(bench::num(svc.bandwidth_bytes_per_s(kb * kKiB) / 1e6, 1));
+  }
+  std::cout << "\n== bandwidth table (random requests; the paper derives the "
+               "same table from DiskSim) ==\n"
+            << bw.to_string();
+
+  // Fig. 3: the extended LRU list on the example reference string.
+  std::cout << "\nFig. 3 — extended-LRU worked example, accesses "
+               "(1,2,3,5,2,1,4,6,5,2)\n";
+  cache::StackDistanceTracker tracker;
+  cache::MissCurve curve(1, 8);
+  for (std::uint64_t r : {1, 2, 3, 5, 2, 1, 4, 6, 5, 2}) {
+    curve.add(tracker.access(r));
+  }
+  Table lru({"LRU position", "counter"});
+  for (std::uint64_t u = 0; u < 8; ++u) {
+    lru.row().cell(std::to_string(u + 1)).cell(curve.counter(u));
+  }
+  std::cout << lru.to_string();
+  Table pred({"memory size (pages)", "predicted disk accesses"});
+  for (std::uint64_t s : {3, 4, 5, 8}) {
+    pred.row().cell(std::to_string(s)).cell(curve.misses_at(s));
+  }
+  std::cout << "\n" << pred.to_string();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces paper Table V: the joint method's sensitivity to the memory
+// bank size — the granularity at which memory is resized — for 16, 64, 256,
+// and 1024 MB banks (16 GB data set, 100 MB/s). The paper finds total energy
+// and long-latency counts nearly constant, with slightly more memory energy
+// and slightly less disk energy at coarser banks (more memory stays on, the
+// disk sleeps more).
+#include "bench_common.h"
+
+using namespace jpm;
+
+int main() {
+  const auto workload = bench::paper_workload(gib(16), 100e6, 0.1);
+  std::cout << "Table V — joint method vs bank (resize-unit) size "
+               "(16 GB, 100 MB/s)\n";
+
+  auto base_engine = bench::paper_engine();
+  const auto baseline =
+      sim::run_simulation(workload, sim::always_on_policy(), base_engine);
+
+  Table t({"bank size", "total energy %", "disk energy %", "memory energy %",
+           "long-latency req/s"});
+  for (std::uint64_t mb : {16, 64, 256, 1024}) {
+    auto engine = bench::paper_engine();
+    engine.joint.unit_bytes = mib(mb);
+    engine.joint.mem.bank_bytes = mib(mb);
+    const auto m = sim::run_simulation(workload, sim::joint_policy(), engine);
+    const auto n = sim::normalize_energy(m, baseline);
+    t.row()
+        .cell(std::to_string(mb) + " MB")
+        .cell(bench::pct(n.total))
+        .cell(bench::pct(n.disk))
+        .cell(bench::pct(n.memory))
+        .cell(bench::num(m.long_latency_per_s()));
+    bench::progress_line("bank=" + std::to_string(mb) + "MB done");
+  }
+  std::cout << t.to_string();
+  return 0;
+}

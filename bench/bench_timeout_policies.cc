@@ -1,0 +1,69 @@
+// Timeout-policy comparison against the offline oracle (the methodology of
+// Lu et al. [16], which the paper uses to justify building on the timeout
+// family). For idle-gap populations of varying tail weight we report the
+// p_d-band energy of: the offline oracle, the 2-competitive timeout, the
+// Douglis adaptive timeout, the Pareto-optimal timeout of eq. 5 (fitted from
+// the sample mean, i.e. what the joint manager would pick), and never
+// spinning down.
+//
+// Expected shape: every policy sits between the oracle and "never"; the 2T
+// policy stays below 2x oracle everywhere; the eq. 5 timeout tracks or beats
+// 2T and AD when gaps really are heavy-tailed.
+#include "bench_common.h"
+#include "jpm/disk/offline.h"
+#include "jpm/pareto/pareto.h"
+
+using namespace jpm;
+
+int main() {
+  const auto disk = disk::DiskParams{}.timeout_params();
+  std::cout << "Timeout policies vs offline oracle (p_d-band energy per "
+               "10,000 idle intervals, kJ)\n";
+
+  Table t({"gap distribution", "oracle", "2T (t_be)", "randomized",
+           "adaptive", "predictive", "Pareto eq.5", "never off",
+           "2T/oracle"});
+  Rng rng(77);
+  for (double alpha : {1.1, 1.3, 1.6, 2.0, 3.0, 6.0}) {
+    for (double beta : {0.5, 4.0}) {
+      const pareto::ParetoDistribution d(alpha, beta);
+      std::vector<double> gaps;
+      gaps.reserve(10000);
+      double mean = 0.0;
+      for (int i = 0; i < 10000; ++i) {
+        gaps.push_back(d.sample(rng));
+        mean += gaps.back();
+      }
+      mean /= static_cast<double>(gaps.size());
+
+      const double oracle = disk::oracle_energy_j(gaps, disk);
+      const double two_t =
+          disk::fixed_timeout_energy_j(gaps, disk.break_even_s, disk);
+      const double randomized =
+          disk::randomized_timeout_energy_j(gaps, disk, 9);
+      const double adaptive = disk::adaptive_timeout_energy_j(
+          gaps, disk::AdaptiveTimeoutConfig{}, disk);
+      const double predictive =
+          disk::predictive_timeout_energy_j(gaps, disk);
+      const auto fit = pareto::fit_from_mean(mean, beta);
+      const double eq5 = disk::fixed_timeout_energy_j(
+          gaps, pareto::optimal_timeout(fit, disk), disk);
+      const double never = disk::fixed_timeout_energy_j(
+          gaps, pareto::kNeverTimeout, disk);
+
+      t.row()
+          .cell("alpha=" + bench::num(alpha, 1) + " beta=" +
+                bench::num(beta, 1))
+          .cell(bench::num(oracle / 1e3, 1))
+          .cell(bench::num(two_t / 1e3, 1))
+          .cell(bench::num(randomized / 1e3, 1))
+          .cell(bench::num(adaptive / 1e3, 1))
+          .cell(bench::num(predictive / 1e3, 1))
+          .cell(bench::num(eq5 / 1e3, 1))
+          .cell(bench::num(never / 1e3, 1))
+          .cell(bench::num(disk::competitive_ratio(two_t, oracle), 2));
+    }
+  }
+  std::cout << t.to_string();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Capacity planner: for a given workload, sweep fixed disk-cache sizes,
+// locate the paper's "break-even memory size" (where extra memory stops
+// paying for itself), and compare the best fixed size against the joint
+// method.
+//
+//   ./examples/capacity_planner [dataset_gib] [rate_mb_s] [popularity]
+//
+// The break-even logic (paper Section V-B.1): caching the whole data set
+// saves at most the disk's 6.6 W static power, which pays for about 10 GB of
+// nap-mode RDRAM — beyond that, memory costs more than the disk saves.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "jpm/sim/runner.h"
+
+using namespace jpm;
+
+int main(int argc, char** argv) {
+  const std::uint64_t dataset_gib = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16;
+  const double rate_mb = argc > 2 ? std::atof(argv[2]) : 50.0;
+  const double popularity = argc > 3 ? std::atof(argv[3]) : 0.1;
+
+  workload::SynthesizerConfig workload;
+  workload.dataset_bytes = gib(dataset_gib);
+  workload.byte_rate = rate_mb * 1e6;
+  workload.popularity = popularity;
+  workload.duration_s = 3000.0;
+  workload.page_bytes = 256 * kKiB;
+  workload.seed = 7;
+
+  sim::EngineConfig engine;
+  engine.prefill_cache = true;
+  engine.warm_up_s = 600.0;
+
+  std::printf("capacity plan for %llu GiB data set, %.0f MB/s, popularity "
+              "%.2f\n\n",
+              static_cast<unsigned long long>(dataset_gib), rate_mb,
+              popularity);
+  std::printf("theoretical break-even memory (disk p_d / memory nap power): "
+              "%.1f GB\n\n",
+              engine.joint.disk.static_power_w() /
+                  engine.joint.mem.nap_power_w(kGiB));
+
+  std::printf("%-12s %14s %12s %12s %16s\n", "memory", "total energy",
+              "avg power", "utilization", "long-latency/s");
+  double best_fixed_j = -1.0;
+  std::uint64_t best_fixed_gib = 0;
+  for (std::uint64_t g = 2; g <= 128; g *= 2) {
+    const auto m = sim::run_simulation(
+        workload, sim::fixed_policy(sim::DiskPolicyKind::kTwoCompetitive,
+                                    gib(g)),
+        engine);
+    std::printf("%9llu GB %11.1f kJ %10.1f W %11.1f%% %16.2f\n",
+                static_cast<unsigned long long>(g), m.total_j() / 1e3,
+                m.total_j() / m.duration_s, m.utilization() * 100.0,
+                m.long_latency_per_s());
+    if (best_fixed_j < 0.0 || m.total_j() < best_fixed_j) {
+      best_fixed_j = m.total_j();
+      best_fixed_gib = g;
+    }
+  }
+
+  const auto joint = sim::run_simulation(workload, sim::joint_policy(), engine);
+  std::printf("%-12s %11.1f kJ %10.1f W %11.1f%% %16.2f\n", "joint",
+              joint.total_j() / 1e3, joint.total_j() / joint.duration_s,
+              joint.utilization() * 100.0, joint.long_latency_per_s());
+
+  std::printf("\nbest fixed size: %llu GB at %.1f kJ; joint reaches %.1f kJ "
+              "without knowing the workload in advance (%+.1f%%)\n",
+              static_cast<unsigned long long>(best_fixed_gib),
+              best_fixed_j / 1e3, joint.total_j() / 1e3,
+              (joint.total_j() / best_fixed_j - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Policy face-off: run the paper's full 16-method roster on one workload and
+// print the complete ledger, sorted by total energy.
+//
+//   ./examples/policy_faceoff [dataset_gib] [rate_mb_s] [popularity]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "jpm/sim/runner.h"
+#include "jpm/util/table.h"
+
+using namespace jpm;
+
+int main(int argc, char** argv) {
+  const std::uint64_t dataset_gib =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16;
+  const double rate_mb = argc > 2 ? std::atof(argv[2]) : 100.0;
+  const double popularity = argc > 3 ? std::atof(argv[3]) : 0.1;
+
+  workload::SynthesizerConfig workload;
+  workload.dataset_bytes = gib(dataset_gib);
+  workload.byte_rate = rate_mb * 1e6;
+  workload.popularity = popularity;
+  workload.duration_s = 3000.0;
+  workload.page_bytes = 256 * kKiB;
+  workload.seed = 11;
+
+  sim::EngineConfig engine;
+  engine.prefill_cache = true;
+  engine.warm_up_s = 600.0;
+
+  std::printf("16-method face-off: %llu GiB data set, %.0f MB/s, popularity "
+              "%.2f (simulating...)\n",
+              static_cast<unsigned long long>(dataset_gib), rate_mb,
+              popularity);
+
+  std::vector<std::pair<std::string, workload::SynthesizerConfig>> workloads{
+      {"workload", workload}};
+  const auto points =
+      sim::run_sweep(workloads, sim::paper_policies(), engine,
+                     [](const std::string& line) {
+                       std::fprintf(stderr, "  %s\n", line.c_str());
+                     });
+
+  auto outcomes = points[0].outcomes;
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const sim::RunOutcome& a, const sim::RunOutcome& b) {
+              return a.metrics.total_j() < b.metrics.total_j();
+            });
+
+  Table t({"rank", "method", "total %", "memory %", "disk %", "utilization",
+           "mean latency", "long-latency/s"});
+  int rank = 1;
+  for (const auto& o : outcomes) {
+    char buf[32];
+    t.row().cell(std::to_string(rank++)).cell(o.spec.name);
+    std::snprintf(buf, sizeof buf, "%.1f%%", o.normalized.total * 100);
+    t.cell(buf);
+    std::snprintf(buf, sizeof buf, "%.1f%%", o.normalized.memory * 100);
+    t.cell(buf);
+    std::snprintf(buf, sizeof buf, "%.1f%%", o.normalized.disk * 100);
+    t.cell(buf);
+    std::snprintf(buf, sizeof buf, "%.1f%%", o.metrics.utilization() * 100);
+    t.cell(buf);
+    std::snprintf(buf, sizeof buf, "%.2f ms",
+                  o.metrics.mean_latency_s() * 1e3);
+    t.cell(buf);
+    std::snprintf(buf, sizeof buf, "%.2f", o.metrics.long_latency_per_s());
+    t.cell(buf);
+  }
+  std::printf("\n");
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Timeout advisor: the analytical core of the paper without the simulator.
+//
+// Feed it a stream of observed disk idle-interval lengths (here: sampled
+// from a heavy-tailed distribution, as Section IV-C models them), and it
+//   1. filters intervals through the aggregation window w,
+//   2. fits a Pareto distribution with the paper's moment estimator,
+//   3. derives the energy-optimal timeout t_o = alpha * t_be (eq. 5),
+//   4. raises it to the performance-constrained bound of eq. 6, and
+//   5. reports the expected power, shutdown count, and delayed-request ratio
+//      for a 10-minute control period.
+//
+//   ./examples/timeout_advisor [alpha] [beta_seconds]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "jpm/disk/disk_model.h"
+#include "jpm/pareto/pareto.h"
+#include "jpm/pareto/timeout_math.h"
+#include "jpm/util/rng.h"
+
+using namespace jpm;
+
+int main(int argc, char** argv) {
+  const double true_alpha = argc > 1 ? std::atof(argv[1]) : 1.5;
+  const double true_beta = argc > 2 ? std::atof(argv[2]) : 0.4;
+
+  const double window_s = 0.1;     // aggregation window w
+  const double period_s = 600.0;   // T
+  const double delay_limit = 1e-3; // D
+  const disk::DiskParams disk_params;
+  const auto disk = disk_params.timeout_params();
+
+  // "Observed" idle intervals from the last control period.
+  const pareto::ParetoDistribution truth(true_alpha, true_beta);
+  Rng rng(2024);
+  std::vector<double> observed;
+  for (int i = 0; i < 600; ++i) observed.push_back(truth.sample(rng));
+
+  // 1. Aggregation-window filter.
+  std::vector<double> usable;
+  for (double l : observed) {
+    if (l >= window_s) usable.push_back(l);
+  }
+  std::printf("observed %zu idle intervals, %zu at or above w = %.2f s\n",
+              observed.size(), usable.size(), window_s);
+
+  // 2. Moment fit: alpha = mean / (mean - beta), beta = w.
+  double mean = 0.0;
+  for (double l : usable) mean += l;
+  mean /= static_cast<double>(usable.size());
+  const auto fit = pareto::fit_from_mean(mean, window_s);
+  std::printf("sample mean %.3f s -> fitted alpha %.3f (generator alpha "
+              "%.2f, beta %.2f)\n\n",
+              mean, fit.alpha(), true_alpha, true_beta);
+
+  // 3-4. Timeout selection.
+  const double n_idle = static_cast<double>(usable.size());
+  const double n_disk = 4000;         // disk accesses last period
+  const double n_cache = 200000;      // disk-cache accesses last period
+  const double t_opt = pareto::optimal_timeout(fit, disk);
+  const double t_min = pareto::min_timeout_for_delay_constraint(
+      fit, n_idle, n_disk, n_cache, period_s, delay_limit, disk);
+  const double t_o = std::max(t_opt, t_min);
+  std::printf("energy-optimal timeout  t_o = alpha * t_be = %.1f s\n", t_opt);
+  std::printf("eq. 6 lower bound for D = %.0e:        %.1f s\n", delay_limit,
+              t_min);
+  std::printf("chosen timeout:                         %.1f s\n\n", t_o);
+
+  // 5. Expected behaviour over the period.
+  std::printf("expected over one %.0f s period:\n", period_s);
+  std::printf("  disk off        %7.1f s\n",
+              pareto::expected_off_time(fit, n_idle, t_o));
+  std::printf("  shutdowns       %7.1f\n",
+              pareto::expected_shutdowns(fit, n_idle, t_o));
+  std::printf("  p_d-band power  %7.2f W (vs %.2f W if never off)\n",
+              pareto::expected_power(fit, n_idle, period_s, t_o, disk),
+              disk.static_power_w);
+  std::printf("  delayed ratio   %9.2e (limit %.0e)\n",
+              pareto::expected_delayed_ratio(fit, n_idle, n_disk, n_cache,
+                                             period_s, t_o, disk),
+              delay_limit);
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "jpm/cache/idle_sweep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "jpm/util/check.h"
+
+namespace jpm::cache {
+
+std::vector<IdleEstimate> sweep_idle_intervals(
+    const std::vector<IdleEvent>& events, double period_start_s,
+    double period_end_s, std::uint64_t unit_frames, double window_s,
+    const std::vector<std::uint64_t>& candidate_units) {
+  JPM_CHECK(unit_frames > 0);
+  JPM_CHECK(window_s >= 0.0);
+  JPM_CHECK(period_end_s >= period_start_s);
+  JPM_CHECK(std::is_sorted(candidate_units.begin(), candidate_units.end()));
+
+  const std::size_t n = events.size();
+  // Node layout: [0] start sentinel, [1..n] events, [n+1] end sentinel.
+  std::vector<std::size_t> prev(n + 2), next(n + 2);
+  std::vector<double> time(n + 2);
+  time[0] = period_start_s;
+  time[n + 1] = period_end_s;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& e = events[i];
+    JPM_DCHECK(e.time_s >= period_start_s && e.time_s <= period_end_s);
+    JPM_DCHECK(i == 0 || events[i - 1].time_s <= e.time_s);
+    time[i + 1] = e.time_s;
+  }
+  for (std::size_t i = 0; i < n + 2; ++i) {
+    prev[i] = i == 0 ? 0 : i - 1;
+    next[i] = i == n + 1 ? n + 1 : i + 1;
+  }
+
+  // Group removable events by the candidate unit at which they become hits:
+  // an event with depth d frames hits once m >= ceil(d / unit_frames) units.
+  std::vector<std::vector<std::size_t>> by_unit;  // unit -> node ids
+  std::uint64_t live = n;
+  if (!candidate_units.empty()) {
+    by_unit.resize(candidate_units.back() + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t d = events[i].depth_frames;
+      if (d == kColdAccess) continue;
+      const std::uint64_t unit = (d - 1) / unit_frames + 1;
+      if (unit < by_unit.size()) by_unit[unit].push_back(i + 1);
+    }
+  }
+
+  // Gap statistics over the current list.
+  std::uint64_t gap_count = 0;
+  double gap_sum = 0.0;
+  double gap_log_sum = 0.0;
+  auto gap_add = [&](double g) {
+    if (g >= window_s && g > 0.0) {
+      ++gap_count;
+      gap_sum += g;
+      gap_log_sum += std::log(g);
+    }
+  };
+  auto gap_remove = [&](double g) {
+    if (g >= window_s && g > 0.0) {
+      JPM_DCHECK(gap_count > 0);
+      --gap_count;
+      gap_sum -= g;
+      gap_log_sum -= std::log(g);
+    }
+  };
+  for (std::size_t i = 0; i <= n; ++i) gap_add(time[i + 1] - time[i]);
+
+  std::vector<IdleEstimate> out;
+  out.reserve(candidate_units.size());
+  std::uint64_t done_unit = 0;
+  for (std::uint64_t m : candidate_units) {
+    // Remove every event that becomes a memory hit at size m.
+    for (std::uint64_t u = done_unit + 1; u <= m && u < by_unit.size(); ++u) {
+      for (std::size_t node : by_unit[u]) {
+        const std::size_t p = prev[node];
+        const std::size_t q = next[node];
+        gap_remove(time[node] - time[p]);
+        gap_remove(time[q] - time[node]);
+        gap_add(time[q] - time[p]);
+        next[p] = q;
+        prev[q] = p;
+        --live;
+      }
+    }
+    done_unit = std::max(done_unit, m);
+
+    IdleEstimate est;
+    est.memory_units = m;
+    est.disk_accesses = live;
+    est.idle_intervals = gap_count;
+    est.idle_time_s = gap_sum;
+    est.mean_idle_s = gap_count == 0 ? 0.0 : gap_sum / static_cast<double>(gap_count);
+    est.log_idle_sum = gap_log_sum;
+    out.push_back(est);
+  }
+  return out;
+}
+
+}  // namespace jpm::cache

@@ -1,0 +1,225 @@
+#include "jpm/cache/lru_cache.h"
+
+#include <algorithm>
+
+namespace jpm::cache {
+
+LruCache::LruCache(const LruCacheOptions& options)
+    : frames_per_bank_(options.frames_per_bank),
+      capacity_(options.capacity_frames) {
+  JPM_CHECK(options.total_frames > 0);
+  JPM_CHECK(options.frames_per_bank > 0);
+  JPM_CHECK(options.capacity_frames <= options.total_frames);
+  JPM_CHECK_MSG(options.total_frames % options.frames_per_bank == 0,
+                "total frames must be a whole number of banks");
+  nodes_.resize(options.total_frames);
+  const std::uint64_t banks = options.total_frames / options.frames_per_bank;
+  bank_free_.resize(banks);
+  bank_population_.assign(banks, 0);
+  // Cold banks kept descending so pop_back() yields the lowest index first.
+  cold_banks_.reserve(banks);
+  for (std::uint64_t b = banks; b > 0; --b) {
+    cold_banks_.push_back(static_cast<BankIndex>(b - 1));
+  }
+  map_.reserve(options.capacity_frames);
+}
+
+std::optional<AccessOutcome> LruCache::lookup(PageId page) {
+  const auto it = map_.find(page);
+  if (it == map_.end()) return std::nullopt;
+  const FrameIndex f = it->second;
+  if (f != head_) {
+    unlink(f);
+    push_front(f);
+  }
+  return AccessOutcome{true, bank_of(f)};
+}
+
+InsertOutcome LruCache::insert(PageId page) {
+  JPM_DCHECK(!map_.contains(page));
+  JPM_CHECK_MSG(capacity_ > 0, "insert into zero-capacity cache");
+  InsertOutcome out;
+  if (size_ >= capacity_) {
+    out.evicted = true;
+    evict_lru(&out.evicted_page, &out.evicted_dirty);
+  }
+  const FrameIndex f = allocate_frame();
+  Node& n = nodes_[f];
+  n.page = page;
+  n.occupied = true;
+  n.dirty = false;
+  push_front(f);
+  map_.emplace(page, f);
+  ++size_;
+  out.bank = bank_of(f);
+  ++bank_population_[out.bank];
+  return out;
+}
+
+void LruCache::set_capacity(std::uint64_t frames,
+                            std::vector<PageId>* dirty_out) {
+  JPM_CHECK(frames <= total_frames());
+  capacity_ = frames;
+  while (size_ > capacity_) {
+    PageId page = 0;
+    bool dirty = false;
+    evict_lru(&page, &dirty);
+    if (dirty && dirty_out != nullptr) dirty_out->push_back(page);
+  }
+}
+
+std::uint64_t LruCache::invalidate_bank(BankIndex bank,
+                                        std::vector<PageId>* dirty_out) {
+  JPM_CHECK(bank < bank_count());
+  std::uint64_t dropped = 0;
+  const FrameIndex lo = static_cast<FrameIndex>(bank * frames_per_bank_);
+  const FrameIndex hi = static_cast<FrameIndex>(lo + frames_per_bank_);
+  for (FrameIndex f = lo; f < hi; ++f) {
+    if (nodes_[f].occupied) {
+      if (nodes_[f].dirty && dirty_out != nullptr) {
+        dirty_out->push_back(nodes_[f].page);
+      }
+      remove_frame(f);
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+void LruCache::mark_dirty(PageId page) {
+  const auto it = map_.find(page);
+  JPM_CHECK_MSG(it != map_.end(), "mark_dirty on a non-resident page");
+  Node& n = nodes_[it->second];
+  if (!n.dirty) {
+    n.dirty = true;
+    ++dirty_count_;
+    dirty_frames_.push_back(it->second);
+  }
+}
+
+bool LruCache::is_dirty(PageId page) const {
+  const auto it = map_.find(page);
+  return it != map_.end() && nodes_[it->second].dirty;
+}
+
+std::vector<PageId> LruCache::take_dirty_pages() {
+  std::vector<PageId> pages;
+  pages.reserve(dirty_count_);
+  for (FrameIndex f : dirty_frames_) {
+    Node& n = nodes_[f];
+    if (n.occupied && n.dirty) {
+      n.dirty = false;
+      --dirty_count_;
+      pages.push_back(n.page);
+    }
+  }
+  dirty_frames_.clear();
+  JPM_DCHECK(dirty_count_ == 0);
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
+std::uint64_t LruCache::bank_population(BankIndex bank) const {
+  JPM_CHECK(bank < bank_count());
+  return bank_population_[bank];
+}
+
+std::vector<PageId> LruCache::lru_order() const {
+  std::vector<PageId> order;
+  order.reserve(size_);
+  for (FrameIndex f = head_; f != kNoFrame; f = nodes_[f].next) {
+    order.push_back(nodes_[f].page);
+  }
+  return order;
+}
+
+void LruCache::unlink(FrameIndex f) {
+  Node& n = nodes_[f];
+  if (n.prev != kNoFrame) nodes_[n.prev].next = n.next;
+  if (n.next != kNoFrame) nodes_[n.next].prev = n.prev;
+  if (head_ == f) head_ = n.next;
+  if (tail_ == f) tail_ = n.prev;
+  n.prev = n.next = kNoFrame;
+}
+
+void LruCache::push_front(FrameIndex f) {
+  Node& n = nodes_[f];
+  n.prev = kNoFrame;
+  n.next = head_;
+  if (head_ != kNoFrame) nodes_[head_].prev = f;
+  head_ = f;
+  if (tail_ == kNoFrame) tail_ = f;
+}
+
+FrameIndex LruCache::allocate_frame() {
+  // Prefer a warm bank (already holds pages) to concentrate residency;
+  // fall back to the lowest-index cold bank.
+  while (!warm_banks_.empty()) {
+    const BankIndex b = warm_banks_.back();
+    auto& free_list = bank_free_[b];
+    if (free_list.empty() || bank_population_[b] == 0) {
+      warm_banks_.pop_back();  // stale entry
+      continue;
+    }
+    const FrameIndex f = free_list.back();
+    free_list.pop_back();
+    if (!free_list.empty()) {
+      // keep b as a candidate
+    } else {
+      warm_banks_.pop_back();
+    }
+    return f;
+  }
+  JPM_CHECK_MSG(!cold_banks_.empty(), "no free frame available");
+  const BankIndex b = cold_banks_.back();
+  cold_banks_.pop_back();
+  auto& free_list = bank_free_[b];
+  if (free_list.empty()) {
+    // Bank has never been used: seed its free list with all frames but one
+    // (descending so lower frames are handed out first).
+    const FrameIndex lo = static_cast<FrameIndex>(b * frames_per_bank_);
+    for (std::uint64_t k = frames_per_bank_; k > 1; --k) {
+      free_list.push_back(static_cast<FrameIndex>(lo + k - 1));
+    }
+    if (!free_list.empty()) warm_banks_.push_back(b);
+    return lo;
+  }
+  const FrameIndex f = free_list.back();
+  free_list.pop_back();
+  if (!free_list.empty()) warm_banks_.push_back(b);
+  return f;
+}
+
+void LruCache::evict_lru(PageId* page, bool* dirty) {
+  JPM_CHECK_MSG(tail_ != kNoFrame, "evict from empty cache");
+  const Node& victim = nodes_[tail_];
+  *page = victim.page;
+  *dirty = victim.dirty;
+  remove_frame(tail_);
+}
+
+void LruCache::remove_frame(FrameIndex f) {
+  Node& n = nodes_[f];
+  JPM_DCHECK(n.occupied);
+  unlink(f);
+  map_.erase(n.page);
+  n.occupied = false;
+  if (n.dirty) {
+    n.dirty = false;
+    --dirty_count_;
+  }
+  --size_;
+  const BankIndex b = bank_of(f);
+  --bank_population_[b];
+  const bool was_free_empty = bank_free_[b].empty();
+  bank_free_[b].push_back(f);
+  if (bank_population_[b] == 0) {
+    // Fully drained bank becomes cold again; its free list stays populated so
+    // a future allocation can reuse it directly.
+    cold_banks_.push_back(b);
+  } else if (was_free_empty) {
+    warm_banks_.push_back(b);
+  }
+}
+
+}  // namespace jpm::cache

@@ -1,0 +1,129 @@
+// Resizable LRU disk cache with bank-structured frames.
+//
+// Mirrors the paper's setup: physical memory is an array of frames grouped
+// into banks (16 MB each in the paper); the disk cache occupies frames and is
+// managed LRU, like Linux's page cache. The cache supports
+//   * capacity resizing (the joint method / fixed-memory methods), which
+//     evicts LRU pages when shrinking, and
+//   * bank invalidation (the "disable" memory policy), which drops every page
+//     held in a bank's frames.
+// Frame allocation prefers banks that already hold pages, so unused banks can
+// stay in deep low-power modes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "jpm/util/check.h"
+
+namespace jpm::cache {
+
+using PageId = std::uint64_t;
+using FrameIndex = std::uint32_t;
+using BankIndex = std::uint32_t;
+
+inline constexpr FrameIndex kNoFrame = ~FrameIndex{0};
+
+struct LruCacheOptions {
+  std::uint64_t total_frames = 0;     // physical memory, in frames
+  std::uint64_t frames_per_bank = 0;  // bank granularity, in frames
+  std::uint64_t capacity_frames = 0;  // initial logical capacity
+};
+
+struct AccessOutcome {
+  bool hit = false;
+  BankIndex bank = 0;  // bank of the touched/allocated frame
+};
+
+struct InsertOutcome {
+  BankIndex bank = 0;       // bank that received the page
+  bool evicted = false;     // an LRU victim was pushed out
+  PageId evicted_page = 0;
+  bool evicted_dirty = false;  // the victim needs writing back to disk
+};
+
+class LruCache {
+ public:
+  explicit LruCache(const LruCacheOptions& options);
+
+  // Looks up a page; on hit moves it to the MRU position. Does NOT insert.
+  std::optional<AccessOutcome> lookup(PageId page);
+
+  // Inserts a page known to be absent, evicting the LRU page when the cache
+  // is at capacity. The outcome reports the receiving bank and any victim
+  // (with its dirty state, so the caller can write it back).
+  InsertOutcome insert(PageId page);
+
+  // Changes the logical capacity; shrinking evicts LRU pages immediately.
+  // Dirty victims are appended to `dirty_out` when provided.
+  void set_capacity(std::uint64_t frames,
+                    std::vector<PageId>* dirty_out = nullptr);
+
+  // Drops every page resident in the given bank (the DS policy's disable).
+  // Returns the number of pages invalidated; dirty victims are appended to
+  // `dirty_out` when provided.
+  std::uint64_t invalidate_bank(BankIndex bank,
+                                std::vector<PageId>* dirty_out = nullptr);
+
+  // Writeback bookkeeping: marks a resident page dirty / queries it / drains
+  // every dirty page (ascending page order), clearing the flags — what a
+  // periodic flush daemon does.
+  void mark_dirty(PageId page);
+  bool is_dirty(PageId page) const;
+  std::vector<PageId> take_dirty_pages();
+  std::uint64_t dirty_count() const { return dirty_count_; }
+
+  std::uint64_t size() const { return size_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t total_frames() const { return static_cast<std::uint64_t>(nodes_.size()); }
+  std::uint64_t bank_count() const { return bank_free_.size(); }
+  std::uint64_t frames_per_bank() const { return frames_per_bank_; }
+  // Number of pages currently resident in the given bank.
+  std::uint64_t bank_population(BankIndex bank) const;
+  bool contains(PageId page) const { return map_.contains(page); }
+
+  // LRU order from most to least recently used (test/diagnostic helper;
+  // O(size)).
+  std::vector<PageId> lru_order() const;
+
+ private:
+  struct Node {
+    PageId page = 0;
+    FrameIndex prev = kNoFrame;
+    FrameIndex next = kNoFrame;
+    bool occupied = false;
+    bool dirty = false;
+  };
+
+  BankIndex bank_of(FrameIndex f) const {
+    return static_cast<BankIndex>(f / frames_per_bank_);
+  }
+  void unlink(FrameIndex f);
+  void push_front(FrameIndex f);
+  FrameIndex allocate_frame();
+  // Removes the LRU page; reports the victim through the out-params.
+  void evict_lru(PageId* page, bool* dirty);
+  void remove_frame(FrameIndex f);
+
+  std::uint64_t frames_per_bank_;
+  std::uint64_t capacity_;
+  std::uint64_t size_ = 0;
+  FrameIndex head_ = kNoFrame;  // MRU
+  FrameIndex tail_ = kNoFrame;  // LRU
+  std::vector<Node> nodes_;     // indexed by frame
+  std::unordered_map<PageId, FrameIndex> map_;
+  // Per-bank free-frame stacks plus the set of banks with both free frames
+  // and at least one resident page ("warm" banks preferred for allocation).
+  std::vector<std::vector<FrameIndex>> bank_free_;
+  std::vector<std::uint64_t> bank_population_;
+  std::vector<BankIndex> warm_banks_;       // stack of candidates (lazy)
+  std::vector<BankIndex> cold_banks_;       // fully-free banks, ascending order
+  // Frames that were dirty when pushed; entries go stale when the frame is
+  // cleaned or recycled (the node's dirty flag is authoritative).
+  std::vector<FrameIndex> dirty_frames_;
+  std::uint64_t dirty_count_ = 0;
+};
+
+}  // namespace jpm::cache

@@ -1,0 +1,62 @@
+#include "jpm/cache/miss_curve.h"
+
+#include "jpm/util/check.h"
+
+namespace jpm::cache {
+
+MissCurve::MissCurve(std::uint64_t unit_frames, std::uint64_t max_units)
+    : unit_frames_(unit_frames), counters_(max_units, 0) {
+  JPM_CHECK(unit_frames > 0);
+  JPM_CHECK(max_units > 0);
+}
+
+void MissCurve::add(std::uint64_t depth_frames) {
+  ++total_;
+  if (depth_frames == kColdAccess) {
+    ++cold_;
+    return;
+  }
+  JPM_CHECK(depth_frames >= 1);
+  const std::uint64_t unit = (depth_frames - 1) / unit_frames_;
+  if (unit >= counters_.size()) {
+    ++overflow_;
+  } else {
+    ++counters_[unit];
+  }
+}
+
+std::uint64_t MissCurve::misses_at(std::uint64_t units) const {
+  return total_ - hits_at(units);
+}
+
+std::uint64_t MissCurve::hits_at(std::uint64_t units) const {
+  JPM_CHECK(units <= counters_.size());
+  std::uint64_t hits = 0;
+  for (std::uint64_t u = 0; u < units; ++u) hits += counters_[u];
+  return hits;
+}
+
+std::uint64_t MissCurve::counter(std::uint64_t unit) const {
+  JPM_CHECK(unit < counters_.size());
+  return counters_[unit];
+}
+
+std::vector<std::uint64_t> MissCurve::distinct_sizes() const {
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t u = 0; u < counters_.size(); ++u) {
+    if (counters_[u] > 0) sizes.push_back(u + 1);
+  }
+  if (sizes.empty() || sizes.back() != counters_.size()) {
+    sizes.push_back(counters_.size());
+  }
+  return sizes;
+}
+
+void MissCurve::reset() {
+  counters_.assign(counters_.size(), 0);
+  overflow_ = 0;
+  cold_ = 0;
+  total_ = 0;
+}
+
+}  // namespace jpm::cache

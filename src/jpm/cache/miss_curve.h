@@ -1,0 +1,53 @@
+// Miss curve: predicted disk accesses as a function of memory size.
+//
+// Reproduces the paper's per-depth counters (Fig. 3) at the enumeration-unit
+// granularity (16 MB in the paper): counter[u] counts re-accesses whose LRU
+// stack depth falls in unit u. The number of disk accesses with a cache of
+// `u` units is then (total accesses) - (re-accesses with depth <= u units),
+// cold misses included unconditionally — changing the memory size cannot
+// avoid a first-ever reference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jpm/cache/stack_distance.h"
+
+namespace jpm::cache {
+
+class MissCurve {
+ public:
+  // unit_frames: frames per enumeration unit; max_units: physical memory in
+  // units (depths beyond it land in an overflow bucket).
+  MissCurve(std::uint64_t unit_frames, std::uint64_t max_units);
+
+  // Records an access with the given stack depth (frames) or kColdAccess.
+  void add(std::uint64_t depth_frames);
+
+  // Predicted disk accesses with `units` enumeration units of memory.
+  std::uint64_t misses_at(std::uint64_t units) const;
+  // Predicted hits with `units` units.
+  std::uint64_t hits_at(std::uint64_t units) const;
+
+  std::uint64_t total_accesses() const { return total_; }
+  std::uint64_t cold_accesses() const { return cold_; }
+  std::uint64_t max_units() const { return counters_.size(); }
+  std::uint64_t counter(std::uint64_t unit) const;  // 0-based unit bucket
+
+  // Unit sizes (ascending, in [1, max_units]) where the miss count changes —
+  // the paper's "sizes causing different disk IOs"; between two consecutive
+  // entries the smaller memory is always at least as good. Always contains
+  // max_units so the full-memory point is evaluated.
+  std::vector<std::uint64_t> distinct_sizes() const;
+
+  void reset();
+
+ private:
+  std::uint64_t unit_frames_;
+  std::vector<std::uint64_t> counters_;  // [u] = depths in unit u
+  std::uint64_t overflow_ = 0;           // depths beyond physical memory
+  std::uint64_t cold_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace jpm::cache

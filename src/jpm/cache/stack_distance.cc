@@ -1,0 +1,62 @@
+#include "jpm/cache/stack_distance.h"
+
+#include <algorithm>
+
+#include "jpm/util/check.h"
+
+namespace jpm::cache {
+namespace {
+constexpr std::size_t kInitialSlots = 1024;
+}
+
+StackDistanceTracker::StackDistanceTracker()
+    : fenwick_(kInitialSlots), slot_page_(kInitialSlots, 0) {}
+
+std::uint64_t StackDistanceTracker::access(std::uint64_t page) {
+  ++total_accesses_;
+  if (next_slot_ == fenwick_.size()) compact();
+
+  std::uint64_t depth = kColdAccess;
+  const auto it = last_slot_.find(page);
+  if (it != last_slot_.end()) {
+    const std::size_t prev = it->second;
+    // Marked slots strictly after prev are pages touched since; +1 for the
+    // page itself (depth 1 == immediate re-access).
+    depth = static_cast<std::uint64_t>(
+                fenwick_.range_sum(prev + 1, fenwick_.size() - 1)) +
+            1;
+    fenwick_.add(prev, -1);
+  }
+
+  const std::size_t slot = next_slot_++;
+  fenwick_.add(slot, +1);
+  slot_page_[slot] = page;
+  last_slot_[page] = slot;
+  return depth;
+}
+
+void StackDistanceTracker::compact() {
+  // Rebuild with only the live (most recent per page) slots, preserving
+  // relative order; size to 2x live so compactions are amortized O(1).
+  std::vector<std::uint64_t> live;
+  live.reserve(last_slot_.size());
+  for (std::size_t s = 0; s < next_slot_; ++s) {
+    const auto it = last_slot_.find(slot_page_[s]);
+    if (it != last_slot_.end() && it->second == s) live.push_back(slot_page_[s]);
+  }
+  JPM_CHECK(live.size() == last_slot_.size());
+
+  const std::size_t new_size =
+      std::max<std::size_t>(kInitialSlots, live.size() * 2);
+  fenwick_.reset(new_size);
+  slot_page_.assign(new_size, 0);
+  next_slot_ = 0;
+  for (std::uint64_t page : live) {
+    fenwick_.add(next_slot_, +1);
+    slot_page_[next_slot_] = page;
+    last_slot_[page] = next_slot_;
+    ++next_slot_;
+  }
+}
+
+}  // namespace jpm::cache

@@ -1,0 +1,50 @@
+// O(log n) LRU stack-distance tracking (Bennett–Kruskal algorithm).
+//
+// This is the engine behind the paper's extended LRU list (Fig. 3): for every
+// access it yields the page's depth in an unbounded LRU stack — the number of
+// distinct pages referenced since the previous access to the same page, plus
+// one. By LRU's inclusion property, the access would hit in any cache of
+// capacity >= depth and miss in any smaller one, so a histogram of depths
+// predicts the number of disk accesses at every candidate memory size without
+// rerunning the workload.
+//
+// Implementation: each access occupies a time slot; a Fenwick tree marks the
+// slots that are the *most recent* access of some page. The depth of a
+// re-access equals the count of marked slots after the page's previous slot.
+// Slots are compacted when the array grows past twice the live page count.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "jpm/util/fenwick.h"
+
+namespace jpm::cache {
+
+// Depth reported for the first access to a page (compulsory / cold miss).
+inline constexpr std::uint64_t kColdAccess = ~std::uint64_t{0};
+
+class StackDistanceTracker {
+ public:
+  StackDistanceTracker();
+
+  // Records an access and returns the page's LRU stack depth (1 = MRU
+  // re-access) or kColdAccess for a first-ever reference.
+  std::uint64_t access(std::uint64_t page);
+
+  // Number of distinct pages seen so far.
+  std::uint64_t distinct_pages() const { return last_slot_.size(); }
+  std::uint64_t total_accesses() const { return total_accesses_; }
+
+ private:
+  void compact();
+
+  FenwickTree fenwick_;
+  std::vector<std::uint64_t> slot_page_;               // slot -> page
+  std::unordered_map<std::uint64_t, std::size_t> last_slot_;  // page -> slot
+  std::size_t next_slot_ = 0;
+  std::uint64_t total_accesses_ = 0;
+};
+
+}  // namespace jpm::cache

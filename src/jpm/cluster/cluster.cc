@@ -1,0 +1,201 @@
+#include "jpm/cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "jpm/util/check.h"
+
+namespace jpm::cluster {
+
+double ClusterMetrics::pipeline_energy_j() const {
+  double total = 0.0;
+  for (const auto& s : servers) total += s.metrics.total_j();
+  return total;
+}
+
+double ClusterMetrics::chassis_energy_j() const {
+  double total = 0.0;
+  for (const auto& s : servers) total += s.chassis_energy_j;
+  return total;
+}
+
+std::uint64_t ClusterMetrics::total_requests() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers) total += s.requests;
+  return total;
+}
+
+double ClusterMetrics::mean_latency_s() const {
+  double latency = 0.0;
+  std::uint64_t accesses = 0;
+  for (const auto& s : servers) {
+    latency += s.metrics.total_latency_s;
+    accesses += s.metrics.cache_accesses;
+  }
+  return accesses == 0 ? 0.0 : latency / static_cast<double>(accesses);
+}
+
+double ClusterMetrics::long_latency_per_s() const {
+  std::uint64_t count = 0;
+  for (const auto& s : servers) count += s.metrics.long_latency_count;
+  return duration_s == 0.0 ? 0.0
+                           : static_cast<double>(count) / duration_s;
+}
+
+double ClusterMetrics::balance_index() const {
+  double sum = 0.0, sum_sq = 0.0;
+  for (const auto& s : servers) {
+    const double x = static_cast<double>(s.requests);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(servers.size()) * sum_sq);
+}
+
+std::vector<std::uint32_t> route_requests(
+    const std::vector<workload::TraceEvent>& trace, const ClusterConfig& cfg) {
+  JPM_CHECK(cfg.server_count > 0);
+  std::vector<std::uint32_t> routes;
+  routes.reserve(trace.size());
+
+  std::uint32_t rr_next = 0;
+  std::uint32_t current = 0;  // route of the open request (continuations)
+  // kUnbalanced: per-server EWMA request rate.
+  std::vector<double> rate(cfg.server_count, 0.0);
+  double last_t = 0.0;
+
+  for (const auto& e : trace) {
+    if (e.request_start) {
+      switch (cfg.distribution) {
+        case DistributionPolicy::kRoundRobin:
+          current = rr_next;
+          rr_next = (rr_next + 1) % cfg.server_count;
+          break;
+        case DistributionPolicy::kPartitioned:
+          current = static_cast<std::uint32_t>(
+              (e.page / cfg.partition_pages) % cfg.server_count);
+          break;
+        case DistributionPolicy::kUnbalanced: {
+          const double decay =
+              std::exp(-(e.time_s - last_t) / cfg.rate_ewma_tau_s);
+          for (auto& r : rate) r *= decay;
+          last_t = e.time_s;
+          // First server under the cap; the last server takes any overflow.
+          current = cfg.server_count - 1;
+          for (std::uint32_t s = 0; s < cfg.server_count; ++s) {
+            if (rate[s] < cfg.rate_cap_rps) {
+              current = s;
+              break;
+            }
+          }
+          // One request adds 1/tau, so a steady stream of lambda req/s
+          // drives the EWMA toward lambda.
+          rate[current] += 1.0 / cfg.rate_ewma_tau_s;
+          break;
+        }
+      }
+    }
+    routes.push_back(current);
+  }
+  return routes;
+}
+
+ChassisUsage chassis_usage(const std::vector<double>& request_times_s,
+                           double duration_s, double off_idle_s) {
+  JPM_CHECK(off_idle_s > 0.0);
+  ChassisUsage usage;
+  // The server starts on; it powers off after each idle stretch exceeding
+  // off_idle_s and boots back for the next request.
+  double on_since = 0.0;
+  double last_activity = 0.0;
+  bool on = true;
+  for (double t : request_times_s) {
+    JPM_DCHECK(t >= last_activity);
+    if (on && t - last_activity > off_idle_s) {
+      usage.on_s += (last_activity + off_idle_s) - on_since;
+      on = false;
+      ++usage.power_cycles;
+    }
+    if (!on) {
+      on = true;
+      on_since = t;
+    }
+    last_activity = t;
+  }
+  if (on) {
+    const double end_of_on =
+        std::min(duration_s, last_activity + off_idle_s);
+    usage.on_s += std::max(end_of_on, on_since) - on_since;
+    if (end_of_on < duration_s) ++usage.power_cycles;
+  }
+  return usage;
+}
+
+ClusterEngine::ClusterEngine(const ClusterConfig& config,
+                             const workload::SynthesizerConfig& workload,
+                             const sim::PolicySpec& policy)
+    : config_(config), workload_(workload), policy_(policy) {
+  JPM_CHECK(config.server_count > 0);
+  JPM_CHECK(config.partition_pages > 0);
+}
+
+ClusterMetrics ClusterEngine::run() {
+  // Materialize the stream once and route request-granularly.
+  workload::TraceGenerator generator(workload_);
+  const std::uint64_t total_pages = generator.total_pages();
+  std::vector<workload::TraceEvent> trace;
+  while (auto e = generator.next()) trace.push_back(*e);
+  const auto routes = route_requests(trace, config_);
+
+  std::vector<std::vector<workload::TraceEvent>> per_server(
+      config_.server_count);
+  std::vector<std::vector<double>> arrivals(config_.server_count);
+  std::vector<std::uint64_t> request_counts(config_.server_count, 0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    per_server[routes[i]].push_back(trace[i]);
+    if (trace[i].request_start) {
+      ++request_counts[routes[i]];
+      arrivals[routes[i]].push_back(trace[i].time_s);
+    }
+  }
+
+  ClusterMetrics out;
+  out.duration_s = workload_.duration_s - config_.engine.warm_up_s;
+  out.servers.resize(config_.server_count);
+  for (std::uint32_t s = 0; s < config_.server_count; ++s) {
+    ServerOutcome& server = out.servers[s];
+    server.requests = request_counts[s];
+
+    if (per_server[s].empty()) {
+      // Never touched: the pipeline idles the whole run. Account it with an
+      // empty replay (one synthetic no-op would skew counters).
+      sim::ReplayTrace idle;
+      idle.events.push_back(workload::TraceEvent{0.0, 0, true});
+      idle.page_bytes = workload_.page_bytes;
+      idle.total_pages = total_pages;
+      idle.duration_s = workload_.duration_s;
+      server.metrics =
+          sim::replay_simulation(std::move(idle), policy_, config_.engine);
+    } else {
+      sim::ReplayTrace replay;
+      replay.events = std::move(per_server[s]);
+      replay.page_bytes = workload_.page_bytes;
+      replay.total_pages = total_pages;
+      replay.duration_s = workload_.duration_s;
+      server.metrics =
+          sim::replay_simulation(std::move(replay), policy_, config_.engine);
+    }
+
+    const auto usage = chassis_usage(arrivals[s], workload_.duration_s,
+                                     config_.server_off_idle_s);
+    server.chassis_on_s = usage.on_s;
+    server.power_cycles = usage.power_cycles;
+    server.chassis_energy_j =
+        config_.chassis_on_w * usage.on_s +
+        config_.chassis_off_w * (workload_.duration_s - usage.on_s);
+  }
+  return out;
+}
+
+}  // namespace jpm::cluster

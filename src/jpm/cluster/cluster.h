@@ -1,0 +1,104 @@
+// Server-cluster extension (paper Sections II-B and VI): the joint method
+// deployed across a cluster, combined with the request-distribution schemes
+// the paper cites (Pinheiro et al.'s workload unbalancing, Rajamani &
+// Lefurgy's request distribution).
+//
+// The cluster layer splits one request stream across servers at request
+// granularity, runs each server's full memory+disk pipeline independently
+// (replaying its sub-trace through the standard engine), and adds
+// chassis-level power accounting: a server whose request stream goes quiet
+// long enough can be switched off entirely — the cluster-scale analogue of
+// the disk timeout.
+//
+// Distribution policies:
+//   * kRoundRobin   — requests rotate across servers; every cache sees the
+//                     whole working set (maximal duplication).
+//   * kPartitioned  — content partitioning by on-disk extent; each server
+//                     caches only its share (no duplication, load follows
+//                     data popularity).
+//   * kUnbalanced   — concentrate requests on the fewest servers that stay
+//                     under a rate cap; surplus servers idle and power off.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jpm/sim/engine.h"
+
+namespace jpm::cluster {
+
+enum class DistributionPolicy { kRoundRobin, kPartitioned, kUnbalanced };
+
+struct ClusterConfig {
+  std::uint32_t server_count = 2;
+  DistributionPolicy distribution = DistributionPolicy::kPartitioned;
+  // Per-server engine configuration (memory size, disk, joint constants).
+  sim::EngineConfig engine;
+  // Content-partition extent for kPartitioned, in pages.
+  std::uint64_t partition_pages = 256;
+  // kUnbalanced: per-server request-rate cap (requests/s over the EWMA
+  // window) before spilling to the next server.
+  double rate_cap_rps = 400.0;
+  double rate_ewma_tau_s = 60.0;
+  // Chassis power: consumed by a server that is on (fans, CPU idle, PSU),
+  // on top of the memory and disk the engines account. Zero by default so
+  // memory+disk comparisons match the single-server benches.
+  double chassis_on_w = 0.0;
+  double chassis_off_w = 0.0;
+  // A server with no requests for this long powers off until its next
+  // request (kUnbalanced-style consolidation makes such windows long).
+  double server_off_idle_s = 600.0;
+  double server_boot_s = 30.0;  // unavailable time on power-up
+};
+
+struct ServerOutcome {
+  sim::RunMetrics metrics;      // memory + disk pipeline results
+  std::uint64_t requests = 0;   // requests routed to this server
+  double chassis_on_s = 0.0;
+  double chassis_energy_j = 0.0;
+  std::uint64_t power_cycles = 0;
+};
+
+struct ClusterMetrics {
+  std::vector<ServerOutcome> servers;
+  double duration_s = 0.0;
+
+  double pipeline_energy_j() const;  // sum of memory+disk energy
+  double chassis_energy_j() const;
+  double total_j() const { return pipeline_energy_j() + chassis_energy_j(); }
+  std::uint64_t total_requests() const;
+  double mean_latency_s() const;
+  double long_latency_per_s() const;
+  // Jain's fairness index over per-server request counts: 1 = perfectly
+  // balanced, 1/n = fully concentrated.
+  double balance_index() const;
+};
+
+class ClusterEngine {
+ public:
+  ClusterEngine(const ClusterConfig& config,
+                const workload::SynthesizerConfig& workload,
+                const sim::PolicySpec& policy);
+
+  // Splits the workload, replays every server, and aggregates.
+  ClusterMetrics run();
+
+ private:
+  ClusterConfig config_;
+  workload::SynthesizerConfig workload_;
+  sim::PolicySpec policy_;
+};
+
+// Routing decision sequence for a request stream (exposed for testing).
+std::vector<std::uint32_t> route_requests(
+    const std::vector<workload::TraceEvent>& trace, const ClusterConfig& cfg);
+
+// Chassis on/off accounting over one server's request arrival times.
+struct ChassisUsage {
+  double on_s = 0.0;
+  std::uint64_t power_cycles = 0;
+};
+ChassisUsage chassis_usage(const std::vector<double>& request_times_s,
+                           double duration_s, double off_idle_s);
+
+}  // namespace jpm::cluster

@@ -1,0 +1,167 @@
+#include "jpm/core/candidate_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "jpm/pareto/pareto.h"
+#include "jpm/pareto/timeout_math.h"
+#include "jpm/util/check.h"
+
+namespace jpm::core {
+namespace {
+
+// Candidate sizes: 1 unit, every size at which the miss count changes, and
+// full physical memory.
+std::vector<std::uint64_t> candidate_units(const PeriodStats& stats,
+                                           const JointConfig& config) {
+  std::vector<std::uint64_t> units = stats.curve.distinct_sizes();
+  if (units.empty() || units.front() != 1) {
+    units.insert(units.begin(), 1);
+  }
+  const std::uint64_t max_units = config.max_units();
+  units.erase(std::remove_if(units.begin(), units.end(),
+                             [max_units](std::uint64_t u) {
+                               return u > max_units;
+                             }),
+              units.end());
+  if (units.empty() || units.back() != max_units) units.push_back(max_units);
+  return units;
+}
+
+}  // namespace
+
+SearchResult search_candidates(const PeriodStats& stats,
+                               const JointConfig& config,
+                               double fallback_service_s) {
+  JPM_CHECK(config.period_s > 0.0);
+  JPM_CHECK(config.window_s > 0.0);
+  JPM_CHECK(fallback_service_s > 0.0);
+  const double T = config.period_s;
+  const auto disk_params = config.disk.timeout_params();
+  const double pd = disk_params.static_power_w;
+
+  const double service_s = stats.actual_disk_accesses > 0
+                               ? stats.mean_service_s()
+                               : fallback_service_s;
+
+  const auto units = candidate_units(stats, config);
+  const auto idle = cache::sweep_idle_intervals(
+      stats.events, stats.start_s, stats.end_s, config.unit_frames(),
+      config.window_s, units);
+  JPM_CHECK(idle.size() == units.size());
+
+  // Memory dynamic energy is the same at every size: every cache access
+  // touches memory once, every (predicted) disk access additionally fills a
+  // page. We price the access part here and the per-candidate fill below.
+  const double mem_dyn_per_access =
+      config.mem.dynamic_energy_j(config.page_bytes);
+
+  SearchResult result;
+  result.candidates.reserve(units.size());
+
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const auto& est = idle[i];
+    Candidate c;
+    c.memory_units = est.memory_units;
+    c.disk_accesses = est.disk_accesses;
+    c.idle_intervals = est.idle_intervals;
+    c.mean_idle_s = est.mean_idle_s;
+
+    const double n_d = static_cast<double>(est.disk_accesses);
+    const double n_i = static_cast<double>(est.idle_intervals);
+    const double N = static_cast<double>(stats.cache_accesses);
+
+    // Disk utilization this size would sustain.
+    c.predicted_util = n_d * service_s / T;
+
+    // Timeout selection.
+    double disk_static_power;  // expected p_d-band power incl. transitions
+    if (est.idle_intervals == 0 || est.mean_idle_s <= config.window_s) {
+      // No usable idleness: keep the disk on.
+      c.timeout_s = pareto::kNeverTimeout;
+      c.alpha = 0.0;
+      c.predicted_delay_ratio = 0.0;
+      disk_static_power = pd;
+    } else {
+      const double alpha =
+          config.alpha_estimator == AlphaEstimator::kMle
+              ? pareto::estimate_alpha_mle_from_sums(
+                    est.idle_intervals, est.log_idle_sum, config.window_s)
+              : pareto::estimate_alpha_from_mean(est.mean_idle_s,
+                                                 config.window_s);
+      const pareto::ParetoDistribution dist(alpha, config.window_s);
+      c.alpha = dist.alpha();
+      double t_opt;
+      switch (config.timeout_rule) {
+        case TimeoutRule::kExponential:
+          // Memoryless idleness: expected remaining idle equals the mean at
+          // every instant, so spin down right away iff the mean beats the
+          // break-even time — there is no interior optimum.
+          t_opt = est.mean_idle_s > disk_params.break_even_s
+                      ? 0.0
+                      : pareto::kNeverTimeout;
+          break;
+        case TimeoutRule::kTwoCompetitive:
+          t_opt = disk_params.break_even_s;
+          break;
+        case TimeoutRule::kPareto:
+        default:
+          t_opt = pareto::optimal_timeout(dist, disk_params);
+          break;
+      }
+      const double t_min = pareto::min_timeout_for_delay_constraint(
+          dist, n_i, n_d, N, T, config.delay_limit, disk_params);
+      double t_o = std::max(t_opt, t_min);
+      double power = pareto::expected_power(dist, n_i, T, t_o, disk_params);
+      if (power >= pd) {
+        // The constrained timeout saves nothing over staying on.
+        t_o = pareto::kNeverTimeout;
+        power = pd;
+      }
+      c.timeout_s = t_o;
+      c.predicted_delay_ratio = pareto::expected_delayed_ratio(
+          dist, n_i, n_d, N, T, t_o, disk_params);
+      disk_static_power = power;
+    }
+
+    // Energy model over one period.
+    c.mem_static_j =
+        config.mem.nap_power_w(c.memory_units * config.unit_bytes) * T;
+    const double mem_dynamic_j = (N + n_d) * mem_dyn_per_access;
+    c.disk_static_transition_j =
+        (disk_static_power + config.disk.standby_w) * T;
+    c.disk_dynamic_j = n_d * service_s * config.disk.dynamic_power_w();
+    c.predicted_energy_j = c.mem_static_j + mem_dynamic_j +
+                           c.disk_static_transition_j + c.disk_dynamic_j;
+
+    c.feasible = c.predicted_util <= config.util_limit &&
+                 c.predicted_delay_ratio <= config.delay_limit;
+    result.candidates.push_back(c);
+  }
+
+  // Feasible minimum energy; ties favor smaller memory (earlier candidate).
+  const Candidate* best = nullptr;
+  for (const auto& c : result.candidates) {
+    if (!c.feasible) continue;
+    if (best == nullptr || c.predicted_energy_j < best->predicted_energy_j) {
+      best = &c;
+    }
+  }
+  result.any_feasible = best != nullptr;
+  if (best == nullptr) {
+    // Nothing satisfies the constraints; minimize utilization (and within
+    // that, energy) — the largest memory gives the fewest disk accesses.
+    for (const auto& c : result.candidates) {
+      if (best == nullptr || c.predicted_util < best->predicted_util ||
+          (c.predicted_util == best->predicted_util &&
+           c.predicted_energy_j < best->predicted_energy_j)) {
+        best = &c;
+      }
+    }
+  }
+  JPM_CHECK(best != nullptr);
+  result.chosen = *best;
+  return result;
+}
+
+}  // namespace jpm::core

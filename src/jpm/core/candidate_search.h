@@ -1,0 +1,87 @@
+// Candidate (memory size, disk timeout) search — paper Sections IV-B..IV-D.
+//
+// For every memory size that would produce a distinct number of disk accesses
+// (the paper's enumeration pruning), the search:
+//   1. predicts disk accesses from the miss curve and idle intervals from the
+//      sweep (Section IV-B),
+//   2. fits a Pareto distribution to the predicted idle intervals and derives
+//      the energy-optimal timeout t_o = alpha * t_be (eq. 5),
+//   3. raises the timeout to the performance-constrained lower bound from
+//      eq. 6, falling back to "never spin down" when the constrained timeout
+//      would cost more than staying on,
+//   4. prices the candidate: memory static + memory dynamic + disk
+//      static/transition (eq. 4) + disk dynamic,
+//   5. enforces the utilization limit U and the delayed-request limit D.
+// The feasible minimum-energy candidate wins; if none is feasible the search
+// returns the utilization-minimizing (largest-memory) candidate, which is the
+// best the hardware can do.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jpm/core/period_stats.h"
+#include "jpm/disk/disk_model.h"
+#include "jpm/mem/rdram_model.h"
+
+namespace jpm::core {
+
+// How the idle-distribution shape parameter is estimated (ablation knob;
+// the paper uses the moment estimator alpha = mean / (mean - beta)).
+enum class AlphaEstimator { kMoment, kMle };
+
+// How the period's disk timeout is derived from the fitted idle model
+// (ablation knob; the paper uses the Pareto rule of eq. 5).
+enum class TimeoutRule {
+  kPareto,          // t_o = alpha * t_be (eq. 5)
+  kExponential,     // memoryless model: spin down immediately iff the mean
+                    // idle exceeds t_be, otherwise never
+  kTwoCompetitive,  // fixed t_o = t_be regardless of the fit
+};
+
+struct JointConfig {
+  double period_s = 600.0;       // T
+  double window_s = 0.1;         // w: idle aggregation window == Pareto beta
+  double util_limit = 0.10;      // U
+  double delay_limit = 1e-3;     // D
+  std::uint64_t page_bytes = 256 * kKiB;
+  std::uint64_t unit_bytes = 16 * kMiB;   // enumeration unit (= bank)
+  std::uint64_t physical_bytes = 128 * kGiB;
+  AlphaEstimator alpha_estimator = AlphaEstimator::kMoment;
+  TimeoutRule timeout_rule = TimeoutRule::kPareto;
+  mem::RdramParams mem;
+  disk::DiskParams disk;
+
+  std::uint64_t unit_frames() const { return unit_bytes / page_bytes; }
+  std::uint64_t max_units() const { return physical_bytes / unit_bytes; }
+};
+
+struct Candidate {
+  std::uint64_t memory_units = 0;
+  double timeout_s = 0.0;            // may be pareto::kNeverTimeout
+  double predicted_energy_j = 0.0;   // total over one period
+  double mem_static_j = 0.0;
+  double disk_static_transition_j = 0.0;
+  double disk_dynamic_j = 0.0;
+  double predicted_util = 0.0;
+  double predicted_delay_ratio = 0.0;
+  double alpha = 0.0;                // fitted Pareto shape (0 if no idleness)
+  std::uint64_t disk_accesses = 0;
+  std::uint64_t idle_intervals = 0;
+  double mean_idle_s = 0.0;
+  bool feasible = false;
+};
+
+struct SearchResult {
+  Candidate chosen;
+  std::vector<Candidate> candidates;  // every size evaluated, ascending
+  bool any_feasible = false;
+};
+
+// `fallback_service_s` estimates per-access disk service time when the last
+// period had no disk accesses (use the model's random single-page read).
+SearchResult search_candidates(const PeriodStats& stats,
+                               const JointConfig& config,
+                               double fallback_service_s);
+
+}  // namespace jpm::core

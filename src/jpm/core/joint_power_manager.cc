@@ -1,0 +1,39 @@
+#include "jpm/core/joint_power_manager.h"
+
+#include "jpm/util/check.h"
+
+namespace jpm::core {
+
+JointPowerManager::JointPowerManager(const JointConfig& config)
+    : config_(config) {
+  JPM_CHECK(config.page_bytes > 0);
+  JPM_CHECK(config.unit_bytes % config.page_bytes == 0);
+  JPM_CHECK(config.physical_bytes % config.unit_bytes == 0);
+  // Random single-page read: the calibration floor when a period saw no
+  // disk traffic at all.
+  fallback_service_s_ = disk::ServiceModel(config.disk)
+                            .service_time_s(config.page_bytes,
+                                            /*sequential=*/false);
+}
+
+std::uint64_t JointPowerManager::initial_memory_units() const {
+  return config_.max_units();
+}
+
+double JointPowerManager::initial_timeout_s() const {
+  return config_.disk.break_even_s();
+}
+
+const JointDecision& JointPowerManager::on_period_end(
+    const PeriodStats& stats) {
+  JointDecision d;
+  d.at_s = stats.end_s;
+  d.detail = search_candidates(stats, config_, fallback_service_s_);
+  d.memory_units = d.detail.chosen.memory_units;
+  d.memory_bytes = d.memory_units * config_.unit_bytes;
+  d.timeout_s = d.detail.chosen.timeout_s;
+  decisions_.push_back(std::move(d));
+  return decisions_.back();
+}
+
+}  // namespace jpm::core

@@ -1,0 +1,48 @@
+// The joint power manager (paper Fig. 2).
+//
+// Every period T it consumes the previous period's statistics, runs the
+// candidate search, and emits the memory size and disk timeout to apply for
+// the coming period. The extended LRU list itself lives in the engine
+// (StackDistanceTracker) and is deliberately *not* reset between periods —
+// the paper's sensitivity analysis (Table IV) relies on the list persisting
+// so the miss-curve estimate is insensitive to the period length.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jpm/core/candidate_search.h"
+#include "jpm/core/period_stats.h"
+
+namespace jpm::core {
+
+struct JointDecision {
+  double at_s = 0.0;             // period boundary the decision applies from
+  std::uint64_t memory_units = 0;
+  std::uint64_t memory_bytes = 0;
+  double timeout_s = 0.0;
+  SearchResult detail;
+};
+
+class JointPowerManager {
+ public:
+  explicit JointPowerManager(const JointConfig& config);
+
+  // Startup posture before any statistics exist: all memory, 2-competitive
+  // timeout (the conservative defaults the comparison methods also use).
+  std::uint64_t initial_memory_units() const;
+  double initial_timeout_s() const;
+
+  // Called at each period boundary with the period just finished.
+  const JointDecision& on_period_end(const PeriodStats& stats);
+
+  const JointConfig& config() const { return config_; }
+  const std::vector<JointDecision>& decisions() const { return decisions_; }
+
+ private:
+  JointConfig config_;
+  double fallback_service_s_;
+  std::vector<JointDecision> decisions_;
+};
+
+}  // namespace jpm::core

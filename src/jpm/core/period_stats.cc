@@ -1,0 +1,39 @@
+#include "jpm/core/period_stats.h"
+
+#include "jpm/util/check.h"
+
+namespace jpm::core {
+
+PeriodStatsCollector::PeriodStatsCollector(std::uint64_t unit_frames,
+                                           std::uint64_t max_units,
+                                           double start_s)
+    : unit_frames_(unit_frames), max_units_(max_units) {
+  JPM_CHECK(unit_frames > 0);
+  JPM_CHECK(max_units > 0);
+  current_.start_s = start_s;
+  current_.curve = cache::MissCurve(unit_frames, max_units);
+}
+
+void PeriodStatsCollector::on_access(double t, std::uint64_t depth_frames) {
+  current_.events.push_back(cache::IdleEvent{t, depth_frames});
+  current_.curve.add(depth_frames);
+  ++current_.cache_accesses;
+  if (depth_frames == cache::kColdAccess) ++current_.cold_accesses;
+}
+
+void PeriodStatsCollector::on_disk_access(double service_s) {
+  ++current_.actual_disk_accesses;
+  current_.disk_busy_s += service_s;
+}
+
+PeriodStats PeriodStatsCollector::harvest(double end_s) {
+  JPM_CHECK(end_s >= current_.start_s);
+  current_.end_s = end_s;
+  PeriodStats out = std::move(current_);
+  current_ = PeriodStats{};
+  current_.start_s = end_s;
+  current_.curve = cache::MissCurve(unit_frames_, max_units_);
+  return out;
+}
+
+}  // namespace jpm::core

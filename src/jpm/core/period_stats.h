@@ -1,0 +1,59 @@
+// Per-period observation record feeding the joint power manager.
+//
+// During each period the engine records, for every disk-cache access, its
+// timestamp and LRU stack depth (from the extended LRU list). At the period
+// boundary the collector hands the joint manager everything Section IV needs:
+// the per-unit depth counters (miss curve), the raw events for the idle-
+// interval sweep, and measured disk-side aggregates for calibration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jpm/cache/idle_sweep.h"
+#include "jpm/cache/miss_curve.h"
+
+namespace jpm::core {
+
+struct PeriodStats {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::vector<cache::IdleEvent> events;  // every cache access, time-ordered
+  cache::MissCurve curve{1, 1};
+  std::uint64_t cache_accesses = 0;
+  std::uint64_t cold_accesses = 0;
+  // Measured during the period (for service-time calibration).
+  std::uint64_t actual_disk_accesses = 0;
+  double disk_busy_s = 0.0;
+
+  double duration_s() const { return end_s - start_s; }
+  // Mean measured service time per disk access; 0 when no disk access.
+  double mean_service_s() const {
+    return actual_disk_accesses == 0
+               ? 0.0
+               : disk_busy_s / static_cast<double>(actual_disk_accesses);
+  }
+};
+
+class PeriodStatsCollector {
+ public:
+  PeriodStatsCollector(std::uint64_t unit_frames, std::uint64_t max_units,
+                       double start_s);
+
+  void on_access(double t, std::uint64_t depth_frames);
+  void on_disk_access(double service_s);
+
+  // Closes the period at `end_s` and returns its stats; collection restarts
+  // immediately for the next period.
+  PeriodStats harvest(double end_s);
+
+  std::uint64_t unit_frames() const { return unit_frames_; }
+  std::uint64_t max_units() const { return max_units_; }
+
+ private:
+  std::uint64_t unit_frames_;
+  std::uint64_t max_units_;
+  PeriodStats current_;
+};
+
+}  // namespace jpm::core

@@ -1,0 +1,96 @@
+#include "jpm/disk/disk_array.h"
+
+#include "jpm/util/check.h"
+
+namespace jpm::disk {
+
+DiskArray::DiskArray(const DiskArrayConfig& config,
+                     const PolicyFactory& factory, double start_time_s)
+    : config_(config) {
+  JPM_CHECK(config.disk_count > 0);
+  JPM_CHECK(config.page_bytes > 0);
+  JPM_CHECK_MSG(config.stripe_bytes % config.page_bytes == 0,
+                "stripe must be a whole number of pages");
+  pages_per_stripe_ = config.stripe_bytes / config.page_bytes;
+  JPM_CHECK(pages_per_stripe_ > 0);
+  JPM_CHECK(factory != nullptr);
+
+  policies_.reserve(config.disk_count);
+  disks_.reserve(config.disk_count);
+  requests_.assign(config.disk_count, 0);
+  for (std::uint32_t i = 0; i < config.disk_count; ++i) {
+    policies_.push_back(factory());
+    JPM_CHECK(policies_.back() != nullptr);
+    disks_.push_back(std::make_unique<Disk>(config.params,
+                                            policies_.back().get(),
+                                            start_time_s));
+  }
+}
+
+std::uint32_t DiskArray::disk_of(std::uint64_t page) const {
+  return static_cast<std::uint32_t>((page / pages_per_stripe_) %
+                                    disks_.size());
+}
+
+const Disk& DiskArray::disk(std::uint32_t i) const {
+  JPM_CHECK(i < disks_.size());
+  return *disks_[i];
+}
+
+void DiskArray::advance(double now) {
+  for (auto& d : disks_) d->advance(now);
+}
+
+DiskRequestResult DiskArray::read(double t, std::uint64_t page,
+                                  std::uint64_t bytes) {
+  const std::uint32_t i = disk_of(page);
+  ++requests_[i];
+  // Present the disk with its stripe-local page index so striping does not
+  // break sequential-run detection within a stripe.
+  const std::uint64_t stripe = page / pages_per_stripe_;
+  const std::uint64_t local =
+      (stripe / disks_.size()) * pages_per_stripe_ + page % pages_per_stripe_;
+  return disks_[i]->read(t, local, bytes);
+}
+
+void DiskArray::finalize(double t_end) {
+  for (auto& d : disks_) d->finalize(t_end);
+}
+
+DiskEnergyBreakdown DiskArray::energy() const {
+  DiskEnergyBreakdown total;
+  for (const auto& d : disks_) {
+    const auto e = d->energy();
+    total.standby_base_j += e.standby_base_j;
+    total.static_j += e.static_j;
+    total.transition_j += e.transition_j;
+    total.dynamic_j += e.dynamic_j;
+  }
+  return total;
+}
+
+DiskEnergyBreakdown DiskArray::energy_through(double t) {
+  DiskEnergyBreakdown total;
+  for (auto& d : disks_) {
+    const auto e = d->energy_through(t);
+    total.standby_base_j += e.standby_base_j;
+    total.static_j += e.static_j;
+    total.transition_j += e.transition_j;
+    total.dynamic_j += e.dynamic_j;
+  }
+  return total;
+}
+
+double DiskArray::busy_time_s() const {
+  double total = 0.0;
+  for (const auto& d : disks_) total += d->busy_time_s();
+  return total;
+}
+
+std::uint64_t DiskArray::shutdowns() const {
+  std::uint64_t total = 0;
+  for (const auto& d : disks_) total += d->shutdowns();
+  return total;
+}
+
+}  // namespace jpm::disk

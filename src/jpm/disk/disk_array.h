@@ -1,0 +1,77 @@
+// Striped multi-disk array — the paper's future-work extension to multiple
+// disks ("such extension needs to consider management of the disk cache for
+// multiple disks, data layout across disks, and workload distributions").
+//
+// Pages are laid out in fixed-size stripes rotated across the spindles, so
+// sequential runs stay on one disk for a whole stripe (preserving the
+// sequential-service benefit) while the aggregate load spreads. Each disk
+// runs its own timeout-policy instance (adaptive policies keep per-disk
+// state); a shared dynamic timeout can be layered via SharedTimeout so the
+// joint power manager steers all spindles with one decision.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "jpm/disk/storage.h"
+
+namespace jpm::disk {
+
+// Forwards to a shared DynamicTimeout so one joint decision controls every
+// disk of an array. The source must outlive the wrapper.
+class SharedTimeout final : public TimeoutPolicy {
+ public:
+  explicit SharedTimeout(const DynamicTimeout* source) : source_(source) {}
+  double timeout_s() const override { return source_->timeout_s(); }
+  void on_spin_up(double, double) override {}
+  std::string name() const override { return "shared-dynamic"; }
+
+ private:
+  const DynamicTimeout* source_;
+};
+
+struct DiskArrayConfig {
+  std::uint32_t disk_count = 1;
+  // Bytes per stripe extent; pages within one stripe map to one disk.
+  std::uint64_t stripe_bytes = 64 * kMiB;
+  std::uint64_t page_bytes = 256 * kKiB;
+  DiskParams params;
+};
+
+class DiskArray final : public Storage {
+ public:
+  using PolicyFactory = std::function<std::unique_ptr<TimeoutPolicy>()>;
+
+  DiskArray(const DiskArrayConfig& config, const PolicyFactory& factory,
+            double start_time_s);
+
+  void advance(double now) override;
+  DiskRequestResult read(double t, std::uint64_t page,
+                         std::uint64_t bytes) override;
+  void finalize(double t_end) override;
+  DiskEnergyBreakdown energy() const override;
+  DiskEnergyBreakdown energy_through(double t) override;
+  double busy_time_s() const override;
+  std::uint64_t shutdowns() const override;
+  std::uint32_t spindle_count() const override {
+    return static_cast<std::uint32_t>(disks_.size());
+  }
+
+  // Which spindle serves the given page.
+  std::uint32_t disk_of(std::uint64_t page) const;
+  const Disk& disk(std::uint32_t i) const;
+  // Per-disk request counts (data-layout diagnostics).
+  const std::vector<std::uint64_t>& requests_per_disk() const {
+    return requests_;
+  }
+
+ private:
+  DiskArrayConfig config_;
+  std::uint64_t pages_per_stripe_;
+  std::vector<std::unique_ptr<TimeoutPolicy>> policies_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  std::vector<std::uint64_t> requests_;
+};
+
+}  // namespace jpm::disk

@@ -1,0 +1,33 @@
+#include "jpm/disk/disk_model.h"
+
+namespace jpm::disk::presets {
+
+DiskParams server_ide() { return DiskParams{}; }
+
+DiskParams laptop_25() {
+  DiskParams p;
+  p.active_w = 2.5;
+  p.idle_w = 0.85;
+  p.standby_w = 0.25;
+  p.transition_j = 6.0;   // ~2.5 J down + 3.5 J up
+  p.spin_up_s = 2.5;
+  p.avg_seek_s = 12.0e-3;
+  p.avg_rotation_s = 5.56e-3;  // 5400 rpm
+  p.media_rate_bytes_per_s = 35.0e6;
+  return p;
+}
+
+DiskParams ssd_like() {
+  DiskParams p;
+  p.active_w = 3.0;
+  p.idle_w = 0.35;
+  p.standby_w = 0.05;
+  p.transition_j = 0.05;  // context save/restore, no mechanics
+  p.spin_up_s = 0.01;
+  p.avg_seek_s = 0.05e-3;
+  p.avg_rotation_s = 0.0;
+  p.media_rate_bytes_per_s = 450.0e6;
+  return p;
+}
+
+}  // namespace jpm::disk::presets

@@ -1,0 +1,59 @@
+#include "jpm/disk/disk_power.h"
+
+#include <algorithm>
+
+#include "jpm/util/check.h"
+
+namespace jpm::disk {
+
+DiskPowerMeter::DiskPowerMeter(const DiskParams& params, double start_time_s)
+    : params_(params), start_time_s_(start_time_s), on_since_(start_time_s),
+      finalized_at_(start_time_s) {}
+
+void DiskPowerMeter::spin_down(double t) {
+  JPM_CHECK_MSG(state_ == DiskState::kOn, "spin_down requires the on state");
+  JPM_CHECK(t >= on_since_);
+  on_time_s_ += t - on_since_;
+  state_ = DiskState::kStandby;
+  ++shutdowns_;
+}
+
+void DiskPowerMeter::begin_spin_up(double t) {
+  JPM_CHECK_MSG(state_ == DiskState::kStandby,
+                "begin_spin_up requires standby");
+  (void)t;
+  state_ = DiskState::kSpinningUp;
+}
+
+void DiskPowerMeter::complete_spin_up(double t) {
+  JPM_CHECK_MSG(state_ == DiskState::kSpinningUp,
+                "complete_spin_up requires an in-flight spin-up");
+  state_ = DiskState::kOn;
+  on_since_ = t;
+}
+
+void DiskPowerMeter::add_busy_time(double dt) {
+  JPM_CHECK(dt >= 0.0);
+  busy_time_s_ += dt;
+}
+
+void DiskPowerMeter::finalize(double t) {
+  // `on_since_` can sit in the future relative to a mid-run snapshot when a
+  // spin-up completion was booked eagerly; only integrate elapsed on-time.
+  if (state_ == DiskState::kOn && t > on_since_) {
+    on_time_s_ += t - on_since_;
+    on_since_ = t;
+  }
+  finalized_at_ = std::max(finalized_at_, t);
+}
+
+DiskEnergyBreakdown DiskPowerMeter::breakdown() const {
+  DiskEnergyBreakdown e;
+  e.standby_base_j = params_.standby_w * (finalized_at_ - start_time_s_);
+  e.static_j = params_.static_power_w() * on_time_s_;
+  e.transition_j = params_.transition_j * static_cast<double>(shutdowns_);
+  e.dynamic_j = params_.dynamic_power_w() * busy_time_s_;
+  return e;
+}
+
+}  // namespace jpm::disk

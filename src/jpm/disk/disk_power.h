@@ -1,0 +1,59 @@
+// Disk power-state accounting.
+//
+// Energy model mirrors the paper's eq. (4) bookkeeping exactly:
+//   total = standby_w * duration                (floor the disk never leaves)
+//         + p_d * (time in the on state)        (idle power above standby)
+//         + transition_j * shutdowns            (round-trip mode transitions;
+//                                                spin-up/-down intervals are
+//                                                covered by this term and do
+//                                                not also accrue p_d)
+//         + (active_w - idle_w) * busy time.    (dynamic)
+#pragma once
+
+#include <cstdint>
+
+#include "jpm/disk/disk_model.h"
+
+namespace jpm::disk {
+
+enum class DiskState { kOn, kSpinningUp, kStandby };
+
+struct DiskEnergyBreakdown {
+  double standby_base_j = 0.0;
+  double static_j = 0.0;      // p_d over on-time
+  double transition_j = 0.0;  // round-trip transitions
+  double dynamic_j = 0.0;     // seeking/transferring
+  double total_j() const {
+    return standby_base_j + static_j + transition_j + dynamic_j;
+  }
+};
+
+class DiskPowerMeter {
+ public:
+  DiskPowerMeter(const DiskParams& params, double start_time_s);
+
+  void spin_down(double t);        // kOn -> kStandby; counts one shutdown
+  void begin_spin_up(double t);    // kStandby -> kSpinningUp
+  void complete_spin_up(double t); // kSpinningUp -> kOn
+  void add_busy_time(double dt);   // service time (dynamic energy)
+  void finalize(double t);         // close the books at end of run
+
+  DiskState state() const { return state_; }
+  double on_time_s() const { return on_time_s_; }
+  double busy_time_s() const { return busy_time_s_; }
+  std::uint64_t shutdowns() const { return shutdowns_; }
+
+  DiskEnergyBreakdown breakdown() const;
+
+ private:
+  DiskParams params_;
+  double start_time_s_;
+  DiskState state_ = DiskState::kOn;
+  double on_since_ = 0.0;
+  double on_time_s_ = 0.0;
+  double busy_time_s_ = 0.0;
+  double finalized_at_ = 0.0;
+  std::uint64_t shutdowns_ = 0;
+};
+
+}  // namespace jpm::disk

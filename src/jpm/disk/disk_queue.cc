@@ -1,0 +1,74 @@
+#include "jpm/disk/disk_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "jpm/util/check.h"
+
+namespace jpm::disk {
+
+Disk::Disk(const DiskParams& params, TimeoutPolicy* policy,
+           double start_time_s)
+    : service_(params), policy_(policy), meter_(params, start_time_s),
+      free_at_(start_time_s), available_at_(start_time_s) {
+  JPM_CHECK(policy != nullptr);
+}
+
+void Disk::advance(double now) {
+  if (meter_.state() != DiskState::kOn) return;
+  if (now <= free_at_) return;  // still busy (or exactly done) — not idle yet
+  const double timeout = policy_->timeout_s();
+  if (std::isinf(timeout)) return;
+  const double expiry = free_at_ + timeout;
+  if (expiry <= now) meter_.spin_down(expiry);
+}
+
+DiskRequestResult Disk::read(double t, std::uint64_t page,
+                             std::uint64_t bytes) {
+  advance(t);
+  ++requests_;
+
+  DiskRequestResult res;
+  double earliest = t;
+  if (meter_.state() == DiskState::kOn && t > free_at_) {
+    // The idle stretch ends without a spin-down; predictive policies learn
+    // from these observations too.
+    policy_->on_idle_end(t - free_at_);
+  }
+  if (meter_.state() == DiskState::kStandby) {
+    // Wake on demand. The idleness this spin-down exploited ran from the
+    // moment the disk drained its queue until now.
+    const double idle_before = t - free_at_;
+    meter_.begin_spin_up(t);
+    available_at_ = t + service_.params().spin_up_s;
+    policy_->on_spin_up(idle_before, available_at_ - t);
+    res.triggered_spin_up = true;
+  }
+  if (meter_.state() == DiskState::kSpinningUp) {
+    earliest = std::max(earliest, available_at_);
+    meter_.complete_spin_up(available_at_);
+  }
+
+  res.sequential = page == last_page_ + 1;
+  const double svc = service_.service_time_s(bytes, res.sequential);
+  res.start_s = std::max(earliest, free_at_);
+  res.finish_s = res.start_s + svc;
+  res.latency_s = res.finish_s - t;
+  meter_.add_busy_time(svc);
+  free_at_ = res.finish_s;
+  last_page_ = page;
+  return res;
+}
+
+DiskEnergyBreakdown Disk::energy_through(double t) {
+  advance(t);
+  meter_.finalize(t);
+  return meter_.breakdown();
+}
+
+void Disk::finalize(double t_end) {
+  advance(t_end);
+  meter_.finalize(std::max(t_end, free_at_));
+}
+
+}  // namespace jpm::disk

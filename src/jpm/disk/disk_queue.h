@@ -1,0 +1,64 @@
+// Disk front-end: FCFS queue + service model + power state + timeout policy.
+//
+// The engine submits page reads in arrival order; the disk serializes them
+// (first-come-first-served, like the single IDE drive the paper models),
+// waking from standby when needed. Request latency therefore includes
+// queueing delay, spin-up wait, and service time — the three components the
+// paper's performance constraints are designed to bound.
+#pragma once
+
+#include <cstdint>
+
+#include "jpm/disk/disk_model.h"
+#include "jpm/disk/disk_power.h"
+#include "jpm/disk/timeout_policy.h"
+#include "jpm/util/units.h"
+
+namespace jpm::disk {
+
+struct DiskRequestResult {
+  double start_s = 0.0;
+  double finish_s = 0.0;
+  double latency_s = 0.0;
+  bool triggered_spin_up = false;
+  bool sequential = false;
+};
+
+class Disk {
+ public:
+  // `policy` is borrowed and must outlive the disk.
+  Disk(const DiskParams& params, TimeoutPolicy* policy, double start_time_s);
+
+  // Processes any timeout expiry up to `now`. Idempotent; called by read()
+  // too, but the engine should also call it at period boundaries so spin-
+  // downs are not deferred across quiet stretches.
+  void advance(double now);
+
+  // Reads `bytes` at `page` arriving at time t (nondecreasing across calls).
+  DiskRequestResult read(double t, std::uint64_t page, std::uint64_t bytes);
+
+  void finalize(double t_end);
+
+  DiskState state() const { return meter_.state(); }
+  double busy_time_s() const { return meter_.busy_time_s(); }
+  std::uint64_t shutdowns() const { return meter_.shutdowns(); }
+  std::uint64_t requests() const { return requests_; }
+  DiskEnergyBreakdown energy() const { return meter_.breakdown(); }
+  // Integrates the power books through exactly `t` (mid-run snapshot, e.g.
+  // at a warm-up boundary) and returns the cumulative breakdown.
+  DiskEnergyBreakdown energy_through(double t);
+  const ServiceModel& service() const { return service_; }
+  // Time the disk became (or becomes) free of queued work.
+  double free_at() const { return free_at_; }
+
+ private:
+  ServiceModel service_;
+  TimeoutPolicy* policy_;
+  DiskPowerMeter meter_;
+  double free_at_;
+  double available_at_;  // spin-up completion when state is kSpinningUp
+  std::uint64_t last_page_ = ~std::uint64_t{0} - 1;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace jpm::disk

@@ -1,0 +1,128 @@
+#include "jpm/disk/multispeed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "jpm/util/check.h"
+
+namespace jpm::disk {
+
+MultiSpeedParams drpm_params(const DiskParams& base,
+                             const std::vector<double>& speed_fractions) {
+  JPM_CHECK(!speed_fractions.empty());
+  JPM_CHECK_MSG(speed_fractions.front() == 1.0,
+                "first level must be full speed");
+  MultiSpeedParams p;
+  p.base = base;
+  double prev = 2.0;
+  for (double f : speed_fractions) {
+    JPM_CHECK_MSG(f > 0.0 && f < prev, "fractions must descend from 1.0");
+    prev = f;
+    SpeedLevel level;
+    level.speed_fraction = f;
+    // DRPM power law: spindle power above the electronics floor ~ speed^2.8.
+    level.idle_w =
+        base.standby_w + (base.idle_w - base.standby_w) * std::pow(f, 2.8);
+    level.media_rate_bytes_per_s = base.media_rate_bytes_per_s * f;
+    level.rotation_s = base.avg_rotation_s / f;
+    p.levels.push_back(level);
+  }
+  return p;
+}
+
+MultiSpeedDisk::MultiSpeedDisk(const MultiSpeedParams& params,
+                               double start_time_s)
+    : params_(params), start_time_s_(start_time_s), free_at_(start_time_s),
+      available_at_(start_time_s), integrated_to_(start_time_s),
+      finalized_at_(start_time_s), last_arrival_(start_time_s) {
+  JPM_CHECK(!params.levels.empty());
+  JPM_CHECK(params.step_s >= 0.0);
+  JPM_CHECK(params.step_down_idle_s > 0.0);
+  JPM_CHECK(params.ewma_tau_s > 0.0);
+}
+
+void MultiSpeedDisk::integrate(double t) {
+  if (t <= integrated_to_) return;
+  static_j_ += (params_.levels[level_].idle_w - params_.base.standby_w) *
+               (t - integrated_to_);
+  integrated_to_ = t;
+}
+
+void MultiSpeedDisk::advance(double now) {
+  // Step down one level per idle stretch of step_down_idle_s, repeatedly.
+  double idle_since = std::max(free_at_, available_at_);
+  while (level_ + 1 < params_.levels.size() &&
+         idle_since + params_.step_down_idle_s <= now) {
+    const double shift_at = idle_since + params_.step_down_idle_s;
+    integrate(shift_at);
+    ++level_;
+    ++down_shifts_;
+    transition_j_ += params_.step_j;
+    idle_since = shift_at + params_.step_s;
+  }
+}
+
+void MultiSpeedDisk::shift_to_full(double t) {
+  if (level_ == 0) return;
+  integrate(t);
+  const auto steps = static_cast<double>(level_);
+  transition_j_ += params_.step_j * steps;
+  up_shifts_ += level_;
+  level_ = 0;
+  available_at_ = std::max(available_at_, t + params_.step_s * steps);
+}
+
+DiskRequestResult MultiSpeedDisk::read(double t, std::uint64_t page,
+                                       std::uint64_t bytes) {
+  advance(t);
+
+  // Utilization EWMA decays with inter-arrival time.
+  const double gap = std::max(t - last_arrival_, 0.0);
+  util_ewma_ *= std::exp(-gap / params_.ewma_tau_s);
+  last_arrival_ = t;
+  if (util_ewma_ > params_.util_high_water) shift_to_full(t);
+
+  const SpeedLevel& level = params_.levels[level_];
+  DiskRequestResult res;
+  res.sequential = page == last_page_ + 1;
+  const double positioning =
+      res.sequential ? 0.0 : params_.base.avg_seek_s + level.rotation_s;
+  const double svc = positioning +
+                     static_cast<double>(bytes) / level.media_rate_bytes_per_s;
+
+  res.triggered_spin_up = available_at_ > t && level_ == 0 && up_shifts_ > 0;
+  res.start_s = std::max({t, free_at_, available_at_});
+  res.finish_s = res.start_s + svc;
+  res.latency_s = res.finish_s - t;
+  busy_time_s_ += svc;
+  util_ewma_ += svc / params_.ewma_tau_s;
+  free_at_ = res.finish_s;
+  last_page_ = page;
+  return res;
+}
+
+void MultiSpeedDisk::finalize(double t_end) {
+  advance(t_end);
+  const double t = std::max(t_end, free_at_);
+  integrate(t);
+  finalized_at_ = std::max(finalized_at_, t);
+}
+
+DiskEnergyBreakdown MultiSpeedDisk::energy() const {
+  DiskEnergyBreakdown e;
+  e.standby_base_j =
+      params_.base.standby_w * (finalized_at_ - start_time_s_);
+  e.static_j = static_j_;
+  e.transition_j = transition_j_;
+  e.dynamic_j = params_.base.dynamic_power_w() * busy_time_s_;
+  return e;
+}
+
+DiskEnergyBreakdown MultiSpeedDisk::energy_through(double t) {
+  advance(t);
+  integrate(t);
+  finalized_at_ = std::max(finalized_at_, t);
+  return energy();
+}
+
+}  // namespace jpm::disk

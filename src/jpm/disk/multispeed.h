@@ -1,0 +1,88 @@
+// DRPM-style multi-speed disk (Gurumurthi et al., the paper's reference
+// [12]) — the alternative to spin-down the paper positions itself against,
+// and one of its future-work items ("multiple-speed disks").
+//
+// Instead of stopping the platters, the disk shifts among rotation-speed
+// levels: spinning at fraction f of full speed costs roughly f^2.8 of the
+// manageable idle power, serves transfers at f of the media rate, and adds
+// 1/f rotational latency. Speed shifts take seconds, not the ~10 s of a full
+// spin-up, so the latency cliff of on-demand wake-ups disappears at the cost
+// of a nonzero power floor.
+//
+// Control policy (watermark style, as in DRPM): step one level down after a
+// configurable idle stretch; step straight back to full speed when the
+// utilization EWMA crosses the high watermark — service continues at reduced
+// speed below it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jpm/disk/storage.h"
+
+namespace jpm::disk {
+
+struct SpeedLevel {
+  double speed_fraction = 1.0;  // of full rotation speed
+  double idle_w = 7.5;          // spinning idle at this speed
+  double media_rate_bytes_per_s = 58e6;
+  double rotation_s = 4.16e-3;  // average rotational latency
+};
+
+struct MultiSpeedParams {
+  DiskParams base;                // seek time, dynamic delta, standby floor
+  std::vector<SpeedLevel> levels; // [0] = full speed, descending
+  double step_s = 2.0;            // time per one-level shift
+  double step_j = 8.0;            // energy per one-level shift
+  double step_down_idle_s = 10.0; // idleness before shifting down a level
+  double util_high_water = 0.30;  // EWMA utilization forcing full speed
+  double ewma_tau_s = 60.0;
+};
+
+// Levels derived from the paper's Seagate drive with the DRPM power law
+// (idle power above standby scales with speed^2.8).
+MultiSpeedParams drpm_params(const DiskParams& base,
+                             const std::vector<double>& speed_fractions = {
+                                 1.0, 0.75, 0.5, 0.35});
+
+class MultiSpeedDisk final : public Storage {
+ public:
+  MultiSpeedDisk(const MultiSpeedParams& params, double start_time_s);
+
+  void advance(double now) override;
+  DiskRequestResult read(double t, std::uint64_t page,
+                         std::uint64_t bytes) override;
+  void finalize(double t_end) override;
+  DiskEnergyBreakdown energy() const override;
+  DiskEnergyBreakdown energy_through(double t) override;
+  double busy_time_s() const override { return busy_time_s_; }
+  // Speed downshifts (the closest analogue of spin-downs for reporting).
+  std::uint64_t shutdowns() const override { return down_shifts_; }
+  std::uint32_t spindle_count() const override { return 1; }
+
+  std::size_t current_level() const { return level_; }
+  std::uint64_t total_shifts() const { return down_shifts_ + up_shifts_; }
+  double utilization_ewma() const { return util_ewma_; }
+
+ private:
+  void integrate(double t);      // static-energy bookkeeping through t
+  void shift_to_full(double t);  // begin step-up; sets available_at_
+
+  MultiSpeedParams params_;
+  double start_time_s_;
+  std::size_t level_ = 0;
+  double free_at_;
+  double available_at_;  // end of an in-flight step-up
+  double integrated_to_;
+  double finalized_at_;
+  double static_j_ = 0.0;
+  double transition_j_ = 0.0;
+  double busy_time_s_ = 0.0;
+  double util_ewma_ = 0.0;
+  double last_arrival_;
+  std::uint64_t last_page_ = ~std::uint64_t{0} - 1;
+  std::uint64_t down_shifts_ = 0;
+  std::uint64_t up_shifts_ = 0;
+};
+
+}  // namespace jpm::disk

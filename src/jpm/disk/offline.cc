@@ -1,0 +1,97 @@
+#include "jpm/disk/offline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "jpm/util/check.h"
+
+namespace jpm::disk {
+namespace {
+
+double gap_energy(double gap_s, double timeout_s,
+                  const pareto::DiskTimeoutParams& params) {
+  JPM_DCHECK(gap_s >= 0.0);
+  if (std::isinf(timeout_s) || gap_s <= timeout_s) {
+    return params.static_power_w * gap_s;
+  }
+  return params.static_power_w * (timeout_s + params.break_even_s);
+}
+
+}  // namespace
+
+double oracle_energy_j(const std::vector<double>& gaps_s,
+                       const pareto::DiskTimeoutParams& params) {
+  double total = 0.0;
+  for (double g : gaps_s) {
+    JPM_CHECK(g >= 0.0);
+    total += params.static_power_w * std::min(g, params.break_even_s);
+  }
+  return total;
+}
+
+double fixed_timeout_energy_j(const std::vector<double>& gaps_s,
+                              double timeout_s,
+                              const pareto::DiskTimeoutParams& params) {
+  JPM_CHECK(timeout_s >= 0.0);
+  double total = 0.0;
+  for (double g : gaps_s) total += gap_energy(g, timeout_s, params);
+  return total;
+}
+
+double adaptive_timeout_energy_j(const std::vector<double>& gaps_s,
+                                 const AdaptiveTimeoutConfig& config,
+                                 const pareto::DiskTimeoutParams& params) {
+  AdaptiveTimeout policy(config);
+  double total = 0.0;
+  for (double g : gaps_s) {
+    const double timeout = policy.timeout_s();
+    total += gap_energy(g, timeout, params);
+    if (g > timeout) {
+      // The wake-up at the end of the gap: the request waited the spin-up
+      // time; the idleness the spin-down exploited was the whole gap.
+      policy.on_spin_up(g, params.transition_s);
+    }
+  }
+  return total;
+}
+
+double predictive_timeout_energy_j(const std::vector<double>& gaps_s,
+                                   const pareto::DiskTimeoutParams& params,
+                                   double ewma_weight) {
+  PredictiveTimeout policy(params.break_even_s, ewma_weight);
+  double total = 0.0;
+  for (double g : gaps_s) {
+    const double timeout = policy.timeout_s();
+    total += gap_energy(g, timeout, params);
+    if (g > timeout) {
+      policy.on_spin_up(g, params.transition_s);
+    } else {
+      policy.on_idle_end(g);
+    }
+  }
+  return total;
+}
+
+double randomized_timeout_energy_j(const std::vector<double>& gaps_s,
+                                   const pareto::DiskTimeoutParams& params,
+                                   std::uint64_t seed) {
+  RandomizedTimeout policy(params.break_even_s, seed);
+  double total = 0.0;
+  for (double g : gaps_s) {
+    const double timeout = policy.timeout_s();
+    total += gap_energy(g, timeout, params);
+    if (g > timeout) {
+      policy.on_spin_up(g, params.transition_s);
+    } else {
+      policy.on_idle_end(g);
+    }
+  }
+  return total;
+}
+
+double competitive_ratio(double policy_energy_j, double oracle_j) {
+  JPM_CHECK(oracle_j > 0.0);
+  return policy_energy_j / oracle_j;
+}
+
+}  // namespace jpm::disk

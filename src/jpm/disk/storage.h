@@ -1,0 +1,63 @@
+// Storage abstraction: anything that serves page reads with power-state
+// accounting. The single spin-down disk (Disk), the striped multi-disk array
+// (DiskArray — the paper's future-work extension), and the DRPM-style
+// multi-speed disk (MultiSpeedDisk) all implement it, so the simulation
+// engine is agnostic to the storage backend.
+#pragma once
+
+#include <cstdint>
+
+#include "jpm/disk/disk_power.h"
+#include "jpm/disk/disk_queue.h"
+
+namespace jpm::disk {
+
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  // Processes timer expiries (spin-downs / speed steps) up to `now`.
+  virtual void advance(double now) = 0;
+  // Serves a page read arriving at t (nondecreasing across calls).
+  virtual DiskRequestResult read(double t, std::uint64_t page,
+                                 std::uint64_t bytes) = 0;
+  virtual void finalize(double t_end) = 0;
+
+  virtual DiskEnergyBreakdown energy() const = 0;
+  // Integrates the books through exactly t and returns the cumulative
+  // breakdown (mid-run snapshot).
+  virtual DiskEnergyBreakdown energy_through(double t) = 0;
+  virtual double busy_time_s() const = 0;
+  virtual std::uint64_t shutdowns() const = 0;
+  // Number of independently-utilizable spindles (for utilization averaging).
+  virtual std::uint32_t spindle_count() const = 0;
+};
+
+// Adapts the single Disk to the Storage interface.
+class SingleDiskStorage final : public Storage {
+ public:
+  SingleDiskStorage(const DiskParams& params, TimeoutPolicy* policy,
+                    double start_time_s)
+      : disk_(params, policy, start_time_s) {}
+
+  void advance(double now) override { disk_.advance(now); }
+  DiskRequestResult read(double t, std::uint64_t page,
+                         std::uint64_t bytes) override {
+    return disk_.read(t, page, bytes);
+  }
+  void finalize(double t_end) override { disk_.finalize(t_end); }
+  DiskEnergyBreakdown energy() const override { return disk_.energy(); }
+  DiskEnergyBreakdown energy_through(double t) override {
+    return disk_.energy_through(t);
+  }
+  double busy_time_s() const override { return disk_.busy_time_s(); }
+  std::uint64_t shutdowns() const override { return disk_.shutdowns(); }
+  std::uint32_t spindle_count() const override { return 1; }
+
+  const Disk& disk() const { return disk_; }
+
+ private:
+  Disk disk_;
+};
+
+}  // namespace jpm::disk

@@ -1,0 +1,87 @@
+#include "jpm/disk/timeout_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "jpm/util/check.h"
+
+namespace jpm::disk {
+
+FixedTimeout::FixedTimeout(double timeout_s) : timeout_(timeout_s) {
+  JPM_CHECK(timeout_s >= 0.0);
+}
+
+std::string FixedTimeout::name() const {
+  std::ostringstream os;
+  os << "fixed(" << timeout_ << "s)";
+  return os.str();
+}
+
+AdaptiveTimeout::AdaptiveTimeout(const AdaptiveTimeoutConfig& config)
+    : config_(config), timeout_(config.initial_s) {
+  JPM_CHECK(config.min_s > 0.0);
+  JPM_CHECK(config.max_s >= config.min_s);
+  JPM_CHECK(config.initial_s >= config.min_s &&
+            config.initial_s <= config.max_s);
+  JPM_CHECK(config.step_s > 0.0);
+  JPM_CHECK(config.delay_ratio > 0.0);
+}
+
+void AdaptiveTimeout::on_spin_up(double idle_s, double delay_s) {
+  // Douglis: a spin-up whose delay exceeds `delay_ratio` of the idleness it
+  // exploited was too aggressive -> lengthen the timeout; otherwise shorten.
+  if (delay_s > config_.delay_ratio * idle_s) {
+    timeout_ += config_.step_s;
+  } else {
+    timeout_ -= config_.step_s;
+  }
+  timeout_ = std::clamp(timeout_, config_.min_s, config_.max_s);
+}
+
+DynamicTimeout::DynamicTimeout(double initial_s) : timeout_(initial_s) {
+  JPM_CHECK(initial_s >= 0.0);
+}
+
+RandomizedTimeout::RandomizedTimeout(double break_even_s, std::uint64_t seed)
+    : break_even_s_(break_even_s), rng_(seed * 0x7f4a7c15u + 3) {
+  JPM_CHECK(break_even_s > 0.0);
+  resample();
+}
+
+void RandomizedTimeout::on_spin_up(double, double) { resample(); }
+
+void RandomizedTimeout::on_idle_end(double) { resample(); }
+
+void RandomizedTimeout::resample() {
+  // Inverse CDF of f(t) = e^(t/B) / ((e-1) B):
+  //   F(t) = (e^(t/B) - 1) / (e - 1)  =>  t = B ln(1 + (e-1) u).
+  const double u = rng_.uniform();
+  current_ = break_even_s_ * std::log(1.0 + (std::exp(1.0) - 1.0) * u);
+}
+
+PredictiveTimeout::PredictiveTimeout(double break_even_s, double ewma_weight)
+    : break_even_s_(break_even_s), weight_(ewma_weight) {
+  JPM_CHECK(break_even_s > 0.0);
+  JPM_CHECK(ewma_weight > 0.0 && ewma_weight <= 1.0);
+}
+
+double PredictiveTimeout::timeout_s() const {
+  return predicted_idle_s_ > break_even_s_ ? 0.0 : pareto::kNeverTimeout;
+}
+
+void PredictiveTimeout::on_spin_up(double idle_s, double) { observe(idle_s); }
+
+void PredictiveTimeout::on_idle_end(double idle_s) { observe(idle_s); }
+
+void PredictiveTimeout::observe(double idle_s) {
+  predicted_idle_s_ =
+      (1.0 - weight_) * predicted_idle_s_ + weight_ * idle_s;
+}
+
+void DynamicTimeout::set_timeout(double timeout_s) {
+  JPM_CHECK(timeout_s >= 0.0);
+  timeout_ = timeout_s;
+}
+
+}  // namespace jpm::disk

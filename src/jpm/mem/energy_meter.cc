@@ -1,0 +1,28 @@
+#include "jpm/mem/energy_meter.h"
+
+#include "jpm/util/check.h"
+
+namespace jpm::mem {
+
+MemoryEnergyMeter::MemoryEnergyMeter(const RdramParams& params,
+                                     std::uint64_t initial_bytes,
+                                     double start_time_s)
+    : params_(params), size_bytes_(initial_bytes),
+      integrated_to_(start_time_s) {}
+
+void MemoryEnergyMeter::set_size(std::uint64_t bytes, double t) {
+  finalize(t);
+  size_bytes_ = bytes;
+}
+
+void MemoryEnergyMeter::on_transfer(std::uint64_t bytes) {
+  energy_.dynamic_j += params_.dynamic_energy_j(bytes);
+}
+
+void MemoryEnergyMeter::finalize(double t) {
+  JPM_CHECK_MSG(t >= integrated_to_, "time must be nondecreasing");
+  energy_.static_j += params_.nap_power_w(size_bytes_) * (t - integrated_to_);
+  integrated_to_ = t;
+}
+
+}  // namespace jpm::mem

@@ -1,0 +1,42 @@
+// Capacity-based memory energy accounting for the fixed-size and joint
+// methods: the configured disk-cache size sits in the nap mode between
+// accesses (paper Section III), so static energy is nap power x size,
+// integrated across resizes; dynamic energy is per-byte transferred.
+#pragma once
+
+#include <cstdint>
+
+#include "jpm/mem/rdram_model.h"
+
+namespace jpm::mem {
+
+struct MemoryEnergyBreakdown {
+  double static_j = 0.0;
+  double dynamic_j = 0.0;
+  double total_j() const { return static_j + dynamic_j; }
+};
+
+class MemoryEnergyMeter {
+ public:
+  MemoryEnergyMeter(const RdramParams& params, std::uint64_t initial_bytes,
+                    double start_time_s = 0.0);
+
+  // Resizes the powered memory at time t (integrates the old size first).
+  void set_size(std::uint64_t bytes, double t);
+  // Accounts a transfer of `bytes` through memory (cache hit read, or page
+  // fill plus read on a miss).
+  void on_transfer(std::uint64_t bytes);
+  // Integrates static energy through t.
+  void finalize(double t);
+
+  std::uint64_t size_bytes() const { return size_bytes_; }
+  MemoryEnergyBreakdown breakdown() const { return energy_; }
+
+ private:
+  RdramParams params_;
+  std::uint64_t size_bytes_;
+  double integrated_to_;
+  MemoryEnergyBreakdown energy_;
+};
+
+}  // namespace jpm::mem

@@ -1,0 +1,3 @@
+// Intentionally header-only today; this TU anchors the library target and
+// keeps room for table-driven chip parameter sets.
+#include "jpm/mem/rdram_model.h"

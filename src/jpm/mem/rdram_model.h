@@ -1,0 +1,42 @@
+// RDRAM power model (paper Section III and Fig. 1a).
+//
+// Constants follow the 128-Mb (16 MB) RDRAM chip the paper models:
+//   * banks stay in the nap mode between accesses (best energy/performance
+//     tradeoff per the paper): 10.5 mW per 16 MB bank = 0.656 mW/MB;
+//   * dynamic energy from peak power at peak bandwidth:
+//     1325 mW / 1.6 GB/s = 0.809 mJ/MB transferred;
+//   * the power-down mode retains data at 30% of nap power; the paper's
+//     2-competitive timeout for entering it is 129 us;
+//   * the disable mode loses data and consumes nothing; its break-even time
+//     against re-fetching a 16 MB bank from disk is 7.7 J / 10.5 mW = 732 s.
+#pragma once
+
+#include <cstdint>
+
+#include "jpm/util/units.h"
+
+namespace jpm::mem {
+
+struct RdramParams {
+  std::uint64_t bank_bytes = 16 * kMiB;
+  double nap_mw_per_mb = 0.656;
+  double dynamic_mj_per_mb = 0.809;
+  double powerdown_fraction = 0.30;  // power-down power / nap power
+  double powerdown_timeout_s = 129e-6;
+  double disable_timeout_s = 732.0;
+
+  // Static (nap) power of `bytes` of memory, watts.
+  double nap_power_w(std::uint64_t bytes) const {
+    return nap_mw_per_mb * 1e-3 * to_mib(bytes);
+  }
+  // Power-down power of `bytes` of memory, watts.
+  double powerdown_power_w(std::uint64_t bytes) const {
+    return nap_power_w(bytes) * powerdown_fraction;
+  }
+  // Dynamic energy to transfer `bytes` through the memory, joules.
+  double dynamic_energy_j(std::uint64_t bytes) const {
+    return dynamic_mj_per_mb * 1e-3 * to_mib(bytes);
+  }
+};
+
+}  // namespace jpm::mem

@@ -1,0 +1,91 @@
+#include "jpm/pareto/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "jpm/util/check.h"
+
+namespace jpm::pareto {
+
+ParetoDistribution::ParetoDistribution(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  JPM_CHECK_MSG(alpha > 1.0, "Pareto alpha must exceed 1 (finite mean)");
+  JPM_CHECK_MSG(beta > 0.0, "Pareto beta must be positive");
+}
+
+double ParetoDistribution::pdf(double l) const {
+  if (l <= beta_) return 0.0;
+  return alpha_ * std::pow(beta_, alpha_) / std::pow(l, alpha_ + 1.0);
+}
+
+double ParetoDistribution::cdf(double l) const {
+  if (l <= beta_) return 0.0;
+  return 1.0 - std::pow(beta_ / l, alpha_);
+}
+
+double ParetoDistribution::survival(double l) const {
+  if (l <= beta_) return 1.0;
+  return std::pow(beta_ / l, alpha_);
+}
+
+double ParetoDistribution::mean() const {
+  return alpha_ * beta_ / (alpha_ - 1.0);
+}
+
+double ParetoDistribution::quantile(double q) const {
+  JPM_CHECK(q >= 0.0 && q < 1.0);
+  return beta_ / std::pow(1.0 - q, 1.0 / alpha_);
+}
+
+double ParetoDistribution::sample(Rng& rng) const {
+  return quantile(rng.uniform());
+}
+
+double ParetoDistribution::expected_excess(double t) const {
+  if (t <= beta_) {
+    // Whole distribution lies above t: E[L] - t.
+    return mean() - t;
+  }
+  // integral_t^inf S(x) dx = beta^alpha * t^(1-alpha) / (alpha-1)
+  //                        = (beta/t)^(alpha-1) * beta / (alpha-1).   (eq. 2 core)
+  return std::pow(beta_ / t, alpha_ - 1.0) * beta_ / (alpha_ - 1.0);
+}
+
+double estimate_alpha_from_mean(double sample_mean, double beta) {
+  JPM_CHECK(beta > 0.0);
+  if (sample_mean <= beta) return kMaxAlpha;  // intervals barely above beta
+  const double alpha = sample_mean / (sample_mean - beta);
+  return std::clamp(alpha, kMinAlpha, kMaxAlpha);
+}
+
+double estimate_alpha_mle(const std::vector<double>& samples, double beta) {
+  JPM_CHECK(beta > 0.0);
+  JPM_CHECK(!samples.empty());
+  double log_sum = 0.0;
+  for (double x : samples) {
+    log_sum += std::log(std::max(x, beta) / beta);
+  }
+  if (log_sum <= 0.0) return kMaxAlpha;
+  return std::clamp(static_cast<double>(samples.size()) / log_sum, kMinAlpha,
+                    kMaxAlpha);
+}
+
+double estimate_alpha_mle_from_sums(std::uint64_t count, double log_sum,
+                                    double beta) {
+  JPM_CHECK(beta > 0.0);
+  JPM_CHECK(count > 0);
+  const double n = static_cast<double>(count);
+  const double excess = log_sum - n * std::log(beta);
+  if (excess <= 0.0) return kMaxAlpha;
+  return std::clamp(n / excess, kMinAlpha, kMaxAlpha);
+}
+
+ParetoDistribution fit_from_mean(double sample_mean, double beta) {
+  return ParetoDistribution(estimate_alpha_from_mean(sample_mean, beta), beta);
+}
+
+ParetoDistribution fit_mle(const std::vector<double>& samples, double beta) {
+  return ParetoDistribution(estimate_alpha_mle(samples, beta), beta);
+}
+
+}  // namespace jpm::pareto

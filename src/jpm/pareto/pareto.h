@@ -1,0 +1,62 @@
+// Pareto distribution of disk idle-interval lengths (paper Section IV-C).
+//
+// f(l) = alpha * beta^alpha / l^(alpha+1) for l > beta, alpha > 1. beta is the
+// shortest idle interval (the joint manager uses its aggregation window w) and
+// alpha controls tail weight: small alpha => more long intervals.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "jpm/util/rng.h"
+
+namespace jpm::pareto {
+
+class ParetoDistribution {
+ public:
+  // Requires alpha > 1 (finite mean, as the paper assumes) and beta > 0.
+  ParetoDistribution(double alpha, double beta);
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+
+  double pdf(double l) const;
+  double cdf(double l) const;
+  // P(L > l); 1 for l <= beta.
+  double survival(double l) const;
+  // E[L] = alpha*beta/(alpha-1).
+  double mean() const;
+  // Inverse CDF. q in [0, 1).
+  double quantile(double q) const;
+  double sample(Rng& rng) const;
+
+  // Expected excess over a threshold: E[(L - t)+] (closed form; t may be < beta).
+  double expected_excess(double t) const;
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+// Paper's moment estimator (Section IV-C): the mean of a Pareto is
+// alpha*beta/(alpha-1), so alpha = mean/(mean - beta). The result is clamped
+// to (kMinAlpha, kMaxAlpha) to stay in the finite-mean regime even for
+// degenerate samples (mean barely above beta, or huge).
+inline constexpr double kMinAlpha = 1.0 + 1e-6;
+inline constexpr double kMaxAlpha = 1e3;
+double estimate_alpha_from_mean(double sample_mean, double beta);
+
+// Maximum-likelihood alpha given known beta: n / sum(ln(x_i / beta)).
+// Samples below beta are clamped to beta. Returns clamped alpha.
+double estimate_alpha_mle(const std::vector<double>& samples, double beta);
+
+// Streaming MLE variant from sufficient statistics: sample count and
+// sum(ln(x_i)). Equivalent to estimate_alpha_mle without retaining samples.
+double estimate_alpha_mle_from_sums(std::uint64_t count, double log_sum,
+                                    double beta);
+
+ParetoDistribution fit_from_mean(double sample_mean, double beta);
+ParetoDistribution fit_mle(const std::vector<double>& samples, double beta);
+
+}  // namespace jpm::pareto

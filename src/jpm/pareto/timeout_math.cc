@@ -1,0 +1,77 @@
+#include "jpm/pareto/timeout_math.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "jpm/util/check.h"
+
+namespace jpm::pareto {
+
+double expected_off_time(const ParetoDistribution& idle, double n_idle,
+                         double timeout) {
+  JPM_CHECK(n_idle >= 0.0);
+  JPM_CHECK(timeout >= 0.0);
+  if (n_idle == 0.0 || std::isinf(timeout)) return 0.0;
+  return n_idle * idle.expected_excess(timeout);
+}
+
+double expected_shutdowns(const ParetoDistribution& idle, double n_idle,
+                          double timeout) {
+  JPM_CHECK(n_idle >= 0.0);
+  JPM_CHECK(timeout >= 0.0);
+  if (n_idle == 0.0 || std::isinf(timeout)) return 0.0;
+  return n_idle * idle.survival(timeout);
+}
+
+double expected_power(const ParetoDistribution& idle, double n_idle,
+                      double period_s, double timeout,
+                      const DiskTimeoutParams& disk) {
+  JPM_CHECK(period_s > 0.0);
+  const double t_s = expected_off_time(idle, n_idle, timeout);
+  const double h = expected_shutdowns(idle, n_idle, timeout);
+  // Clamp: with a very small timeout the fitted tail can predict more off
+  // time than the period holds; the true power is never negative.
+  const double on_time = std::max(period_s - t_s, 0.0);
+  return (disk.static_power_w * on_time +
+          disk.static_power_w * disk.break_even_s * h) /
+         period_s;
+}
+
+double optimal_timeout(const ParetoDistribution& idle,
+                       const DiskTimeoutParams& disk) {
+  return idle.alpha() * disk.break_even_s;
+}
+
+double expected_delayed_ratio(const ParetoDistribution& idle, double n_idle,
+                              double n_disk, double n_cache_accesses,
+                              double period_s, double timeout,
+                              const DiskTimeoutParams& disk) {
+  JPM_CHECK(period_s > 0.0);
+  if (n_cache_accesses <= 0.0) return 0.0;
+  const double h = expected_shutdowns(idle, n_idle, timeout);
+  const double window = std::max(disk.transition_s - 0.5, 0.0);
+  return h * window * (n_disk / period_s) / n_cache_accesses;
+}
+
+double min_timeout_for_delay_constraint(const ParetoDistribution& idle,
+                                        double n_idle, double n_disk,
+                                        double n_cache_accesses,
+                                        double period_s, double max_ratio,
+                                        const DiskTimeoutParams& disk) {
+  JPM_CHECK(max_ratio > 0.0);
+  JPM_CHECK(period_s > 0.0);
+  const double window = std::max(disk.transition_s - 0.5, 0.0);
+  if (n_idle <= 0.0 || n_disk <= 0.0 || n_cache_accesses <= 0.0 ||
+      window == 0.0) {
+    return 0.0;  // nothing can be delayed; any timeout satisfies eq. 6
+  }
+  // n_i (beta/t_o)^alpha * window * n_d / (T * N) <= D
+  //   => (beta/t_o)^alpha <= D * T * N / (n_i * n_d * window)
+  const double rhs =
+      max_ratio * period_s * n_cache_accesses / (n_idle * n_disk * window);
+  if (rhs >= 1.0) return 0.0;  // satisfied even if every interval shuts down
+  const double t_min = idle.beta() / std::pow(rhs, 1.0 / idle.alpha());
+  return t_min;
+}
+
+}  // namespace jpm::pareto

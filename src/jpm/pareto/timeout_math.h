@@ -1,0 +1,63 @@
+// Closed-form timeout analysis from paper Section IV-C/IV-D (equations 2-6).
+//
+// All functions take a fitted idle-interval distribution plus per-period
+// counts and return expectations over one period of length T. A timeout of
+// +infinity means "never spin down" and is handled exactly (zero shutdowns,
+// zero off time).
+#pragma once
+
+#include <limits>
+
+#include "jpm/pareto/pareto.h"
+
+namespace jpm::pareto {
+
+inline constexpr double kNeverTimeout = std::numeric_limits<double>::infinity();
+
+// Disk-side constants needed by the timeout math.
+struct DiskTimeoutParams {
+  double static_power_w = 6.6;   // p_d: idle minus standby power
+  double break_even_s = 11.7;    // t_be: transition energy / p_d
+  double transition_s = 10.0;    // t_tr: round-trip mode transition time
+};
+
+// Expected total off (standby) time per period (eq. 2):
+//   t_s = n_i * E[(L - t_o)+].
+double expected_off_time(const ParetoDistribution& idle, double n_idle,
+                         double timeout);
+
+// Expected number of shutdowns per period (eq. 3): h = n_i * P(L > t_o).
+double expected_shutdowns(const ParetoDistribution& idle, double n_idle,
+                          double timeout);
+
+// Expected disk power (static + transition) under the timeout policy (eq. 4):
+//   (1/T) [ p_d (T - t_s) + p_d t_be h ].
+// Dynamic (access) power is not included — the timeout does not change it.
+double expected_power(const ParetoDistribution& idle, double n_idle,
+                      double period_s, double timeout,
+                      const DiskTimeoutParams& disk);
+
+// Energy-optimal timeout (eq. 5): t_o = alpha * t_be.
+double optimal_timeout(const ParetoDistribution& idle,
+                       const DiskTimeoutParams& disk);
+
+// Expected fraction of disk-cache requests delayed by more than half a second
+// due to spin-up (left side of eq. 6):
+//   h * (t_tr - 0.5) * (n_disk / T) / n_cache_accesses.
+double expected_delayed_ratio(const ParetoDistribution& idle, double n_idle,
+                              double n_disk, double n_cache_accesses,
+                              double period_s, double timeout,
+                              const DiskTimeoutParams& disk);
+
+// Smallest timeout satisfying the delayed-request constraint (from eq. 6):
+//   t_o >= beta * (n_i * n_d * (t_tr - 0.5) / (N * T * D))^(1/alpha).
+// Returns 0 when the constraint is satisfied by any timeout (e.g. n_i or n_d
+// is 0) and kNeverTimeout when no finite timeout can satisfy it (cannot
+// happen for D > 0, kept for interface symmetry).
+double min_timeout_for_delay_constraint(const ParetoDistribution& idle,
+                                        double n_idle, double n_disk,
+                                        double n_cache_accesses,
+                                        double period_s, double max_ratio,
+                                        const DiskTimeoutParams& disk);
+
+}  // namespace jpm::pareto

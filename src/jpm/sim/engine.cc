@@ -1,0 +1,511 @@
+#include "jpm/sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "jpm/cache/lru_cache.h"
+#include "jpm/cache/stack_distance.h"
+#include "jpm/disk/disk_array.h"
+#include "jpm/disk/multispeed.h"
+#include "jpm/disk/storage.h"
+#include "jpm/disk/timeout_policy.h"
+#include "jpm/mem/bank_set.h"
+#include "jpm/util/check.h"
+
+namespace jpm::sim {
+
+struct Engine::Impl {
+  PolicySpec policy;
+  EngineConfig config;
+
+  // Trace source: exactly one of the two is active.
+  std::unique_ptr<workload::TraceGenerator> generator;
+  ReplayTrace replay;
+  std::size_t replay_index = 0;
+  double duration_s = 0.0;
+  std::uint64_t total_pages = 0;
+
+  std::unique_ptr<disk::TimeoutPolicy> timeout_policy;
+  disk::DynamicTimeout* dynamic_timeout = nullptr;  // set for joint runs
+  std::unique_ptr<disk::Storage> disk;
+  std::unique_ptr<cache::LruCache> lru;
+  mem::MemoryEnergyMeter meter;
+  std::unique_ptr<mem::BankSet> banks;  // PD / DS / always-on static energy
+
+  // Joint-method machinery.
+  std::unique_ptr<cache::StackDistanceTracker> tracker;
+  std::unique_ptr<core::PeriodStatsCollector> collector;
+  std::unique_ptr<core::JointPowerManager> manager;
+  std::uint64_t current_units = 0;
+
+  RunMetrics metrics;
+
+  double next_flush = 0.0;  // next background writeback tick (0 = disabled)
+
+  // Per-period measured quantities (Fig. 9 and period records).
+  double next_boundary = 0.0;
+  double period_start = 0.0;
+  std::uint64_t period_cache_accesses = 0;
+  std::uint64_t period_disk_accesses = 0;
+  double period_gap_sum = 0.0;
+  std::uint64_t period_gap_count = 0;
+  double last_disk_finish;
+  bool ran = false;
+
+  // Cumulative totals at the warm-up boundary, subtracted at the end so
+  // reported metrics cover only the measured window.
+  struct Snapshot {
+    bool taken = false;
+    mem::MemoryEnergyBreakdown mem;
+    double bank_static_j = 0.0;
+    disk::DiskEnergyBreakdown disk;
+    double busy_s = 0.0;
+    std::uint64_t shutdowns = 0;
+    std::uint64_t cache_accesses = 0;
+    std::uint64_t disk_accesses = 0;
+    std::uint64_t disk_writes = 0;
+    std::uint64_t readahead = 0;
+    std::uint64_t long_latency = 0;
+    std::uint64_t spin_ups = 0;
+    double latency_s = 0.0;
+  } snapshot;
+
+  Impl(const workload::SynthesizerConfig& wl, const PolicySpec& spec,
+       const EngineConfig& cfg)
+      : policy(spec), config(cfg),
+        generator(std::make_unique<workload::TraceGenerator>(wl)),
+        meter(cfg.joint.mem, 0, 0.0), last_disk_finish(0.0) {
+    duration_s = wl.duration_s;
+    total_pages = generator->total_pages();
+    init(wl.page_bytes);
+  }
+
+  Impl(ReplayTrace trace, const PolicySpec& spec, const EngineConfig& cfg)
+      : policy(spec), config(cfg), replay(std::move(trace)),
+        meter(cfg.joint.mem, 0, 0.0), last_disk_finish(0.0) {
+    JPM_CHECK_MSG(!replay.events.empty(), "replay trace is empty");
+    duration_s = replay.duration_s;
+    total_pages = replay.total_pages;
+    double prev = 0.0;
+    std::uint64_t max_page = 0;
+    for (const auto& e : replay.events) {
+      JPM_CHECK_MSG(e.time_s >= prev, "replay trace must be time-sorted");
+      prev = e.time_s;
+      max_page = std::max(max_page, e.page);
+    }
+    // Events may trail slightly past the declared duration (the synthesizer
+    // admits arrivals up to it and their pages follow); like the generator
+    // path, the run still closes its books at the declared duration.
+    if (duration_s == 0.0) duration_s = prev;
+    if (total_pages == 0) total_pages = max_page + 1;
+    JPM_CHECK_MSG(max_page < total_pages,
+                  "trace pages exceed the declared data-set size");
+    init(replay.page_bytes);
+  }
+
+  std::optional<workload::TraceEvent> next_event() {
+    if (generator) return generator->next();
+    if (replay_index < replay.events.size()) {
+      return replay.events[replay_index++];
+    }
+    return std::nullopt;
+  }
+
+  void init(std::uint64_t page_bytes) {
+    config.joint.page_bytes = page_bytes;
+    const auto& jc = config.joint;
+    JPM_CHECK_MSG(jc.unit_bytes % jc.page_bytes == 0,
+                  "enumeration unit must be a whole number of pages");
+    JPM_CHECK_MSG(jc.physical_bytes % jc.unit_bytes == 0,
+                  "physical memory must be a whole number of units");
+    JPM_CHECK_MSG(jc.mem.bank_bytes % jc.page_bytes == 0,
+                  "bank must be a whole number of pages");
+    JPM_CHECK_MSG(jc.physical_bytes % jc.mem.bank_bytes == 0,
+                  "physical memory must be a whole number of banks");
+
+    // Disk timeout policy.
+    switch (policy.disk) {
+      case DiskPolicyKind::kTwoCompetitive:
+        timeout_policy =
+            std::make_unique<disk::FixedTimeout>(jc.disk.break_even_s());
+        break;
+      case DiskPolicyKind::kAdaptive:
+        timeout_policy = std::make_unique<disk::AdaptiveTimeout>();
+        break;
+      case DiskPolicyKind::kPredictive:
+        timeout_policy =
+            std::make_unique<disk::PredictiveTimeout>(jc.disk.break_even_s());
+        break;
+      case DiskPolicyKind::kAlwaysOn:
+        timeout_policy = std::make_unique<disk::NeverTimeout>();
+        break;
+      case DiskPolicyKind::kJoint: {
+        auto dynamic =
+            std::make_unique<disk::DynamicTimeout>(jc.disk.break_even_s());
+        dynamic_timeout = dynamic.get();
+        timeout_policy = std::move(dynamic);
+        break;
+      }
+    }
+    // Storage backend: multi-speed disk, single spin-down disk, or a
+    // striped array with per-disk policy instances.
+    if (policy.multi_speed) {
+      JPM_CHECK_MSG(config.disk_count == 1,
+                    "multi-speed arrays are not modeled");
+      disk = std::make_unique<disk::MultiSpeedDisk>(
+          disk::drpm_params(jc.disk), 0.0);
+    } else if (config.disk_count == 1) {
+      disk = std::make_unique<disk::SingleDiskStorage>(
+          jc.disk, timeout_policy.get(), 0.0);
+    } else {
+      disk::DiskArrayConfig array_cfg;
+      array_cfg.disk_count = config.disk_count;
+      array_cfg.stripe_bytes = config.stripe_bytes;
+      array_cfg.page_bytes = jc.page_bytes;
+      array_cfg.params = jc.disk;
+      const auto factory = [this, &jc]() -> std::unique_ptr<disk::TimeoutPolicy> {
+        switch (policy.disk) {
+          case DiskPolicyKind::kTwoCompetitive:
+            return std::make_unique<disk::FixedTimeout>(jc.disk.break_even_s());
+          case DiskPolicyKind::kAdaptive:
+            return std::make_unique<disk::AdaptiveTimeout>();
+          case DiskPolicyKind::kPredictive:
+            return std::make_unique<disk::PredictiveTimeout>(
+                jc.disk.break_even_s());
+          case DiskPolicyKind::kAlwaysOn:
+            return std::make_unique<disk::NeverTimeout>();
+          case DiskPolicyKind::kJoint:
+            return std::make_unique<disk::SharedTimeout>(dynamic_timeout);
+        }
+        JPM_CHECK_MSG(false, "unknown disk policy kind");
+        return nullptr;
+      };
+      disk = std::make_unique<disk::DiskArray>(array_cfg, factory, 0.0);
+    }
+
+    // Cache sized to physical memory; logical capacity per the method.
+    const std::uint64_t total_frames = jc.physical_bytes / jc.page_bytes;
+    const std::uint64_t frames_per_bank = jc.mem.bank_bytes / jc.page_bytes;
+    std::uint64_t capacity_frames = total_frames;
+    if (policy.mem == MemPolicyKind::kFixed) {
+      JPM_CHECK(policy.fixed_bytes > 0 &&
+                policy.fixed_bytes <= jc.physical_bytes);
+      capacity_frames = policy.fixed_bytes / jc.page_bytes;
+    }
+    lru = std::make_unique<cache::LruCache>(cache::LruCacheOptions{
+        total_frames, frames_per_bank, capacity_frames});
+
+    // Memory static-energy accounting.
+    const auto bank_count =
+        static_cast<std::uint32_t>(jc.physical_bytes / jc.mem.bank_bytes);
+    switch (policy.mem) {
+      case MemPolicyKind::kFixed:
+        meter.set_size(policy.fixed_bytes, 0.0);
+        break;
+      case MemPolicyKind::kJoint:
+        meter.set_size(jc.physical_bytes, 0.0);
+        break;
+      case MemPolicyKind::kNapAll:
+        banks = std::make_unique<mem::BankSet>(
+            bank_count, jc.mem, mem::BankPolicy::kNapOnly, 0.0);
+        break;
+      case MemPolicyKind::kPowerDown:
+        banks = std::make_unique<mem::BankSet>(
+            bank_count, jc.mem, mem::BankPolicy::kPowerDown, 0.0);
+        break;
+      case MemPolicyKind::kDisable:
+        banks = std::make_unique<mem::BankSet>(
+            bank_count, jc.mem, mem::BankPolicy::kDisable, 0.0);
+        break;
+    }
+
+    if (policy.is_joint()) {
+      JPM_CHECK_MSG(policy.mem == MemPolicyKind::kJoint,
+                    "joint disk policy requires joint memory policy");
+      tracker = std::make_unique<cache::StackDistanceTracker>();
+      manager = std::make_unique<core::JointPowerManager>(jc);
+      collector = std::make_unique<core::PeriodStatsCollector>(
+          jc.unit_frames(), jc.max_units(), 0.0);
+      current_units = manager->initial_memory_units();
+      dynamic_timeout->set_timeout(manager->initial_timeout_s());
+    } else {
+      current_units = lru->capacity() / jc.unit_frames();
+    }
+    next_boundary = jc.period_s;
+    next_flush = config.flush_interval_s;
+    metrics.policy_name = policy.name;
+
+    if (config.prefill_cache) prefill();
+  }
+
+  // Writes the given dirty pages back to disk (ascending page order keeps
+  // most of a flush burst sequential). Background traffic: no user-visible
+  // latency, but it occupies and wakes the disk like any other access.
+  void write_back(double t, const std::vector<cache::PageId>& pages) {
+    for (cache::PageId p : pages) {
+      const auto res = disk->read(t, p, config.joint.page_bytes);
+      ++metrics.disk_writes;
+      last_disk_finish = res.finish_s;
+    }
+  }
+
+  void process_flushes_until(double t) {
+    if (config.flush_interval_s <= 0.0) return;
+    while (next_flush <= t) {
+      write_back(next_flush, lru->take_dirty_pages());
+      next_flush += config.flush_interval_s;
+    }
+  }
+
+  // Streams every data-set page through the cache AND the extended LRU list
+  // before t = 0: the measured run starts from a warm server. Prefilling the
+  // tracker keeps prediction consistent with the warm cache: a page's first
+  // in-trace access is a re-access at its (prefill-order) stack depth, which
+  // is exactly where the resident copy sits — so the miss curve correctly
+  // credits large memories with serving first touches from memory and
+  // charges small ones with evicting them.
+  void prefill() {
+    const std::uint64_t pages = total_pages;
+    for (std::uint64_t p = 0; p < pages; ++p) {
+      if (tracker) tracker->access(p);
+      if (!lru->lookup(p)) lru->insert(p);
+    }
+  }
+
+  void take_snapshot(double t) {
+    JPM_CHECK(!snapshot.taken);
+    snapshot.taken = true;
+    meter.finalize(t);
+    snapshot.mem = meter.breakdown();
+    if (banks) {
+      banks->finalize(t);
+      snapshot.bank_static_j = banks->static_energy_j();
+    }
+    snapshot.disk = disk->energy_through(t);
+    snapshot.busy_s = disk->busy_time_s();
+    snapshot.shutdowns = disk->shutdowns();
+    snapshot.cache_accesses = metrics.cache_accesses;
+    snapshot.disk_accesses = metrics.disk_accesses;
+    snapshot.disk_writes = metrics.disk_writes;
+    snapshot.readahead = metrics.readahead_fetches;
+    snapshot.long_latency = metrics.long_latency_count;
+    snapshot.spin_ups = metrics.spin_ups;
+    snapshot.latency_s = metrics.total_latency_s;
+  }
+
+  // ---- period bookkeeping -------------------------------------------------
+
+  void close_period(double boundary) {
+    if (config.record_periods) {
+      PeriodRecord rec;
+      rec.start_s = period_start;
+      rec.end_s = boundary;
+      rec.cache_accesses = period_cache_accesses;
+      rec.disk_accesses = period_disk_accesses;
+      rec.mean_idle_s = period_gap_count == 0
+                            ? 0.0
+                            : period_gap_sum /
+                                  static_cast<double>(period_gap_count);
+      rec.memory_units = current_units;
+      rec.timeout_s = timeout_policy->timeout_s();
+      metrics.periods.push_back(rec);
+    }
+    period_start = boundary;
+    period_cache_accesses = 0;
+    period_disk_accesses = 0;
+    period_gap_sum = 0.0;
+    period_gap_count = 0;
+  }
+
+  void handle_boundary(double boundary) {
+    disk->advance(boundary);
+    if (manager) {
+      core::PeriodStats stats = collector->harvest(boundary);
+      const core::JointDecision& d = manager->on_period_end(stats);
+      const std::uint64_t frames =
+          d.memory_units * config.joint.unit_frames();
+      std::vector<cache::PageId> dirty;
+      lru->set_capacity(std::max<std::uint64_t>(frames, 1), &dirty);
+      write_back(boundary, dirty);
+      meter.set_size(d.memory_bytes, boundary);
+      dynamic_timeout->set_timeout(d.timeout_s);
+      current_units = d.memory_units;
+    }
+    close_period(boundary);
+  }
+
+  void process_boundaries_until(double t) {
+    while (next_boundary <= t) {
+      handle_boundary(next_boundary);
+      next_boundary += config.joint.period_s;
+    }
+  }
+
+  // ---- main loop ----------------------------------------------------------
+
+  RunMetrics run() {
+    JPM_CHECK_MSG(!ran, "Engine::run is single-shot");
+    ran = true;
+    const auto& jc = config.joint;
+    const std::uint64_t page_bytes = jc.page_bytes;
+
+    while (auto event = next_event()) {
+      const double t = event->time_s;
+      if (!snapshot.taken && t >= config.warm_up_s) {
+        process_boundaries_until(config.warm_up_s);
+        take_snapshot(config.warm_up_s);
+      }
+      process_boundaries_until(t);
+      process_flushes_until(t);
+      if (banks) {
+        for (const auto& d : banks->take_due_disables(t)) {
+          std::vector<cache::PageId> dirty;
+          lru->invalidate_bank(d.bank, &dirty);
+          write_back(t, dirty);
+        }
+      }
+      disk->advance(t);
+
+      if (tracker) {
+        const std::uint64_t depth = tracker->access(event->page);
+        // Writes never become disk reads, so they stay out of the miss
+        // curve and idle prediction; they still age the LRU stack above.
+        if (!event->is_write) collector->on_access(t, depth);
+      }
+      ++metrics.cache_accesses;
+      ++period_cache_accesses;
+
+      auto outcome = lru->lookup(event->page);
+      if (outcome) {
+        meter.on_transfer(page_bytes);
+        if (event->is_write) lru->mark_dirty(event->page);
+        if (banks) banks->touch(outcome->bank, t);
+        continue;
+      }
+
+      if (event->is_write) {
+        // Write-allocate without fetch: the whole page is overwritten, so no
+        // disk read happens now; the page becomes dirty for a later flush.
+        const auto placed = lru->insert(event->page);
+        if (placed.evicted && placed.evicted_dirty) {
+          write_back(t, {placed.evicted_page});
+        }
+        lru->mark_dirty(event->page);
+        meter.on_transfer(page_bytes);
+        if (banks) banks->touch(placed.bank, t);
+        continue;
+      }
+
+      // Read miss: fetch the page from disk, then install it.
+      const auto res = disk->read(t, event->page, page_bytes);
+      ++metrics.disk_accesses;
+      ++period_disk_accesses;
+      if (res.triggered_spin_up) ++metrics.spin_ups;
+      metrics.total_latency_s += res.latency_s;
+      if (res.latency_s > config.long_latency_threshold_s) {
+        ++metrics.long_latency_count;
+      }
+      if (collector) collector->on_disk_access(res.finish_s - res.start_s);
+
+      const double gap = t - last_disk_finish;
+      if (gap >= jc.window_s) {
+        period_gap_sum += gap;
+        ++period_gap_count;
+      }
+      last_disk_finish = res.finish_s;
+
+      const auto placed = lru->insert(event->page);
+      if (placed.evicted && placed.evicted_dirty) {
+        write_back(t, {placed.evicted_page});
+      }
+      meter.on_transfer(2 * page_bytes);  // fill + serve
+      if (banks) banks->touch(placed.bank, t);
+
+      // Sequential readahead rides the same disk operation.
+      for (std::uint32_t k = 1; k <= config.readahead_pages; ++k) {
+        const std::uint64_t next_page = event->page + k;
+        if (next_page >= total_pages) break;
+        if (lru->contains(next_page)) break;  // run already cached
+        const auto ra = disk->read(t, next_page, page_bytes);
+        ++metrics.readahead_fetches;
+        last_disk_finish = ra.finish_s;
+        const auto ra_placed = lru->insert(next_page);
+        if (ra_placed.evicted && ra_placed.evicted_dirty) {
+          write_back(t, {ra_placed.evicted_page});
+        }
+        meter.on_transfer(page_bytes);
+        if (banks) banks->touch(ra_placed.bank, t);
+      }
+    }
+
+    // Close out the run at the configured duration.
+    const double end = duration_s;
+    JPM_CHECK_MSG(config.warm_up_s < end,
+                  "warm-up must be shorter than the run");
+    if (!snapshot.taken) {
+      process_boundaries_until(config.warm_up_s);
+      take_snapshot(config.warm_up_s);
+    }
+    process_boundaries_until(end);
+    process_flushes_until(end);
+    // Shutdown flush: no dirty page outlives the run.
+    write_back(end, lru->take_dirty_pages());
+    if (period_start < end) close_period(end);
+    disk->finalize(end);
+    meter.finalize(end);
+    if (banks) banks->finalize(end);
+
+    metrics.duration_s = end - config.warm_up_s;
+    metrics.spindle_count = disk->spindle_count();
+    metrics.disk_energy = disk->energy();
+    metrics.mem_energy = meter.breakdown();
+    if (banks) metrics.mem_energy.static_j += banks->static_energy_j();
+    metrics.disk_busy_s = disk->busy_time_s();
+    metrics.disk_shutdowns = disk->shutdowns();
+
+    // Subtract the warm-up window.
+    metrics.mem_energy.static_j -=
+        snapshot.mem.static_j + snapshot.bank_static_j;
+    metrics.mem_energy.dynamic_j -= snapshot.mem.dynamic_j;
+    metrics.disk_energy.standby_base_j -= snapshot.disk.standby_base_j;
+    metrics.disk_energy.static_j -= snapshot.disk.static_j;
+    metrics.disk_energy.transition_j -= snapshot.disk.transition_j;
+    metrics.disk_energy.dynamic_j -= snapshot.disk.dynamic_j;
+    metrics.disk_busy_s -= snapshot.busy_s;
+    metrics.disk_shutdowns -= snapshot.shutdowns;
+    metrics.cache_accesses -= snapshot.cache_accesses;
+    metrics.disk_accesses -= snapshot.disk_accesses;
+    metrics.disk_writes -= snapshot.disk_writes;
+    metrics.readahead_fetches -= snapshot.readahead;
+    metrics.long_latency_count -= snapshot.long_latency;
+    metrics.spin_ups -= snapshot.spin_ups;
+    metrics.total_latency_s -= snapshot.latency_s;
+    return metrics;
+  }
+};
+
+Engine::Engine(const workload::SynthesizerConfig& workload,
+               const PolicySpec& policy, const EngineConfig& config)
+    : impl_(std::make_unique<Impl>(workload, policy, config)) {}
+Engine::Engine(ReplayTrace trace, const PolicySpec& policy,
+               const EngineConfig& config)
+    : impl_(std::make_unique<Impl>(std::move(trace), policy, config)) {}
+Engine::~Engine() = default;
+Engine::Engine(Engine&&) noexcept = default;
+Engine& Engine::operator=(Engine&&) noexcept = default;
+
+RunMetrics Engine::run() { return impl_->run(); }
+
+RunMetrics run_simulation(const workload::SynthesizerConfig& workload,
+                          const PolicySpec& policy,
+                          const EngineConfig& config) {
+  return Engine(workload, policy, config).run();
+}
+
+RunMetrics replay_simulation(ReplayTrace trace, const PolicySpec& policy,
+                             const EngineConfig& config) {
+  return Engine(std::move(trace), policy, config).run();
+}
+
+}  // namespace jpm::sim

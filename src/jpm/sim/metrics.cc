@@ -1,0 +1,21 @@
+#include "jpm/sim/metrics.h"
+
+#include "jpm/util/check.h"
+
+namespace jpm::sim {
+
+NormalizedEnergy normalize_energy(const RunMetrics& m,
+                                  const RunMetrics& baseline) {
+  NormalizedEnergy n;
+  const double base_total = baseline.total_j();
+  const double base_disk = baseline.disk_energy.total_j();
+  const double base_mem = baseline.mem_energy.total_j();
+  JPM_CHECK_MSG(base_total > 0.0 && base_disk > 0.0 && base_mem > 0.0,
+                "baseline run has zero energy");
+  n.total = m.total_j() / base_total;
+  n.disk = m.disk_energy.total_j() / base_disk;
+  n.memory = m.mem_energy.total_j() / base_mem;
+  return n;
+}
+
+}  // namespace jpm::sim

@@ -1,0 +1,84 @@
+// Run-level metrics: everything the paper's figures and tables report.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jpm/disk/disk_power.h"
+#include "jpm/mem/energy_meter.h"
+
+namespace jpm::sim {
+
+// One row of the Fig. 9 style per-period timeline.
+struct PeriodRecord {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::uint64_t cache_accesses = 0;
+  std::uint64_t disk_accesses = 0;
+  double mean_idle_s = 0.0;       // measured gaps >= aggregation window
+  std::uint64_t memory_units = 0; // capacity in effect at period end
+  double timeout_s = 0.0;         // disk timeout in effect at period end
+};
+
+struct RunMetrics {
+  std::string policy_name;
+  double duration_s = 0.0;
+
+  mem::MemoryEnergyBreakdown mem_energy;
+  disk::DiskEnergyBreakdown disk_energy;
+
+  std::uint64_t cache_accesses = 0;
+  std::uint64_t disk_accesses = 0;   // read misses served by the disk
+  std::uint64_t disk_writes = 0;     // flush / eviction / shutdown writebacks
+  std::uint64_t readahead_fetches = 0;
+  std::uint64_t disk_shutdowns = 0;
+  std::uint64_t spin_ups = 0;
+  double disk_busy_s = 0.0;
+  std::uint32_t spindle_count = 1;  // disks in the storage backend
+
+  double total_latency_s = 0.0;       // summed over disk accesses (hits ~ 0)
+  std::uint64_t long_latency_count = 0;  // latency > threshold (0.5 s)
+
+  std::vector<PeriodRecord> periods;
+
+  double total_j() const {
+    return mem_energy.total_j() + disk_energy.total_j();
+  }
+  // Average latency over all disk-cache accesses (paper Fig. 7d).
+  double mean_latency_s() const {
+    return cache_accesses == 0
+               ? 0.0
+               : total_latency_s / static_cast<double>(cache_accesses);
+  }
+  // Average per-spindle utilization.
+  double utilization() const {
+    return duration_s == 0.0
+               ? 0.0
+               : disk_busy_s / (duration_s * std::max(spindle_count, 1u));
+  }
+  double long_latency_per_s() const {
+    return duration_s == 0.0
+               ? 0.0
+               : static_cast<double>(long_latency_count) / duration_s;
+  }
+  double hit_ratio() const {
+    return cache_accesses == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(disk_accesses) /
+                           static_cast<double>(cache_accesses);
+  }
+};
+
+// Energy of `m` expressed as a fraction of `baseline` (the always-on method),
+// the normalization every energy plot in the paper uses.
+struct NormalizedEnergy {
+  double total = 0.0;
+  double disk = 0.0;
+  double memory = 0.0;
+};
+NormalizedEnergy normalize_energy(const RunMetrics& m,
+                                  const RunMetrics& baseline);
+
+}  // namespace jpm::sim

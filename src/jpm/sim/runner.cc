@@ -1,0 +1,55 @@
+#include "jpm/sim/runner.h"
+
+#include <sstream>
+
+#include "jpm/util/check.h"
+
+namespace jpm::sim {
+
+std::vector<SweepPoint> run_sweep(
+    const std::vector<std::pair<std::string, workload::SynthesizerConfig>>&
+        workloads,
+    const std::vector<PolicySpec>& roster, const EngineConfig& config,
+    const std::function<void(const std::string&)>& progress) {
+  std::size_t baseline_index = roster.size();
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    if (roster[i].disk == DiskPolicyKind::kAlwaysOn &&
+        !roster[i].multi_speed) {
+      JPM_CHECK_MSG(baseline_index == roster.size(),
+                    "roster must contain exactly one always-on policy");
+      baseline_index = i;
+    }
+  }
+  JPM_CHECK_MSG(baseline_index < roster.size(),
+                "roster needs an always-on baseline");
+
+  std::vector<SweepPoint> points;
+  points.reserve(workloads.size());
+  for (const auto& [label, workload] : workloads) {
+    SweepPoint point;
+    point.label = label;
+    point.workload = workload;
+    point.outcomes.reserve(roster.size());
+    for (const auto& spec : roster) {
+      RunOutcome outcome;
+      outcome.spec = spec;
+      outcome.metrics = run_simulation(workload, spec, config);
+      point.outcomes.push_back(std::move(outcome));
+      if (progress) {
+        std::ostringstream os;
+        os << "[" << label << "] " << spec.name << ": total "
+           << point.outcomes.back().metrics.total_j() / 1e3 << " kJ, "
+           << point.outcomes.back().metrics.disk_accesses << " disk accesses";
+        progress(os.str());
+      }
+    }
+    point.baseline = point.outcomes[baseline_index].metrics;
+    for (auto& outcome : point.outcomes) {
+      outcome.normalized = normalize_energy(outcome.metrics, point.baseline);
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace jpm::sim

@@ -1,0 +1,36 @@
+// Experiment runner: executes policy rosters over workload sweeps and
+// normalizes results against the always-on baseline, the way every evaluation
+// figure in the paper is reported.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "jpm/sim/engine.h"
+
+namespace jpm::sim {
+
+struct RunOutcome {
+  PolicySpec spec;
+  RunMetrics metrics;
+  NormalizedEnergy normalized;  // vs the sweep's always-on run
+};
+
+struct SweepPoint {
+  std::string label;                   // e.g. "16GB" or "100MB/s"
+  workload::SynthesizerConfig workload;
+  std::vector<RunOutcome> outcomes;    // same order as the policy roster
+  RunMetrics baseline;                 // the always-on run
+};
+
+// Runs every policy for every workload; the roster must contain exactly one
+// always-on entry, used as the normalization baseline. `progress` (optional)
+// is invoked with a human-readable line after each run.
+std::vector<SweepPoint> run_sweep(
+    const std::vector<std::pair<std::string, workload::SynthesizerConfig>>&
+        workloads,
+    const std::vector<PolicySpec>& roster, const EngineConfig& config,
+    const std::function<void(const std::string&)>& progress = {});
+
+}  // namespace jpm::sim

@@ -1,0 +1,55 @@
+// Fenwick (binary indexed) tree over a fixed-size array of integer counts.
+//
+// Used by the LRU stack-distance tracker (Bennett–Kruskal algorithm): one slot
+// per access timestamp, prefix sums give "number of distinct pages referenced
+// since time t" in O(log n).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "jpm/util/check.h"
+
+namespace jpm {
+
+class FenwickTree {
+ public:
+  FenwickTree() = default;
+  explicit FenwickTree(std::size_t size) : tree_(size + 1, 0) {}
+
+  std::size_t size() const { return tree_.empty() ? 0 : tree_.size() - 1; }
+
+  void reset(std::size_t size) { tree_.assign(size + 1, 0); }
+
+  // Adds delta at 0-based position i.
+  void add(std::size_t i, std::int64_t delta) {
+    JPM_DCHECK(i < size());
+    for (std::size_t k = i + 1; k < tree_.size(); k += k & (~k + 1)) {
+      tree_[k] += delta;
+    }
+  }
+
+  // Sum of positions [0, i] (0-based, inclusive).
+  std::int64_t prefix_sum(std::size_t i) const {
+    JPM_DCHECK(i < size());
+    std::int64_t s = 0;
+    for (std::size_t k = i + 1; k > 0; k -= k & (~k + 1)) s += tree_[k];
+    return s;
+  }
+
+  // Sum over [lo, hi] inclusive; lo > hi yields 0.
+  std::int64_t range_sum(std::size_t lo, std::size_t hi) const {
+    if (lo > hi) return 0;
+    std::int64_t s = prefix_sum(hi);
+    if (lo > 0) s -= prefix_sum(lo - 1);
+    return s;
+  }
+
+  std::int64_t total() const { return size() == 0 ? 0 : prefix_sum(size() - 1); }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace jpm

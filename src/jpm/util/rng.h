@@ -1,0 +1,44 @@
+// Deterministic random number generation for reproducible simulation runs.
+//
+// xoshiro256** (Blackman & Vigna) seeded via splitmix64: fast, high quality,
+// and stable across platforms — unlike std::default_random_engine, every run
+// with the same seed produces the same trace everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace jpm {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  // Exponential with the given mean (> 0).
+  double exponential(double mean);
+  // Standard normal via Box–Muller (no state carried between calls).
+  double normal(double mean, double stddev);
+  // Bernoulli trial.
+  bool chance(double p);
+
+  // Derives an independent stream (for per-component RNGs from one seed).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace jpm

@@ -1,0 +1,61 @@
+// Streaming statistics and histogram utilities used by the metrics layer and
+// the joint power manager's period bookkeeping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace jpm {
+
+// Welford-style streaming mean/variance plus min/max and sum.
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double variance() const;  // population variance; 0 if count < 2
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-width linear histogram over [lo, hi); out-of-range samples land in the
+// first/last bin. Used for latency breakdowns in metrics reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::uint64_t bin_count(std::size_t i) const;
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  // Value below which the given fraction of samples fall (linear
+  // interpolation within the bin). quantile in [0,1].
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Exact percentile of a sample vector (copies + sorts; for tests/reports).
+double percentile(std::vector<double> values, double pct);
+
+}  // namespace jpm

@@ -1,0 +1,76 @@
+#include "jpm/util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "jpm/util/check.h"
+
+namespace jpm {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  JPM_CHECK(!headers_.empty());
+}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& text) {
+  JPM_CHECK_MSG(!cells_.empty(), "call row() before cell()");
+  JPM_CHECK_MSG(cells_.back().size() < headers_.size(), "row has too many cells");
+  cells_.back().push_back(text);
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell_percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return cell(os.str());
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto line = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& text = c < row.size() ? row[c] : std::string{};
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c])) << text
+         << ' ';
+    }
+    os << "|\n";
+  };
+
+  line();
+  emit(headers_);
+  line();
+  for (const auto& row : cells_) emit(row);
+  line();
+  return os.str();
+}
+
+}  // namespace jpm

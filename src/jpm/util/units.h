@@ -1,0 +1,34 @@
+// Byte / time / power unit helpers shared across the library.
+//
+// Convention: sizes are bytes in uint64_t (or MB in double where a model is
+// naturally per-MB, e.g. RDRAM static power), times are seconds in double,
+// power is watts, energy is joules.
+#pragma once
+
+#include <cstdint>
+
+namespace jpm {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+constexpr std::uint64_t mib(std::uint64_t n) { return n * kMiB; }
+constexpr std::uint64_t gib(std::uint64_t n) { return n * kGiB; }
+
+constexpr double to_mib(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kMiB);
+}
+constexpr double to_gib(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kGiB);
+}
+
+constexpr double minutes(double m) { return m * 60.0; }
+constexpr double hours(double h) { return h * 3600.0; }
+
+// Integer ceiling division for sizing (pages per file, banks per size, ...).
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace jpm

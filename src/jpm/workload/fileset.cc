@@ -1,0 +1,93 @@
+#include "jpm/workload/fileset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "jpm/util/check.h"
+
+namespace jpm::workload {
+
+std::vector<FileClass> specweb99_classes(double file_scale) {
+  JPM_CHECK(file_scale > 0.0);
+  auto scaled = [file_scale](double bytes) {
+    return static_cast<std::uint64_t>(bytes * file_scale);
+  };
+  // SPECWeb99 class structure: 35% of requests to files < 1 KB, 50% to
+  // 1-10 KB, 14% to 10-100 KB, 1% to 100 KB - 1 MB.
+  return {
+      {scaled(102.0), scaled(1.0 * 1024), 0.35},
+      {scaled(1.0 * 1024), scaled(10.0 * 1024), 0.50},
+      {scaled(10.0 * 1024), scaled(100.0 * 1024), 0.14},
+      {scaled(100.0 * 1024), scaled(1024.0 * 1024), 0.01},
+  };
+}
+
+FileSet::FileSet(const FileSetConfig& config) : config_(config) {
+  JPM_CHECK(config.dataset_bytes > 0);
+  JPM_CHECK(config.base_dataset_bytes > 0);
+
+  // Paper's scaling rule: data set x F => file count x sqrt(F), sizes x sqrt(F).
+  const double factor = static_cast<double>(config.dataset_bytes) /
+                        static_cast<double>(config.base_dataset_bytes);
+  const double size_scale = std::sqrt(factor);
+
+  const auto classes = specweb99_classes(config.file_scale * size_scale);
+
+  // Per-class mean file size, used to apportion the byte budget so each class
+  // ends up with a file count proportional to its request share.
+  double mean_weighted = 0.0;
+  for (const auto& c : classes) {
+    mean_weighted +=
+        c.request_share * 0.5 *
+        static_cast<double>(c.min_bytes + c.max_bytes);
+  }
+  JPM_CHECK(mean_weighted > 0.0);
+
+  Rng rng(config.seed * 0x51ed2701u + 7);
+  const double target_files =
+      static_cast<double>(config.dataset_bytes) / mean_weighted;
+
+  files_.clear();
+  for (std::uint32_t ci = 0; ci < classes.size(); ++ci) {
+    const auto& c = classes[ci];
+    const auto count = static_cast<std::uint64_t>(
+        std::max(1.0, std::round(target_files * c.request_share)));
+    for (std::uint64_t k = 0; k < count; ++k) {
+      const double span = static_cast<double>(c.max_bytes - c.min_bytes);
+      const auto size = c.min_bytes +
+                        static_cast<std::uint64_t>(rng.uniform() * span);
+      files_.push_back(FileInfo{0, std::max<std::uint64_t>(size, 1), ci});
+    }
+  }
+
+  // Shuffle on-disk order (Fisher-Yates) so class and popularity structure do
+  // not correlate with disk position, then assign contiguous offsets.
+  for (std::size_t i = files_.size(); i > 1; --i) {
+    std::swap(files_[i - 1], files_[rng.uniform_index(i)]);
+  }
+  std::uint64_t offset = 0;
+  for (auto& f : files_) {
+    f.offset_bytes = offset;
+    offset += f.size_bytes;
+  }
+  total_bytes_ = offset;
+}
+
+std::uint64_t FileSet::first_page(std::size_t i,
+                                  std::uint64_t page_bytes) const {
+  JPM_CHECK(i < files_.size());
+  JPM_CHECK(page_bytes > 0);
+  return files_[i].offset_bytes / page_bytes;
+}
+
+std::uint64_t FileSet::page_count(std::size_t i,
+                                  std::uint64_t page_bytes) const {
+  JPM_CHECK(i < files_.size());
+  JPM_CHECK(page_bytes > 0);
+  const auto& f = files_[i];
+  const std::uint64_t first = f.offset_bytes / page_bytes;
+  const std::uint64_t last = (f.offset_bytes + f.size_bytes - 1) / page_bytes;
+  return last - first + 1;
+}
+
+}  // namespace jpm::workload

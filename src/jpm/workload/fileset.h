@@ -1,0 +1,78 @@
+// SPECWeb99-style file set with a linear on-disk layout.
+//
+// The paper captures one SPECWeb99 trace and synthesizes variants from it by
+// scaling three knobs: data-set size, byte rate, and popularity. We build the
+// file population directly from the SPECWeb99 class structure (four size
+// classes with fixed request shares) and apply the paper's data-set scaling
+// rule: enlarging the data set by a factor F multiplies both the number of
+// files and each file's size by sqrt(F) ("if the data set is enlarged by a
+// factor of 4, the synthesizer doubles the number of files and the size of
+// each file").
+//
+// Files are laid out contiguously on a linear disk address space, so a cache
+// page (fixed span of disk addresses) can hold several small files — exactly
+// how an OS page/buffer cache over a block device behaves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jpm/util/rng.h"
+#include "jpm/util/units.h"
+
+namespace jpm::workload {
+
+// One SPECWeb99 size class: files sized uniformly in [min_bytes, max_bytes],
+// receiving `request_share` of all requests in aggregate.
+struct FileClass {
+  std::uint64_t min_bytes;
+  std::uint64_t max_bytes;
+  double request_share;
+};
+
+// The four SPECWeb99 classes, scaled by `file_scale` (see FileSetConfig).
+std::vector<FileClass> specweb99_classes(double file_scale);
+
+struct FileSetConfig {
+  // Target total bytes across all files (the paper's "data set size").
+  std::uint64_t dataset_bytes = gib(16);
+  // Data-set size at which the sqrt-scaling rule is the identity.
+  std::uint64_t base_dataset_bytes = gib(4);
+  // Multiplier applied to the SPECWeb99 class size ranges before data-set
+  // scaling. The default of 16 keeps synthetic traces short enough to sweep
+  // 16 policies on one core while preserving the class structure; tests use
+  // 1 for spec-faithful sizes.
+  double file_scale = 16.0;
+  std::uint64_t seed = 1;
+};
+
+struct FileInfo {
+  std::uint64_t offset_bytes;  // position in the linear disk layout
+  std::uint64_t size_bytes;
+  std::uint32_t file_class;
+};
+
+// Immutable file population. Construction draws file sizes class by class
+// (counts proportional to request share) until the byte budget is met, then
+// shuffles the on-disk order so popularity rank and disk position are
+// uncorrelated (popularity is assigned separately, see popularity.h).
+class FileSet {
+ public:
+  explicit FileSet(const FileSetConfig& config);
+
+  std::size_t file_count() const { return files_.size(); }
+  const FileInfo& file(std::size_t i) const { return files_[i]; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  const FileSetConfig& config() const { return config_; }
+
+  // First and one-past-last page touched when reading file i whole.
+  std::uint64_t first_page(std::size_t i, std::uint64_t page_bytes) const;
+  std::uint64_t page_count(std::size_t i, std::uint64_t page_bytes) const;
+
+ private:
+  FileSetConfig config_;
+  std::vector<FileInfo> files_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace jpm::workload

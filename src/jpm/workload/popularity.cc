@@ -1,0 +1,91 @@
+#include "jpm/workload/popularity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "jpm/util/check.h"
+
+namespace jpm::workload {
+namespace {
+
+// Zipf weights 1/(r+1)^s for ranks r = 0..n-1, normalized to sum 1.
+std::vector<double> zipf_weights(std::size_t n, double exponent) {
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    w[r] = 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    sum += w[r];
+  }
+  for (auto& x : w) x /= sum;
+  return w;
+}
+
+}  // namespace
+
+double hot_byte_fraction(const FileSet& files,
+                         const std::vector<std::uint32_t>& rank_order,
+                         double exponent, double hot_share) {
+  JPM_CHECK(rank_order.size() == files.file_count());
+  JPM_CHECK(hot_share > 0.0 && hot_share < 1.0);
+  const auto w = zipf_weights(rank_order.size(), exponent);
+  double mass = 0.0;
+  std::uint64_t bytes = 0;
+  for (std::size_t r = 0; r < rank_order.size(); ++r) {
+    mass += w[r];
+    bytes += files.file(rank_order[r]).size_bytes;
+    if (mass >= hot_share) break;
+  }
+  return static_cast<double>(bytes) / static_cast<double>(files.total_bytes());
+}
+
+PopularityModel::PopularityModel(const FileSet& files,
+                                 const PopularityConfig& config) {
+  JPM_CHECK(config.popularity > 0.0 && config.popularity <= 1.0);
+  JPM_CHECK(files.file_count() > 0);
+  const std::size_t n = files.file_count();
+
+  // Random popularity ranking, independent of on-disk order and class.
+  std::vector<std::uint32_t> rank_order(n);
+  std::iota(rank_order.begin(), rank_order.end(), 0u);
+  Rng rng(config.seed * 0xb5297a4du + 13);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(rank_order[i - 1], rank_order[rng.uniform_index(i)]);
+  }
+
+  // Larger exponent => more concentration => smaller hot-byte fraction.
+  // Binary search the exponent whose hot-byte fraction equals the target.
+  double lo = 0.0, hi = 8.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double frac = hot_byte_fraction(files, rank_order, mid,
+                                          config.hot_share);
+    if (frac > config.popularity) {
+      lo = mid;  // not concentrated enough
+    } else {
+      hi = mid;
+    }
+  }
+  exponent_ = 0.5 * (lo + hi);
+  achieved_ = hot_byte_fraction(files, rank_order, exponent_, config.hot_share);
+
+  const auto w = zipf_weights(n, exponent_);
+  prob_.assign(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) prob_[rank_order[r]] = w[r];
+
+  cdf_.resize(n);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cum += prob_[i];
+    cdf_[i] = cum;
+  }
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t PopularityModel::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace jpm::workload

@@ -1,0 +1,25 @@
+#include "jpm/workload/trace.h"
+
+#include <unordered_set>
+
+namespace jpm::workload {
+
+TraceSummary summarize(const std::vector<TraceEvent>& trace,
+                       std::uint64_t page_bytes) {
+  TraceSummary s;
+  std::unordered_set<std::uint64_t> pages;
+  pages.reserve(trace.size() / 4 + 1);
+  for (const auto& e : trace) {
+    ++s.events;
+    if (e.request_start) ++s.requests;
+    if (e.is_write) ++s.writes;
+    pages.insert(e.page);
+  }
+  s.distinct_pages = pages.size();
+  if (!trace.empty()) s.duration_s = trace.back().time_s - trace.front().time_s;
+  s.bytes_accessed =
+      static_cast<double>(s.events) * static_cast<double>(page_bytes);
+  return s;
+}
+
+}  // namespace jpm::workload

@@ -1,0 +1,34 @@
+// Disk-cache access trace: the stream every power-management method consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace jpm::workload {
+
+// One page-granular access to the disk cache.
+struct TraceEvent {
+  double time_s = 0.0;
+  std::uint64_t page = 0;
+  // True for the first page of a request: a disk read for this page pays seek
+  // and rotation; subsequent pages of the same request are sequential.
+  bool request_start = false;
+  // Write access: the page is overwritten in the cache (no disk read) and
+  // becomes dirty; a flush daemon writes it back later.
+  bool is_write = false;
+};
+
+// Materialized trace plus summary properties used by harness reporting.
+struct TraceSummary {
+  std::uint64_t events = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t distinct_pages = 0;
+  double duration_s = 0.0;
+  double bytes_accessed = 0.0;  // events * page_bytes
+};
+
+TraceSummary summarize(const std::vector<TraceEvent>& trace,
+                       std::uint64_t page_bytes);
+
+}  // namespace jpm::workload

@@ -1,0 +1,139 @@
+#include "jpm/workload/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "jpm/util/check.h"
+
+namespace jpm::workload {
+namespace {
+
+constexpr char kMagic[4] = {'J', 'P', 'M', 'T'};
+// v1: flags byte held only request_start (0/1). v2: bit 0 = request_start,
+// bit 1 = is_write. v1 files read fine under the v2 interpretation.
+constexpr std::uint32_t kVersion = 2;
+
+struct PackedEvent {
+  double time_s;
+  std::uint64_t page;
+  std::uint8_t flags;
+  std::uint8_t pad[7] = {};
+};
+static_assert(sizeof(PackedEvent) == 24);
+
+constexpr std::uint8_t kFlagStart = 1u << 0;
+constexpr std::uint8_t kFlagWrite = 1u << 1;
+
+void check_monotonic(const std::vector<TraceEvent>& trace) {
+  double prev = -1.0;
+  for (const auto& e : trace) {
+    JPM_CHECK_MSG(e.time_s >= prev, "trace timestamps must be nondecreasing");
+    prev = e.time_s;
+  }
+}
+
+}  // namespace
+
+void write_binary_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& trace) {
+  os.write(kMagic, sizeof kMagic);
+  const std::uint32_t version = kVersion;
+  const std::uint64_t count = trace.size();
+  os.write(reinterpret_cast<const char*>(&version), sizeof version);
+  os.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const auto& e : trace) {
+    const std::uint8_t flags =
+        static_cast<std::uint8_t>((e.request_start ? kFlagStart : 0) |
+                                  (e.is_write ? kFlagWrite : 0));
+    PackedEvent p{e.time_s, e.page, flags, {}};
+    os.write(reinterpret_cast<const char*>(&p), sizeof p);
+  }
+  JPM_CHECK_MSG(os.good(), "trace write failed");
+}
+
+std::vector<TraceEvent> read_binary_trace(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof magic);
+  JPM_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, 4) == 0,
+                "not a JPMT trace");
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&version), sizeof version);
+  is.read(reinterpret_cast<char*>(&count), sizeof count);
+  JPM_CHECK_MSG(version == 1 || version == kVersion,
+                "unsupported trace version");
+  std::vector<TraceEvent> trace;
+  trace.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PackedEvent p;
+    is.read(reinterpret_cast<char*>(&p), sizeof p);
+    JPM_CHECK_MSG(is.good(), "trace truncated");
+    trace.push_back(TraceEvent{p.time_s, p.page, (p.flags & kFlagStart) != 0,
+                               (p.flags & kFlagWrite) != 0});
+  }
+  check_monotonic(trace);
+  return trace;
+}
+
+void write_csv_trace(std::ostream& os, const std::vector<TraceEvent>& trace) {
+  os << "time_s,page,request_start,is_write\n";
+  os.precision(9);
+  for (const auto& e : trace) {
+    os << std::fixed << e.time_s << ',' << e.page << ','
+       << (e.request_start ? 1 : 0) << ',' << (e.is_write ? 1 : 0) << '\n';
+  }
+  JPM_CHECK_MSG(os.good(), "trace write failed");
+}
+
+std::vector<TraceEvent> read_csv_trace(std::istream& is) {
+  std::vector<TraceEvent> trace;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line.rfind("time_s", 0) == 0) continue;  // header
+    }
+    std::istringstream row(line);
+    TraceEvent e;
+    char comma1 = 0, comma2 = 0;
+    int start = 0;
+    row >> e.time_s >> comma1 >> e.page >> comma2 >> start;
+    JPM_CHECK_MSG(!row.fail() && comma1 == ',' && comma2 == ',',
+                  "malformed CSV trace line: " + line);
+    e.request_start = start != 0;
+    // Optional 4th column (write flag); traces without it are read-only.
+    char comma3 = 0;
+    int write = 0;
+    if (row >> comma3 >> write) {
+      JPM_CHECK_MSG(comma3 == ',', "malformed CSV trace line: " + line);
+      e.is_write = write != 0;
+    }
+    trace.push_back(e);
+  }
+  check_monotonic(trace);
+  return trace;
+}
+
+void save_trace(const std::string& path,
+                const std::vector<TraceEvent>& trace) {
+  const bool csv = path.size() >= 4 && path.substr(path.size() - 4) == ".csv";
+  std::ofstream os(path, csv ? std::ios::out : std::ios::out | std::ios::binary);
+  JPM_CHECK_MSG(os.is_open(), "cannot open for writing: " + path);
+  if (csv) {
+    write_csv_trace(os, trace);
+  } else {
+    write_binary_trace(os, trace);
+  }
+}
+
+std::vector<TraceEvent> load_trace(const std::string& path) {
+  const bool csv = path.size() >= 4 && path.substr(path.size() - 4) == ".csv";
+  std::ifstream is(path, csv ? std::ios::in : std::ios::in | std::ios::binary);
+  JPM_CHECK_MSG(is.is_open(), "cannot open for reading: " + path);
+  return csv ? read_csv_trace(is) : read_binary_trace(is);
+}
+
+}  // namespace jpm::workload

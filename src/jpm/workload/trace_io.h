@@ -1,0 +1,30 @@
+// Trace persistence: save synthesized traces and load captured ones.
+//
+// Two formats:
+//   * binary ("JPMT" header + packed records) — compact, lossless round trip;
+//   * CSV ("time_s,page,request_start") — for interchange with external
+//     tooling and hand-captured disk-cache traces.
+// Loading validates monotonic timestamps, so a corrupted or unsorted trace
+// fails fast instead of corrupting a simulation.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "jpm/workload/trace.h"
+
+namespace jpm::workload {
+
+void write_binary_trace(std::ostream& os, const std::vector<TraceEvent>& trace);
+std::vector<TraceEvent> read_binary_trace(std::istream& is);
+
+void write_csv_trace(std::ostream& os, const std::vector<TraceEvent>& trace);
+std::vector<TraceEvent> read_csv_trace(std::istream& is);
+
+// File-path conveniences; format picked by extension (".csv" vs anything
+// else = binary). Throw CheckError on IO failure.
+void save_trace(const std::string& path, const std::vector<TraceEvent>& trace);
+std::vector<TraceEvent> load_trace(const std::string& path);
+
+}  // namespace jpm::workload

@@ -1,0 +1,101 @@
+#include "jpm/workload/trace_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "jpm/cache/lru_cache.h"
+#include "jpm/cache/stack_distance.h"
+#include "jpm/util/check.h"
+
+namespace jpm::workload {
+
+TraceCharacterization characterize(const std::vector<TraceEvent>& trace,
+                                   std::uint64_t page_bytes,
+                                   double duration_s) {
+  JPM_CHECK(page_bytes > 0);
+  TraceCharacterization c;
+  c.events = trace.size();
+  if (trace.empty()) return c;
+
+  std::unordered_map<std::uint64_t, std::uint64_t> page_counts;
+  cache::StackDistanceTracker tracker;
+  double prev_request = -1.0;
+  double gap_sum = 0.0;
+  std::uint64_t gaps = 0;
+
+  for (const auto& e : trace) {
+    if (e.request_start) {
+      ++c.requests;
+      if (prev_request >= 0.0) {
+        const double gap = e.time_s - prev_request;
+        gap_sum += gap;
+        ++gaps;
+        c.max_interarrival_s = std::max(c.max_interarrival_s, gap);
+      }
+      prev_request = e.time_s;
+    }
+    if (e.is_write) ++c.writes;
+    ++page_counts[e.page];
+
+    const auto depth = tracker.access(e.page);
+    if (depth == cache::kColdAccess) {
+      ++c.cold_accesses;
+    } else {
+      std::size_t bucket = 0;
+      for (std::uint64_t d = depth; d > 1; d >>= 1) ++bucket;
+      if (c.reuse_depth_pow2.size() <= bucket) {
+        c.reuse_depth_pow2.resize(bucket + 1, 0);
+      }
+      ++c.reuse_depth_pow2[bucket];
+    }
+  }
+
+  c.distinct_pages = page_counts.size();
+  c.duration_s = duration_s > 0.0 ? duration_s : trace.back().time_s;
+  if (c.duration_s > 0.0) {
+    c.request_rate_per_s = static_cast<double>(c.requests) / c.duration_s;
+    c.byte_rate_per_s = static_cast<double>(c.events) *
+                        static_cast<double>(page_bytes) / c.duration_s;
+  }
+  if (gaps > 0) c.mean_interarrival_s = gap_sum / static_cast<double>(gaps);
+
+  // Hot-page fraction: smallest share of distinct pages absorbing 90% of
+  // accesses.
+  std::vector<std::uint64_t> counts;
+  counts.reserve(page_counts.size());
+  for (const auto& [page, n] : page_counts) counts.push_back(n);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  const double target = 0.9 * static_cast<double>(c.events);
+  double mass = 0.0;
+  std::size_t hot = 0;
+  for (; hot < counts.size() && mass < target; ++hot) {
+    mass += static_cast<double>(counts[hot]);
+  }
+  c.hot_page_fraction_90 =
+      static_cast<double>(hot) / static_cast<double>(counts.size());
+  return c;
+}
+
+std::vector<double> idle_gaps_at_cache_size(
+    const std::vector<TraceEvent>& trace, std::uint64_t cache_pages,
+    double window_s) {
+  JPM_CHECK(cache_pages > 0);
+  JPM_CHECK(window_s >= 0.0);
+  // Bank structure is irrelevant here; one big bank keeps it simple.
+  cache::LruCache cache(
+      cache::LruCacheOptions{cache_pages, cache_pages, cache_pages});
+  std::vector<double> gaps;
+  double last_miss = -1.0;
+  for (const auto& e : trace) {
+    if (cache.lookup(e.page)) continue;
+    cache.insert(e.page);
+    if (last_miss >= 0.0) {
+      const double gap = e.time_s - last_miss;
+      if (gap >= window_s && gap > 0.0) gaps.push_back(gap);
+    }
+    last_miss = e.time_s;
+  }
+  return gaps;
+}
+
+}  // namespace jpm::workload

@@ -1,0 +1,272 @@
+#include "jpm/cache/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "jpm/util/check.h"
+#include "jpm/util/rng.h"
+
+namespace jpm::cache {
+namespace {
+
+LruCacheOptions small_options(std::uint64_t capacity = 4) {
+  return LruCacheOptions{/*total_frames=*/16, /*frames_per_bank=*/4,
+                         /*capacity_frames=*/capacity};
+}
+
+TEST(LruCacheTest, MissOnEmpty) {
+  LruCache c(small_options());
+  EXPECT_FALSE(c.lookup(1).has_value());
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(LruCacheTest, InsertThenHit) {
+  LruCache c(small_options());
+  c.insert(1);
+  const auto r = c.lookup(1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->hit);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache c(small_options(2));
+  c.insert(1);
+  c.insert(2);
+  c.lookup(1);   // 1 becomes MRU
+  c.insert(3);   // evicts 2
+  EXPECT_TRUE(c.lookup(1).has_value());
+  EXPECT_FALSE(c.lookup(2).has_value());
+  EXPECT_TRUE(c.lookup(3).has_value());
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(LruCacheTest, LruOrderReflectsAccesses) {
+  LruCache c(small_options());
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);
+  c.lookup(1);
+  EXPECT_EQ(c.lru_order(), (std::vector<PageId>{1, 3, 2}));
+}
+
+TEST(LruCacheTest, ShrinkEvictsTail) {
+  LruCache c(small_options(4));
+  for (PageId p = 1; p <= 4; ++p) c.insert(p);
+  c.set_capacity(2);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.lookup(4).has_value());
+  EXPECT_TRUE(c.lookup(3).has_value());
+  EXPECT_FALSE(c.lookup(1).has_value());
+  EXPECT_FALSE(c.lookup(2).has_value());
+}
+
+TEST(LruCacheTest, GrowKeepsContents) {
+  LruCache c(small_options(2));
+  c.insert(1);
+  c.insert(2);
+  c.set_capacity(8);
+  EXPECT_TRUE(c.lookup(1).has_value());
+  EXPECT_TRUE(c.lookup(2).has_value());
+}
+
+TEST(LruCacheTest, InsertAtZeroCapacityThrows) {
+  LruCache c(small_options(1));
+  c.set_capacity(0);
+  EXPECT_THROW(c.insert(9), CheckError);
+}
+
+TEST(LruCacheTest, AllocationPrefersWarmBanks) {
+  // 4 frames per bank: the first 4 inserts must land in one bank.
+  LruCache c(small_options(8));
+  std::unordered_set<BankIndex> banks;
+  for (PageId p = 0; p < 4; ++p) banks.insert(c.insert(p).bank);
+  EXPECT_EQ(banks.size(), 1u);
+  // Next insert opens a second bank.
+  banks.insert(c.insert(10).bank);
+  EXPECT_EQ(banks.size(), 2u);
+}
+
+TEST(LruCacheTest, BankPopulationTracksResidency) {
+  LruCache c(small_options(8));
+  std::vector<BankIndex> b;
+  for (PageId p = 0; p < 6; ++p) b.push_back(c.insert(p).bank);
+  std::uint64_t total = 0;
+  for (BankIndex i = 0; i < c.bank_count(); ++i) total += c.bank_population(i);
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(LruCacheTest, InvalidateBankDropsItsPagesOnly) {
+  LruCache c(small_options(8));
+  std::vector<std::pair<PageId, BankIndex>> placed;
+  for (PageId p = 0; p < 8; ++p) placed.emplace_back(p, c.insert(p).bank);
+  const BankIndex victim = placed[0].second;
+  std::uint64_t expected_drop = 0;
+  for (auto& [page, bank] : placed) expected_drop += bank == victim;
+  EXPECT_EQ(c.invalidate_bank(victim), expected_drop);
+  for (auto& [page, bank] : placed) {
+    EXPECT_EQ(c.lookup(page).has_value(), bank != victim) << "page " << page;
+  }
+  EXPECT_EQ(c.bank_population(victim), 0u);
+}
+
+TEST(LruCacheTest, ReuseAfterInvalidation) {
+  LruCache c(small_options(8));
+  for (PageId p = 0; p < 8; ++p) c.insert(p);
+  c.invalidate_bank(0);
+  // Cache keeps working; freed frames get reused.
+  for (PageId p = 100; p < 104; ++p) c.insert(p);
+  EXPECT_EQ(c.size(), 8u);
+  for (PageId p = 100; p < 104; ++p) EXPECT_TRUE(c.lookup(p).has_value());
+}
+
+TEST(LruCacheTest, HitMovesPageWithoutChangingBank) {
+  LruCache c(small_options(4));
+  const auto placed = c.insert(7);
+  for (int i = 0; i < 5; ++i) {
+    const auto r = c.lookup(7);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->bank, placed.bank);
+  }
+}
+
+TEST(LruCacheTest, RejectsBadGeometry) {
+  EXPECT_THROW(LruCache(LruCacheOptions{0, 4, 0}), CheckError);
+  EXPECT_THROW(LruCache(LruCacheOptions{16, 0, 4}), CheckError);
+  EXPECT_THROW(LruCache(LruCacheOptions{16, 4, 32}), CheckError);
+  EXPECT_THROW(LruCache(LruCacheOptions{15, 4, 4}), CheckError);  // ragged bank
+}
+
+TEST(LruCacheDirtyTest, MarkAndQuery) {
+  LruCache c(small_options());
+  c.insert(1);
+  EXPECT_FALSE(c.is_dirty(1));
+  c.mark_dirty(1);
+  EXPECT_TRUE(c.is_dirty(1));
+  EXPECT_EQ(c.dirty_count(), 1u);
+  EXPECT_FALSE(c.is_dirty(99));  // absent page is not dirty
+}
+
+TEST(LruCacheDirtyTest, MarkDirtyOnAbsentPageThrows) {
+  LruCache c(small_options());
+  EXPECT_THROW(c.mark_dirty(5), CheckError);
+}
+
+TEST(LruCacheDirtyTest, TakeDirtyReturnsSortedAndClears) {
+  LruCache c(small_options(8));
+  for (PageId p : {5, 1, 9, 3}) {
+    c.insert(p);
+    c.mark_dirty(p);
+  }
+  c.insert(7);  // clean
+  const auto dirty = c.take_dirty_pages();
+  EXPECT_EQ(dirty, (std::vector<PageId>{1, 3, 5, 9}));
+  EXPECT_EQ(c.dirty_count(), 0u);
+  EXPECT_FALSE(c.is_dirty(5));
+  EXPECT_TRUE(c.take_dirty_pages().empty());
+}
+
+TEST(LruCacheDirtyTest, DoubleMarkCountsOnce) {
+  LruCache c(small_options());
+  c.insert(4);
+  c.mark_dirty(4);
+  c.mark_dirty(4);
+  EXPECT_EQ(c.dirty_count(), 1u);
+  EXPECT_EQ(c.take_dirty_pages().size(), 1u);
+}
+
+TEST(LruCacheDirtyTest, EvictionReportsDirtyVictim) {
+  LruCache c(small_options(2));
+  c.insert(1);
+  c.mark_dirty(1);
+  c.insert(2);
+  const auto out = c.insert(3);  // evicts 1 (LRU), which is dirty
+  EXPECT_TRUE(out.evicted);
+  EXPECT_EQ(out.evicted_page, 1u);
+  EXPECT_TRUE(out.evicted_dirty);
+  EXPECT_EQ(c.dirty_count(), 0u);  // the dirty page left the cache
+}
+
+TEST(LruCacheDirtyTest, CleanVictimReportedClean) {
+  LruCache c(small_options(1));
+  c.insert(1);
+  const auto out = c.insert(2);
+  EXPECT_TRUE(out.evicted);
+  EXPECT_FALSE(out.evicted_dirty);
+}
+
+TEST(LruCacheDirtyTest, ShrinkCollectsDirtyVictims) {
+  LruCache c(small_options(4));
+  for (PageId p = 1; p <= 4; ++p) c.insert(p);
+  c.mark_dirty(1);
+  c.mark_dirty(2);
+  std::vector<PageId> dirty;
+  c.set_capacity(1, &dirty);  // evicts 1, 2, 3 (LRU order)
+  EXPECT_EQ(dirty, (std::vector<PageId>{1, 2}));
+}
+
+TEST(LruCacheDirtyTest, InvalidateBankCollectsDirtyVictims) {
+  LruCache c(small_options(8));
+  std::vector<std::pair<PageId, BankIndex>> placed;
+  for (PageId p = 0; p < 8; ++p) placed.emplace_back(p, c.insert(p).bank);
+  const BankIndex victim = placed[0].second;
+  for (auto& [page, bank] : placed) {
+    if (bank == victim) c.mark_dirty(page);
+  }
+  std::vector<PageId> dirty;
+  c.invalidate_bank(victim, &dirty);
+  std::uint64_t expected = 0;
+  for (auto& [page, bank] : placed) expected += bank == victim;
+  EXPECT_EQ(dirty.size(), expected);
+}
+
+TEST(LruCacheDirtyTest, RecycledFrameDoesNotResurrectDirtyFlag) {
+  LruCache c(small_options(1));
+  c.insert(1);
+  c.mark_dirty(1);
+  c.insert(2);  // evicts dirty 1; frame reused for clean 2
+  EXPECT_FALSE(c.is_dirty(2));
+  EXPECT_TRUE(c.take_dirty_pages().empty());
+}
+
+// Property: against a naive reference LRU across random operations.
+TEST(LruCacheTest, RandomizedAgainstReference) {
+  LruCacheOptions opt{64, 8, 16};
+  LruCache c(opt);
+  std::vector<PageId> ref;  // front = MRU
+  Rng rng(5);
+  auto ref_lookup = [&](PageId p) {
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (ref[i] == p) {
+        ref.erase(ref.begin() + static_cast<long>(i));
+        ref.insert(ref.begin(), p);
+        return true;
+      }
+    }
+    return false;
+  };
+  std::uint64_t capacity = 16;
+  for (int iter = 0; iter < 20000; ++iter) {
+    if (rng.chance(0.02)) {
+      capacity = 1 + rng.uniform_index(32);
+      c.set_capacity(capacity);
+      while (ref.size() > capacity) ref.pop_back();
+      continue;
+    }
+    const PageId p = rng.uniform_index(64);
+    const bool hit = c.lookup(p).has_value();
+    const bool ref_hit = ref_lookup(p);
+    ASSERT_EQ(hit, ref_hit) << "iter " << iter;
+    if (!hit) {
+      if (ref.size() == capacity) ref.pop_back();
+      ref.insert(ref.begin(), p);
+      c.insert(p);
+    }
+    ASSERT_EQ(c.size(), ref.size());
+    ASSERT_EQ(c.lru_order(), ref);
+  }
+}
+
+}  // namespace
+}  // namespace jpm::cache

@@ -1,0 +1,132 @@
+#include "jpm/cache/miss_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "jpm/cache/lru_cache.h"
+#include "jpm/cache/stack_distance.h"
+#include "jpm/util/check.h"
+#include "jpm/util/rng.h"
+
+namespace jpm::cache {
+namespace {
+
+TEST(MissCurveTest, ColdAccessesAlwaysMiss) {
+  MissCurve mc(4, 8);
+  mc.add(kColdAccess);
+  mc.add(kColdAccess);
+  EXPECT_EQ(mc.cold_accesses(), 2u);
+  for (std::uint64_t u = 0; u <= 8; ++u) EXPECT_EQ(mc.misses_at(u), 2u);
+}
+
+TEST(MissCurveTest, DepthBucketsByUnit) {
+  MissCurve mc(/*unit_frames=*/4, /*max_units=*/4);
+  mc.add(1);   // unit 0
+  mc.add(4);   // unit 0 (depth 4 still fits in 1 unit of 4 frames)
+  mc.add(5);   // unit 1
+  mc.add(16);  // unit 3
+  EXPECT_EQ(mc.counter(0), 2u);
+  EXPECT_EQ(mc.counter(1), 1u);
+  EXPECT_EQ(mc.counter(2), 0u);
+  EXPECT_EQ(mc.counter(3), 1u);
+}
+
+TEST(MissCurveTest, MissesMonotoneNonincreasing) {
+  MissCurve mc(2, 10);
+  for (std::uint64_t d = 1; d <= 20; ++d) mc.add(d);
+  std::uint64_t prev = mc.misses_at(0);
+  for (std::uint64_t u = 1; u <= 10; ++u) {
+    EXPECT_LE(mc.misses_at(u), prev);
+    prev = mc.misses_at(u);
+  }
+}
+
+TEST(MissCurveTest, HitsPlusMissesEqualsTotal) {
+  MissCurve mc(3, 5);
+  mc.add(kColdAccess);
+  for (std::uint64_t d : {1, 2, 7, 9, 14, 15, 100}) mc.add(d);
+  for (std::uint64_t u = 0; u <= 5; ++u) {
+    EXPECT_EQ(mc.hits_at(u) + mc.misses_at(u), mc.total_accesses());
+  }
+}
+
+TEST(MissCurveTest, OverflowDepthsNeverBecomeHits) {
+  MissCurve mc(2, 3);
+  mc.add(100);  // beyond 3 units * 2 frames
+  EXPECT_EQ(mc.misses_at(3), 1u);
+  EXPECT_EQ(mc.hits_at(3), 0u);
+}
+
+// The paper's Fig. 3 worked example with unit = 1 page: counters
+// (0,0,1,1,2,0,0,0); 8 disk accesses at 4 pages, 9 at 3, 6 at 5.
+TEST(MissCurveTest, PaperFigure3Prediction) {
+  StackDistanceTracker t;
+  MissCurve mc(1, 8);
+  for (std::uint64_t r : {1, 2, 3, 5, 2, 1, 4, 6, 5, 2}) mc.add(t.access(r));
+  EXPECT_EQ(mc.counter(0), 0u);
+  EXPECT_EQ(mc.counter(1), 0u);
+  EXPECT_EQ(mc.counter(2), 1u);
+  EXPECT_EQ(mc.counter(3), 1u);
+  EXPECT_EQ(mc.counter(4), 2u);
+  EXPECT_EQ(mc.counter(5), 0u);
+  EXPECT_EQ(mc.misses_at(4), 8u);
+  EXPECT_EQ(mc.misses_at(3), 9u);
+  EXPECT_EQ(mc.misses_at(5), 6u);
+  EXPECT_EQ(mc.misses_at(8), 6u);  // no further reuse beyond depth 5
+}
+
+TEST(MissCurveTest, DistinctSizesListsChangePoints) {
+  MissCurve mc(2, 6);
+  mc.add(3);   // unit 1 -> size 2
+  mc.add(9);   // unit 4 -> size 5
+  const auto sizes = mc.distinct_sizes();
+  EXPECT_EQ(sizes, (std::vector<std::uint64_t>{2, 5, 6}));
+}
+
+TEST(MissCurveTest, DistinctSizesAlwaysIncludesMax) {
+  MissCurve mc(2, 6);
+  EXPECT_EQ(mc.distinct_sizes(), (std::vector<std::uint64_t>{6}));
+}
+
+TEST(MissCurveTest, ResetClears) {
+  MissCurve mc(2, 4);
+  mc.add(1);
+  mc.add(kColdAccess);
+  mc.reset();
+  EXPECT_EQ(mc.total_accesses(), 0u);
+  EXPECT_EQ(mc.cold_accesses(), 0u);
+  EXPECT_EQ(mc.misses_at(4), 0u);
+}
+
+TEST(MissCurveTest, RejectsDegenerateGeometry) {
+  EXPECT_THROW(MissCurve(0, 4), CheckError);
+  EXPECT_THROW(MissCurve(4, 0), CheckError);
+}
+
+// LRU inclusion property end to end: simulating actual LRU caches of sizes m
+// must match the curve's predictions exactly for the same reference stream.
+TEST(MissCurveTest, PredictionsMatchSimulatedCachesExactly) {
+  Rng rng(31);
+  std::vector<std::uint64_t> refs;
+  for (int i = 0; i < 4000; ++i) {
+    refs.push_back(rng.chance(0.7) ? rng.uniform_index(12)
+                                   : rng.uniform_index(120));
+  }
+  StackDistanceTracker t;
+  MissCurve mc(1, 64);
+  for (auto r : refs) mc.add(t.access(r));
+
+  for (std::uint64_t m : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    LruCache cache(LruCacheOptions{128, 8, m});
+    std::uint64_t misses = 0;
+    for (auto r : refs) {
+      if (!cache.lookup(r)) {
+        ++misses;
+        cache.insert(r);
+      }
+    }
+    EXPECT_EQ(mc.misses_at(m), misses) << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace jpm::cache

@@ -1,0 +1,172 @@
+#include "jpm/cache/partitioned_lru.h"
+
+#include <gtest/gtest.h>
+
+#include "jpm/util/check.h"
+#include "jpm/util/rng.h"
+
+namespace jpm::cache {
+namespace {
+
+// Builds a miss curve whose reuse depths follow the given per-unit hit
+// counts (unit_frames = 1 for directness).
+MissCurve curve_from_hits(const std::vector<std::uint64_t>& hits_per_unit,
+                          std::uint64_t max_units, std::uint64_t cold) {
+  MissCurve c(1, max_units);
+  for (std::uint64_t u = 0; u < hits_per_unit.size(); ++u) {
+    for (std::uint64_t k = 0; k < hits_per_unit[u]; ++k) c.add(u + 1);
+  }
+  for (std::uint64_t k = 0; k < cold; ++k) c.add(kColdAccess);
+  return c;
+}
+
+TEST(SolverTest, AllocatesEverythingToTheOnlyPartition) {
+  const auto c = curve_from_hits({10, 5, 1}, 8, 0);
+  const auto sizes = solve_partition_sizes({&c}, {1.0}, 8);
+  EXPECT_EQ(sizes, (std::vector<std::uint64_t>{8}));
+}
+
+TEST(SolverTest, SizesSumToTotal) {
+  const auto a = curve_from_hits({10, 5, 1}, 12, 3);
+  const auto b = curve_from_hits({2, 2, 2, 2}, 12, 1);
+  const auto c = curve_from_hits({7}, 12, 0);
+  const auto sizes = solve_partition_sizes({&a, &b, &c}, {1.0, 1.0, 1.0}, 12);
+  EXPECT_EQ(sizes[0] + sizes[1] + sizes[2], 12u);
+  for (auto s : sizes) EXPECT_GE(s, 1u);
+}
+
+TEST(SolverTest, ExpensiveMissesAttractMemory) {
+  // Identical miss curves; partition 1's misses cost 10x. It must receive
+  // at least as much memory.
+  const auto a = curve_from_hits({10, 8, 6, 4, 2}, 8, 0);
+  const auto b = curve_from_hits({10, 8, 6, 4, 2}, 8, 0);
+  const auto sizes = solve_partition_sizes({&a, &b}, {1.0, 10.0}, 8);
+  EXPECT_GE(sizes[1], sizes[0]);
+}
+
+TEST(SolverTest, SteepCurveAttractsMemory) {
+  // Partition 0 gains many hits per unit; partition 1 gains almost none.
+  // Memory is scarce (6 units for two 4-unit working sets), so the steep
+  // curve must win the contested units.
+  const auto steep = curve_from_hits({100, 90, 80, 70}, 8, 0);
+  const auto flat = curve_from_hits({1, 1, 1, 1}, 8, 0);
+  const auto sizes = solve_partition_sizes({&steep, &flat}, {1.0, 1.0}, 6);
+  EXPECT_GT(sizes[0], sizes[1]);
+  EXPECT_EQ(sizes[0], 4u);
+}
+
+TEST(SolverTest, OptimalAgainstExhaustiveSearch) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<MissCurve> curves;
+    std::vector<const MissCurve*> ptrs;
+    std::vector<double> costs;
+    const std::uint64_t total = 10;
+    for (int d = 0; d < 3; ++d) {
+      std::vector<std::uint64_t> hits;
+      for (std::uint64_t u = 0; u < total; ++u) {
+        hits.push_back(rng.uniform_index(20));
+      }
+      curves.push_back(curve_from_hits(hits, total, rng.uniform_index(5)));
+      costs.push_back(0.1 + rng.uniform() * 5.0);
+    }
+    for (const auto& c : curves) ptrs.push_back(&c);
+    const auto sizes = solve_partition_sizes(ptrs, costs, total);
+
+    auto cost_of = [&](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+      return costs[0] * static_cast<double>(curves[0].misses_at(a)) +
+             costs[1] * static_cast<double>(curves[1].misses_at(b)) +
+             costs[2] * static_cast<double>(curves[2].misses_at(c));
+    };
+    const double got = cost_of(sizes[0], sizes[1], sizes[2]);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint64_t a = 1; a + 2 <= total; ++a) {
+      for (std::uint64_t b = 1; a + b + 1 <= total; ++b) {
+        best = std::min(best, cost_of(a, b, total - a - b));
+      }
+    }
+    EXPECT_NEAR(got, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(SolverTest, RejectsBadInputs) {
+  const auto c = curve_from_hits({1}, 4, 0);
+  EXPECT_THROW(solve_partition_sizes(std::vector<const MissCurve*>{},
+                                     std::vector<double>{}, 4),
+               CheckError);
+  EXPECT_THROW(solve_partition_sizes({&c}, std::vector<double>{1.0, 2.0}, 4),
+               CheckError);
+  EXPECT_THROW(solve_partition_sizes({&c, &c, &c},
+                                     std::vector<double>{1, 1, 1}, 2),
+               CheckError);
+}
+
+PartitionedLruOptions small_options() {
+  return PartitionedLruOptions{2, 16, 2};  // 8 units of 2 frames
+}
+
+TEST(PartitionedLruTest, StartsWithEqualSplit) {
+  PartitionedLruCache cache(small_options());
+  EXPECT_EQ(cache.partition_units(0), 4u);
+  EXPECT_EQ(cache.partition_units(1), 4u);
+  EXPECT_EQ(cache.total_units(), 8u);
+}
+
+TEST(PartitionedLruTest, PartitionsAreIndependentCaches) {
+  PartitionedLruCache cache(small_options());
+  EXPECT_FALSE(cache.access(0, 42));  // miss, installs
+  EXPECT_TRUE(cache.access(0, 42));   // hit
+  EXPECT_FALSE(cache.access(1, 42));  // other partition: its own miss
+  EXPECT_EQ(cache.epoch_misses(0), 1u);
+  EXPECT_EQ(cache.epoch_misses(1), 1u);
+}
+
+TEST(PartitionedLruTest, RebalanceMovesMemoryTowardCostlyPartition) {
+  PartitionedLruCache cache(small_options());
+  Rng rng(9);
+  // Both partitions see a working set of 12 frames (6 units) — too big for
+  // the initial 4 units each.
+  for (int i = 0; i < 4000; ++i) {
+    cache.access(0, rng.uniform_index(12));
+    cache.access(1, rng.uniform_index(12));
+  }
+  cache.rebalance({1.0, 20.0});  // partition 1 misses are 20x costlier
+  EXPECT_GT(cache.partition_units(1), cache.partition_units(0));
+  EXPECT_EQ(cache.partition_units(0) + cache.partition_units(1), 8u);
+  // Epoch stats reset.
+  EXPECT_EQ(cache.epoch_misses(0), 0u);
+  EXPECT_EQ(cache.epoch_curve(0).total_accesses(), 0u);
+}
+
+TEST(PartitionedLruTest, RebalanceImprovesWeightedMisses) {
+  // Partition 0's working set fits in 2 units; partition 1 needs 6. Equal
+  // split (4/4) starves partition 1; after a rebalance with equal costs the
+  // solver should shift units to it and cut its misses.
+  PartitionedLruCache cache(small_options());
+  Rng rng(11);
+  auto drive = [&](int n) {
+    std::uint64_t misses = 0;
+    for (int i = 0; i < n; ++i) {
+      misses += !cache.access(0, rng.uniform_index(4));
+      misses += !cache.access(1, rng.uniform_index(12));
+    }
+    return misses;
+  };
+  drive(4000);
+  const std::uint64_t before = cache.epoch_misses(1);
+  cache.rebalance({1.0, 1.0});
+  EXPECT_GE(cache.partition_units(1), 5u);
+  drive(4000);
+  EXPECT_LT(cache.epoch_misses(1), before / 2);
+}
+
+TEST(PartitionedLruTest, RejectsBadGeometry) {
+  EXPECT_THROW(PartitionedLruCache({0, 16, 2}), CheckError);
+  EXPECT_THROW(PartitionedLruCache({2, 15, 2}), CheckError);  // ragged
+  EXPECT_THROW(PartitionedLruCache({9, 16, 2}), CheckError);  // > units
+  PartitionedLruCache ok(small_options());
+  EXPECT_THROW(ok.access(5, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace jpm::cache

@@ -1,0 +1,109 @@
+#include "jpm/cache/stack_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "jpm/util/rng.h"
+
+namespace jpm::cache {
+namespace {
+
+TEST(StackDistanceTest, FirstAccessIsCold) {
+  StackDistanceTracker t;
+  EXPECT_EQ(t.access(42), kColdAccess);
+  EXPECT_EQ(t.distinct_pages(), 1u);
+}
+
+TEST(StackDistanceTest, ImmediateReaccessHasDepthOne) {
+  StackDistanceTracker t;
+  t.access(1);
+  EXPECT_EQ(t.access(1), 1u);
+}
+
+TEST(StackDistanceTest, DepthCountsDistinctIntermediatePages) {
+  StackDistanceTracker t;
+  t.access(1);
+  t.access(2);
+  t.access(3);
+  t.access(2);            // depth 2 (pages {3} + itself)
+  EXPECT_EQ(t.access(1), 3u);  // {2, 3} + itself
+}
+
+TEST(StackDistanceTest, RepeatedIntermediateAccessesCountOnce) {
+  StackDistanceTracker t;
+  t.access(1);
+  for (int i = 0; i < 10; ++i) t.access(2);
+  EXPECT_EQ(t.access(1), 2u);  // only one distinct page in between
+}
+
+// The worked example from paper Fig. 3: accesses (1,2,3,5,2,1,4,6,5,2) give
+// depth counters (0,0,1,1,2,0,0,0) — one access at depth 3, one at 4, two
+// at 5.
+TEST(StackDistanceTest, PaperFigure3Example) {
+  StackDistanceTracker t;
+  const std::vector<std::uint64_t> refs{1, 2, 3, 5, 2, 1, 4, 6, 5, 2};
+  std::vector<std::uint64_t> depths;
+  for (auto r : refs) depths.push_back(t.access(r));
+  const auto C = kColdAccess;
+  const std::vector<std::uint64_t> expected{C, C, C, C, 3, 4, C, C, 5, 5};
+  EXPECT_EQ(depths, expected);
+}
+
+TEST(StackDistanceTest, SurvivesCompaction) {
+  StackDistanceTracker t;
+  // Re-access two pages many times: slots churn and force compactions.
+  t.access(100);
+  t.access(200);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_EQ(t.access(100), 2u);
+    EXPECT_EQ(t.access(200), 2u);
+  }
+  EXPECT_EQ(t.distinct_pages(), 2u);
+  EXPECT_EQ(t.total_accesses(), 200002u);
+}
+
+// Reference implementation: an explicit LRU stack (O(n) per access).
+class NaiveStack {
+ public:
+  std::uint64_t access(std::uint64_t page) {
+    std::uint64_t depth = 1;
+    for (auto it = stack_.begin(); it != stack_.end(); ++it, ++depth) {
+      if (*it == page) {
+        stack_.erase(it);
+        stack_.push_front(page);
+        return depth;
+      }
+    }
+    stack_.push_front(page);
+    return kColdAccess;
+  }
+
+ private:
+  std::list<std::uint64_t> stack_;
+};
+
+TEST(StackDistanceTest, RandomizedAgainstNaiveStack) {
+  StackDistanceTracker fast;
+  NaiveStack naive;
+  Rng rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    // Mix of hot pages and a long tail so all depths occur.
+    const std::uint64_t page = rng.chance(0.6) ? rng.uniform_index(16)
+                                               : rng.uniform_index(1000);
+    ASSERT_EQ(fast.access(page), naive.access(page)) << "iter " << i;
+  }
+}
+
+TEST(StackDistanceTest, SequentialScanDepthsEqualWorkingSetSize) {
+  StackDistanceTracker t;
+  const std::uint64_t n = 500;
+  for (std::uint64_t p = 0; p < n; ++p) t.access(p);
+  // Second scan: every page is at depth n.
+  for (std::uint64_t p = 0; p < n; ++p) EXPECT_EQ(t.access(p), n);
+}
+
+}  // namespace
+}  // namespace jpm::cache

@@ -1,0 +1,60 @@
+#include "jpm/core/joint_power_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "jpm/util/check.h"
+
+namespace jpm::core {
+namespace {
+
+JointConfig small_config() {
+  JointConfig c;
+  c.page_bytes = 4 * kMiB;
+  c.unit_bytes = 16 * kMiB;
+  c.physical_bytes = 160 * kMiB;
+  c.period_s = 600.0;
+  return c;
+}
+
+TEST(JointPowerManagerTest, InitialPostureIsConservative) {
+  JointPowerManager mgr(small_config());
+  EXPECT_EQ(mgr.initial_memory_units(), 10u);
+  EXPECT_NEAR(mgr.initial_timeout_s(), 11.7, 0.1);
+}
+
+TEST(JointPowerManagerTest, DecisionsAccumulate) {
+  const auto c = small_config();
+  JointPowerManager mgr(c);
+  PeriodStatsCollector collector(c.unit_frames(), c.max_units(), 0.0);
+  for (int i = 0; i < 100; ++i) {
+    collector.on_access(i * 6.0, 1 + (i % 4ull));
+  }
+  const auto& d1 = mgr.on_period_end(collector.harvest(600.0));
+  EXPECT_DOUBLE_EQ(d1.at_s, 600.0);
+  EXPECT_EQ(d1.memory_bytes, d1.memory_units * c.unit_bytes);
+  const auto& d2 = mgr.on_period_end(collector.harvest(1200.0));
+  EXPECT_DOUBLE_EQ(d2.at_s, 1200.0);
+  EXPECT_EQ(mgr.decisions().size(), 2u);
+}
+
+TEST(JointPowerManagerTest, HotPeriodShrinksMemory) {
+  const auto c = small_config();
+  JointPowerManager mgr(c);
+  PeriodStatsCollector collector(c.unit_frames(), c.max_units(), 0.0);
+  for (int i = 0; i < 600; ++i) collector.on_access(i * 1.0, 1 + (i % 4ull));
+  const auto& d = mgr.on_period_end(collector.harvest(600.0));
+  EXPECT_LT(d.memory_units, mgr.initial_memory_units());
+}
+
+TEST(JointPowerManagerTest, RejectsMisalignedGeometry) {
+  auto c = small_config();
+  c.unit_bytes = 10 * kMiB;  // not a multiple of 4 MiB pages? It is; make
+  c.page_bytes = 3 * kMiB;   // pages that do not divide the unit instead.
+  EXPECT_THROW(JointPowerManager{c}, CheckError);
+  c = small_config();
+  c.physical_bytes = 24 * kMiB;  // not a whole number of units
+  EXPECT_THROW(JointPowerManager{c}, CheckError);
+}
+
+}  // namespace
+}  // namespace jpm::core

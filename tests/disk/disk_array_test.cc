@@ -1,0 +1,133 @@
+#include "jpm/disk/disk_array.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "jpm/util/check.h"
+
+namespace jpm::disk {
+namespace {
+
+constexpr std::uint64_t kPage = 256 * kKiB;
+
+DiskArrayConfig config(std::uint32_t disks) {
+  DiskArrayConfig c;
+  c.disk_count = disks;
+  c.stripe_bytes = 4 * kPage;  // 4 pages per stripe
+  c.page_bytes = kPage;
+  return c;
+}
+
+DiskArray::PolicyFactory fixed_factory(double timeout) {
+  return [timeout] { return std::make_unique<FixedTimeout>(timeout); };
+}
+
+TEST(DiskArrayTest, StripeMappingRotates) {
+  DiskArray a(config(3), fixed_factory(10.0), 0.0);
+  EXPECT_EQ(a.disk_of(0), 0u);
+  EXPECT_EQ(a.disk_of(3), 0u);   // same stripe
+  EXPECT_EQ(a.disk_of(4), 1u);   // next stripe
+  EXPECT_EQ(a.disk_of(8), 2u);
+  EXPECT_EQ(a.disk_of(12), 0u);  // wraps
+}
+
+TEST(DiskArrayTest, RequestsRouteToMappedDisk) {
+  DiskArray a(config(2), fixed_factory(10.0), 0.0);
+  a.read(1.0, 0, kPage);   // disk 0
+  a.read(1.1, 4, kPage);   // disk 1
+  a.read(1.2, 5, kPage);   // disk 1
+  EXPECT_EQ(a.requests_per_disk()[0], 1u);
+  EXPECT_EQ(a.requests_per_disk()[1], 2u);
+}
+
+TEST(DiskArrayTest, SequentialRunsSurviveWithinStripe) {
+  DiskArray a(config(2), fixed_factory(10.0), 0.0);
+  a.read(1.0, 4, kPage);
+  const auto r = a.read(1.1, 5, kPage);  // same stripe, next page
+  EXPECT_TRUE(r.sequential);
+}
+
+TEST(DiskArrayTest, CrossStripeSameDiskStaysSequentialInLocalSpace) {
+  // Pages 0..3 are stripe 0 on disk 0; pages 8..11 are stripe 2, also disk 0
+  // with 2 disks. Local addresses are contiguous stripes per disk, so page 8
+  // follows page 3 sequentially on disk 0.
+  DiskArray a(config(2), fixed_factory(10.0), 0.0);
+  a.read(1.0, 3, kPage);
+  const auto r = a.read(1.1, 8, kPage);
+  EXPECT_TRUE(r.sequential);
+}
+
+TEST(DiskArrayTest, IndependentSpinDowns) {
+  DiskArray a(config(2), fixed_factory(10.0), 0.0);
+  a.read(1.0, 0, kPage);  // only disk 0 sees traffic
+  a.advance(1000.0);
+  // Both disks spin down (disk 1 was idle from t = 0).
+  EXPECT_EQ(a.shutdowns(), 2u);
+  EXPECT_EQ(a.disk(0).state(), DiskState::kStandby);
+  EXPECT_EQ(a.disk(1).state(), DiskState::kStandby);
+}
+
+TEST(DiskArrayTest, EnergyIsSumOfDisks) {
+  DiskArray a(config(3), fixed_factory(10.0), 0.0);
+  a.read(1.0, 0, kPage);
+  a.read(2.0, 4, kPage);
+  a.finalize(100.0);
+  DiskEnergyBreakdown sum;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const auto e = a.disk(i).energy();
+    sum.standby_base_j += e.standby_base_j;
+    sum.static_j += e.static_j;
+    sum.transition_j += e.transition_j;
+    sum.dynamic_j += e.dynamic_j;
+  }
+  EXPECT_NEAR(a.energy().total_j(), sum.total_j(), 1e-9);
+  EXPECT_EQ(a.spindle_count(), 3u);
+}
+
+TEST(DiskArrayTest, LoadSpreadsAcrossDisksForStripedScan) {
+  DiskArray a(config(4), fixed_factory(10.0), 0.0);
+  for (std::uint64_t p = 0; p < 64; ++p) {
+    a.read(1.0 + 0.001 * static_cast<double>(p), p, kPage);
+  }
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.requests_per_disk()[i], 16u) << "disk " << i;
+  }
+}
+
+TEST(DiskArrayTest, ParallelServiceBeatsSingleDiskOnSpreadLoad) {
+  // The same burst of random reads across stripes finishes with lower total
+  // queueing on 4 spindles than on 1.
+  auto run = [](std::uint32_t disks) {
+    DiskArray a(config(disks), fixed_factory(1e9), 0.0);
+    double total_latency = 0.0;
+    for (int k = 0; k < 40; ++k) {
+      const auto r = a.read(1.0, static_cast<std::uint64_t>(k) * 4 + 100,
+                            kPage);
+      total_latency += r.latency_s;
+    }
+    return total_latency;
+  };
+  EXPECT_LT(run(4), 0.5 * run(1));
+}
+
+TEST(DiskArrayTest, SharedTimeoutFollowsSource) {
+  DynamicTimeout source(11.7);
+  SharedTimeout shared(&source);
+  EXPECT_DOUBLE_EQ(shared.timeout_s(), 11.7);
+  source.set_timeout(42.0);
+  EXPECT_DOUBLE_EQ(shared.timeout_s(), 42.0);
+}
+
+TEST(DiskArrayTest, RejectsBadGeometry) {
+  auto c = config(0);
+  EXPECT_THROW(DiskArray(c, fixed_factory(1.0), 0.0), CheckError);
+  c = config(2);
+  c.stripe_bytes = kPage + 1;  // ragged stripe
+  EXPECT_THROW(DiskArray(c, fixed_factory(1.0), 0.0), CheckError);
+  c = config(2);
+  EXPECT_THROW(DiskArray(c, nullptr, 0.0), CheckError);
+}
+
+}  // namespace
+}  // namespace jpm::disk

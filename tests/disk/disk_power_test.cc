@@ -1,0 +1,73 @@
+#include "jpm/disk/disk_power.h"
+
+#include <gtest/gtest.h>
+
+#include "jpm/util/check.h"
+
+namespace jpm::disk {
+namespace {
+
+TEST(DiskPowerMeterTest, StartsOnWithNoEnergy) {
+  DiskPowerMeter m(DiskParams{}, 0.0);
+  EXPECT_EQ(m.state(), DiskState::kOn);
+  EXPECT_EQ(m.shutdowns(), 0u);
+  EXPECT_EQ(m.breakdown().total_j(), 0.0);
+}
+
+TEST(DiskPowerMeterTest, FullTransitionCycle) {
+  DiskParams p;
+  DiskPowerMeter m(p, 0.0);
+  m.spin_down(100.0);
+  EXPECT_EQ(m.state(), DiskState::kStandby);
+  m.begin_spin_up(200.0);
+  EXPECT_EQ(m.state(), DiskState::kSpinningUp);
+  m.complete_spin_up(210.0);
+  EXPECT_EQ(m.state(), DiskState::kOn);
+  m.finalize(300.0);
+
+  const auto e = m.breakdown();
+  EXPECT_NEAR(e.standby_base_j, p.standby_w * 300.0, 1e-9);
+  EXPECT_NEAR(e.static_j, p.static_power_w() * (100.0 + 90.0), 1e-9);
+  EXPECT_NEAR(e.transition_j, p.transition_j, 1e-9);
+  EXPECT_EQ(m.shutdowns(), 1u);
+}
+
+TEST(DiskPowerMeterTest, IllegalTransitionsThrow) {
+  DiskPowerMeter m(DiskParams{}, 0.0);
+  EXPECT_THROW(m.begin_spin_up(1.0), CheckError);   // not standby
+  EXPECT_THROW(m.complete_spin_up(1.0), CheckError);
+  m.spin_down(10.0);
+  EXPECT_THROW(m.spin_down(20.0), CheckError);      // already standby
+}
+
+TEST(DiskPowerMeterTest, BusyTimeDrivesDynamicEnergy) {
+  DiskParams p;
+  DiskPowerMeter m(p, 0.0);
+  m.add_busy_time(12.0);
+  m.add_busy_time(3.0);
+  m.finalize(100.0);
+  EXPECT_NEAR(m.breakdown().dynamic_j, p.dynamic_power_w() * 15.0, 1e-9);
+}
+
+TEST(DiskPowerMeterTest, RepeatedFinalizeIsMonotoneIdempotent) {
+  DiskParams p;
+  DiskPowerMeter m(p, 0.0);
+  m.finalize(50.0);
+  const double first = m.breakdown().static_j;
+  m.finalize(50.0);
+  EXPECT_DOUBLE_EQ(m.breakdown().static_j, first);
+  m.finalize(80.0);
+  EXPECT_NEAR(m.breakdown().static_j - first, p.static_power_w() * 30.0,
+              1e-9);
+}
+
+TEST(DiskPowerMeterTest, NoStaticEnergyWhileStandby) {
+  DiskParams p;
+  DiskPowerMeter m(p, 0.0);
+  m.spin_down(10.0);
+  m.finalize(1000.0);
+  EXPECT_NEAR(m.breakdown().static_j, p.static_power_w() * 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace jpm::disk

@@ -1,0 +1,153 @@
+#include "jpm/disk/disk_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace jpm::disk {
+namespace {
+
+constexpr std::uint64_t kPage = 256 * kKiB;
+
+DiskParams params() { return DiskParams{}; }
+
+TEST(DiskQueueTest, FirstReadPaysPositioning) {
+  FixedTimeout policy(11.7);
+  Disk d(params(), &policy, 0.0);
+  const auto r = d.read(1.0, 1000, kPage);
+  EXPECT_FALSE(r.sequential);
+  EXPECT_NEAR(r.latency_s, ServiceModel(params()).service_time_s(kPage, false),
+              1e-12);
+  EXPECT_FALSE(r.triggered_spin_up);
+}
+
+TEST(DiskQueueTest, SequentialRunDetected) {
+  FixedTimeout policy(11.7);
+  Disk d(params(), &policy, 0.0);
+  d.read(1.0, 1000, kPage);
+  const auto r = d.read(1.1, 1001, kPage);
+  EXPECT_TRUE(r.sequential);
+  EXPECT_NEAR(r.latency_s, ServiceModel(params()).service_time_s(kPage, true),
+              1e-12);
+}
+
+TEST(DiskQueueTest, FcfsQueueingDelaysBackToBack) {
+  FixedTimeout policy(11.7);
+  Disk d(params(), &policy, 0.0);
+  const auto a = d.read(1.0, 10, kPage);
+  const auto b = d.read(1.0, 9999, kPage);  // arrives while a is in service
+  EXPECT_DOUBLE_EQ(b.start_s, a.finish_s);
+  EXPECT_GT(b.latency_s, a.latency_s);
+}
+
+TEST(DiskQueueTest, SpinsDownAfterTimeout) {
+  FixedTimeout policy(10.0);
+  Disk d(params(), &policy, 0.0);
+  d.read(1.0, 10, kPage);
+  d.advance(5.0);
+  EXPECT_EQ(d.state(), DiskState::kOn);
+  d.advance(50.0);
+  EXPECT_EQ(d.state(), DiskState::kStandby);
+  EXPECT_EQ(d.shutdowns(), 1u);
+}
+
+TEST(DiskQueueTest, SpinDownBackdatedToExpiry) {
+  FixedTimeout policy(10.0);
+  Disk d(params(), &policy, 0.0);
+  const auto r = d.read(1.0, 10, kPage);
+  d.advance(1000.0);
+  d.finalize(1000.0);
+  // On-time: [0, finish + 10s timeout]; everything after is standby.
+  EXPECT_NEAR(d.energy().static_j,
+              params().static_power_w() * (r.finish_s + 10.0), 1e-6);
+}
+
+TEST(DiskQueueTest, WakeOnDemandDelaysBySpinUp) {
+  FixedTimeout policy(10.0);
+  Disk d(params(), &policy, 0.0);
+  const auto first = d.read(1.0, 10, kPage);
+  const double t2 = 100.0;
+  const auto r = d.read(t2, 2000, kPage);
+  EXPECT_TRUE(r.triggered_spin_up);
+  EXPECT_NEAR(r.start_s, t2 + params().spin_up_s, 1e-12);
+  EXPECT_GT(r.latency_s, params().spin_up_s);
+  (void)first;
+}
+
+TEST(DiskQueueTest, RequestDuringSpinUpQueuesBehindIt) {
+  FixedTimeout policy(10.0);
+  Disk d(params(), &policy, 0.0);
+  d.read(1.0, 10, kPage);
+  const auto a = d.read(100.0, 2000, kPage);  // wakes the disk
+  const auto b = d.read(101.0, 3000, kPage);  // arrives mid spin-up
+  EXPECT_TRUE(a.triggered_spin_up);
+  EXPECT_FALSE(b.triggered_spin_up);
+  EXPECT_DOUBLE_EQ(b.start_s, a.finish_s);
+  EXPECT_GT(b.latency_s, 0.5);  // a paper-grade "long latency" request
+}
+
+TEST(DiskQueueTest, AdaptivePolicyNotifiedOnSpinUp) {
+  AdaptiveTimeout policy;  // starts at 10 s
+  Disk d(params(), &policy, 0.0);
+  d.read(1.0, 10, kPage);
+  d.read(100.0, 2000, kPage);  // idle ~99 s, delay 10 s -> ratio > 0.05
+  EXPECT_DOUBLE_EQ(policy.timeout_s(), 15.0);
+}
+
+TEST(DiskQueueTest, NeverTimeoutKeepsDiskOn) {
+  NeverTimeout policy;
+  Disk d(params(), &policy, 0.0);
+  d.read(1.0, 10, kPage);
+  d.advance(1e6);
+  EXPECT_EQ(d.state(), DiskState::kOn);
+  EXPECT_EQ(d.shutdowns(), 0u);
+}
+
+TEST(DiskQueueTest, EnergyAccountingMatchesPaperModel) {
+  FixedTimeout policy(10.0);
+  DiskParams p = params();
+  Disk d(p, &policy, 0.0);
+  const auto r1 = d.read(1.0, 10, kPage);
+  // Idle 10 s -> spin down at r1.finish + 10. Wake at 500.
+  const auto r2 = d.read(500.0, 5000, kPage);
+  d.finalize(1000.0);
+  const auto e = d.energy();
+  EXPECT_NEAR(e.standby_base_j, p.standby_w * 1000.0, 1e-6);
+  // Two round trips: after r1's idle timeout and again after r2's.
+  EXPECT_NEAR(e.transition_j, 2.0 * p.transition_j, 1e-9);
+  const double on_time =
+      (r1.finish_s + 10.0 - 0.0) + (r2.finish_s + 10.0 - (500.0 + p.spin_up_s));
+  EXPECT_NEAR(e.static_j, p.static_power_w() * on_time, 1e-6);
+  EXPECT_NEAR(e.dynamic_j,
+              p.dynamic_power_w() * d.busy_time_s(), 1e-9);
+}
+
+TEST(DiskQueueTest, MidRunEnergySnapshotIsCumulative) {
+  FixedTimeout policy(10.0);
+  Disk d(params(), &policy, 0.0);
+  d.read(1.0, 10, kPage);
+  const auto snap = d.energy_through(100.0);
+  d.read(200.0, 99, kPage);
+  d.finalize(300.0);
+  const auto total = d.energy();
+  EXPECT_GT(total.standby_base_j, snap.standby_base_j);
+  EXPECT_GE(total.static_j, snap.static_j);
+  EXPECT_GE(total.transition_j, snap.transition_j);
+}
+
+TEST(DiskQueueTest, UtilizationMatchesBusyFraction) {
+  NeverTimeout policy;
+  Disk d(params(), &policy, 0.0);
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    t += 1.0;
+    d.read(t, static_cast<std::uint64_t>(i) * 100, kPage);
+  }
+  d.finalize(t + 1.0);
+  const double expected =
+      100.0 * ServiceModel(params()).service_time_s(kPage, false);
+  EXPECT_NEAR(d.busy_time_s(), expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace jpm::disk

@@ -1,0 +1,124 @@
+#include "jpm/disk/multispeed.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "jpm/util/check.h"
+
+namespace jpm::disk {
+namespace {
+
+constexpr std::uint64_t kPage = 256 * kKiB;
+
+MultiSpeedParams params() { return drpm_params(DiskParams{}); }
+
+TEST(DrpmParamsTest, PowerLawAndRates) {
+  const auto p = params();
+  ASSERT_EQ(p.levels.size(), 4u);
+  EXPECT_DOUBLE_EQ(p.levels[0].idle_w, DiskParams{}.idle_w);
+  // Power above standby strictly decreases; rates scale linearly.
+  for (std::size_t i = 1; i < p.levels.size(); ++i) {
+    EXPECT_LT(p.levels[i].idle_w, p.levels[i - 1].idle_w);
+    EXPECT_LT(p.levels[i].media_rate_bytes_per_s,
+              p.levels[i - 1].media_rate_bytes_per_s);
+    EXPECT_GT(p.levels[i].rotation_s, p.levels[i - 1].rotation_s);
+    EXPECT_GT(p.levels[i].idle_w, DiskParams{}.standby_w);
+  }
+  // Half speed: (0.5)^2.8 ~ 14% of the manageable idle power.
+  EXPECT_NEAR(p.levels[2].idle_w,
+              0.9 + (7.5 - 0.9) * std::pow(0.5, 2.8), 1e-9);
+}
+
+TEST(DrpmParamsTest, RejectsBadFractions) {
+  EXPECT_THROW(drpm_params(DiskParams{}, {0.5}), CheckError);        // != 1.0
+  EXPECT_THROW(drpm_params(DiskParams{}, {1.0, 1.0}), CheckError);   // flat
+  EXPECT_THROW(drpm_params(DiskParams{}, {1.0, 0.5, 0.7}), CheckError);
+  EXPECT_THROW(drpm_params(DiskParams{}, {}), CheckError);
+}
+
+TEST(MultiSpeedDiskTest, StepsDownThroughLevelsWhenIdle) {
+  MultiSpeedDisk d(params(), 0.0);
+  EXPECT_EQ(d.current_level(), 0u);
+  d.advance(10.5);  // one step_down_idle_s elapsed (10 s) + step time
+  EXPECT_EQ(d.current_level(), 1u);
+  d.advance(1000.0);
+  EXPECT_EQ(d.current_level(), 3u);  // bottoms out at the lowest level
+  EXPECT_EQ(d.shutdowns(), 3u);      // three downshifts
+}
+
+TEST(MultiSpeedDiskTest, ServesAtReducedSpeedWithoutCliff) {
+  MultiSpeedDisk d(params(), 0.0);
+  d.advance(1000.0);  // settle at the lowest level
+  const auto r = d.read(1000.0, 77, kPage);
+  // Slower than full speed but nowhere near a 10 s spin-up.
+  const ServiceModel full(DiskParams{});
+  EXPECT_GT(r.latency_s, full.service_time_s(kPage, false));
+  EXPECT_LT(r.latency_s, 0.5);
+  EXPECT_EQ(d.current_level(), 3u);  // a single request does not force full
+}
+
+TEST(MultiSpeedDiskTest, HighUtilizationForcesFullSpeed) {
+  auto p = params();
+  p.util_high_water = 0.05;
+  MultiSpeedDisk d(p, 0.0);
+  d.advance(1000.0);
+  double t = 1000.0;
+  for (int i = 0; i < 200; ++i) {
+    d.read(t, static_cast<std::uint64_t>(i) * 10, kPage);
+    t += 0.02;
+  }
+  EXPECT_EQ(d.current_level(), 0u);
+  EXPECT_GT(d.total_shifts(), 3u);  // down and back up
+}
+
+TEST(MultiSpeedDiskTest, EnergyDropsWithIdlenessButStaysAboveStandby) {
+  MultiSpeedDisk idle_disk(params(), 0.0);
+  idle_disk.finalize(10000.0);
+  const auto idle_e = idle_disk.energy();
+
+  // Never allowed to downshift: an always-full-speed reference.
+  MultiSpeedParams full_only = params();
+  full_only.levels.resize(1);
+  MultiSpeedDisk full_disk(full_only, 0.0);
+  full_disk.finalize(10000.0);
+  const auto full_e = full_disk.energy();
+
+  EXPECT_LT(idle_e.total_j(), 0.5 * full_e.total_j());
+  EXPECT_GT(idle_e.total_j(), DiskParams{}.standby_w * 10000.0);
+}
+
+TEST(MultiSpeedDiskTest, EnergyBreakdownComponentsConsistent) {
+  MultiSpeedDisk d(params(), 0.0);
+  d.read(1.0, 5, kPage);
+  d.advance(500.0);
+  d.read(500.0, 900, kPage);
+  d.finalize(1000.0);
+  const auto e = d.energy();
+  EXPECT_NEAR(e.standby_base_j, 0.9 * 1000.0, 1e-6);
+  EXPECT_GT(e.static_j, 0.0);
+  EXPECT_GT(e.transition_j, 0.0);  // downshifts happened between requests
+  EXPECT_NEAR(e.dynamic_j, DiskParams{}.dynamic_power_w() * d.busy_time_s(),
+              1e-9);
+}
+
+TEST(MultiSpeedDiskTest, MidRunSnapshotMonotone) {
+  MultiSpeedDisk d(params(), 0.0);
+  d.read(1.0, 5, kPage);
+  const auto snap = d.energy_through(100.0);
+  d.read(200.0, 6, kPage);
+  d.finalize(400.0);
+  const auto total = d.energy();
+  EXPECT_GE(total.total_j(), snap.total_j());
+  EXPECT_GE(total.static_j, snap.static_j);
+}
+
+TEST(MultiSpeedDiskTest, SequentialDetectionStillWorks) {
+  MultiSpeedDisk d(params(), 0.0);
+  d.read(1.0, 10, kPage);
+  const auto r = d.read(1.1, 11, kPage);
+  EXPECT_TRUE(r.sequential);
+}
+
+}  // namespace
+}  // namespace jpm::disk

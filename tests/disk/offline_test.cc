@@ -1,0 +1,138 @@
+#include "jpm/disk/offline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "jpm/pareto/pareto.h"
+#include "jpm/util/check.h"
+#include "jpm/util/rng.h"
+
+namespace jpm::disk {
+namespace {
+
+const pareto::DiskTimeoutParams kDisk{6.6, 11.7, 10.0};
+
+TEST(OfflineTest, OracleCapsEveryGapAtBreakEven) {
+  const std::vector<double> gaps{1.0, 11.7, 100.0};
+  const double expected = 6.6 * (1.0 + 11.7 + 11.7);
+  EXPECT_NEAR(oracle_energy_j(gaps, kDisk), expected, 1e-9);
+}
+
+TEST(OfflineTest, FixedTimeoutShortGapStaysOn) {
+  EXPECT_NEAR(fixed_timeout_energy_j({5.0}, 10.0, kDisk), 6.6 * 5.0, 1e-9);
+}
+
+TEST(OfflineTest, FixedTimeoutLongGapPaysTimeoutPlusTransition) {
+  EXPECT_NEAR(fixed_timeout_energy_j({100.0}, 10.0, kDisk),
+              6.6 * (10.0 + 11.7), 1e-9);
+}
+
+TEST(OfflineTest, NeverTimeoutPaysFullIdleness) {
+  EXPECT_NEAR(fixed_timeout_energy_j({100.0, 3.0}, pareto::kNeverTimeout,
+                                     kDisk),
+              6.6 * 103.0, 1e-9);
+}
+
+// The classical result the paper leans on: timeout = break-even time is
+// 2-competitive — never more than twice the oracle, for ANY gap sequence.
+TEST(OfflineTest, BreakEvenTimeoutIsTwoCompetitive) {
+  Rng rng(33);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> gaps;
+    for (int i = 0; i < 500; ++i) {
+      // Adversarial-ish mixture: mass right around the break-even time.
+      const double g = rng.chance(0.5) ? rng.uniform(0.0, 2.5 * 11.7)
+                                       : rng.exponential(20.0);
+      gaps.push_back(g);
+    }
+    const double oracle = oracle_energy_j(gaps, kDisk);
+    const double two_t = fixed_timeout_energy_j(gaps, 11.7, kDisk);
+    EXPECT_LE(two_t, 2.0 * oracle + 1e-6) << "trial " << trial;
+    EXPECT_GE(two_t, oracle - 1e-9);
+  }
+}
+
+// eq. 5 empirically: over Pareto gaps, alpha * t_be beats every other fixed
+// timeout (within sampling noise).
+TEST(OfflineTest, ParetoOptimalTimeoutNearBestFixed) {
+  const pareto::ParetoDistribution d(1.6, 0.5);
+  Rng rng(41);
+  std::vector<double> gaps;
+  for (int i = 0; i < 200000; ++i) gaps.push_back(d.sample(rng));
+  const double t_star = pareto::optimal_timeout(d, kDisk);
+  const double e_star = fixed_timeout_energy_j(gaps, t_star, kDisk);
+  for (double t = 1.0; t < 300.0; t *= 1.5) {
+    EXPECT_GE(fixed_timeout_energy_j(gaps, t, kDisk), e_star * 0.995)
+        << "t=" << t;
+  }
+}
+
+TEST(OfflineTest, AdaptivePolicyBetweenOracleAndNever) {
+  const pareto::ParetoDistribution d(1.4, 0.5);
+  Rng rng(43);
+  std::vector<double> gaps;
+  for (int i = 0; i < 50000; ++i) gaps.push_back(d.sample(rng));
+  const double oracle = oracle_energy_j(gaps, kDisk);
+  const double adaptive =
+      adaptive_timeout_energy_j(gaps, AdaptiveTimeoutConfig{}, kDisk);
+  const double never =
+      fixed_timeout_energy_j(gaps, pareto::kNeverTimeout, kDisk);
+  EXPECT_GE(adaptive, oracle);
+  EXPECT_LT(adaptive, never);
+}
+
+TEST(OfflineTest, PredictiveBeatsFixedOnBimodalGaps) {
+  // Alternating sessions: long runs of short gaps, then long runs of long
+  // gaps — the regime the session-predictive policy is built for. A fixed
+  // 2T timeout pays the timeout on every long gap; the predictor spins down
+  // immediately once it has seen a few.
+  std::vector<double> gaps;
+  for (int session = 0; session < 50; ++session) {
+    for (int i = 0; i < 20; ++i) gaps.push_back(1.0);
+    for (int i = 0; i < 20; ++i) gaps.push_back(120.0);
+  }
+  const double predictive = predictive_timeout_energy_j(gaps, kDisk, 0.5);
+  const double two_t = fixed_timeout_energy_j(gaps, 11.7, kDisk);
+  EXPECT_LT(predictive, two_t);
+  EXPECT_GE(predictive, oracle_energy_j(gaps, kDisk));
+}
+
+TEST(OfflineTest, RandomizedBeatsTwoCompetitiveOnAdversarialGaps) {
+  // Gaps just past the break-even time are the deterministic policy's worst
+  // case (cost 2x oracle); the randomized rent-or-buy policy averages
+  // e/(e-1) ~ 1.58 there.
+  const std::vector<double> gaps(5000, 11.7 * 1.001);
+  const double oracle = oracle_energy_j(gaps, kDisk);
+  const double two_t = fixed_timeout_energy_j(gaps, 11.7, kDisk);
+  const double randomized = randomized_timeout_energy_j(gaps, kDisk, 3);
+  EXPECT_NEAR(two_t / oracle, 2.0, 0.01);
+  EXPECT_NEAR(randomized / oracle, std::exp(1.0) / (std::exp(1.0) - 1.0),
+              0.05);
+  EXPECT_LT(randomized, two_t);
+}
+
+TEST(OfflineTest, RandomizedStaysWithinItsBoundOnParetoGaps) {
+  const pareto::ParetoDistribution d(1.5, 1.0);
+  Rng rng(55);
+  std::vector<double> gaps;
+  for (int i = 0; i < 50000; ++i) gaps.push_back(d.sample(rng));
+  const double ratio = competitive_ratio(
+      randomized_timeout_energy_j(gaps, kDisk, 4),
+      oracle_energy_j(gaps, kDisk));
+  EXPECT_LE(ratio, std::exp(1.0) / (std::exp(1.0) - 1.0) + 0.05);
+  EXPECT_GE(ratio, 1.0);
+}
+
+TEST(OfflineTest, CompetitiveRatioBasics) {
+  EXPECT_DOUBLE_EQ(competitive_ratio(20.0, 10.0), 2.0);
+  EXPECT_THROW(competitive_ratio(1.0, 0.0), CheckError);
+}
+
+TEST(OfflineTest, RejectsNegativeGapAndTimeout) {
+  EXPECT_THROW(fixed_timeout_energy_j({1.0}, -1.0, kDisk), CheckError);
+  EXPECT_THROW(oracle_energy_j({-1.0}, kDisk), CheckError);
+}
+
+}  // namespace
+}  // namespace jpm::disk

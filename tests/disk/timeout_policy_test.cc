@@ -1,0 +1,156 @@
+#include "jpm/disk/timeout_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "jpm/util/check.h"
+
+namespace jpm::disk {
+namespace {
+
+TEST(FixedTimeoutTest, HoldsValue) {
+  FixedTimeout p(11.7);
+  EXPECT_DOUBLE_EQ(p.timeout_s(), 11.7);
+  p.on_spin_up(100.0, 10.0);
+  EXPECT_DOUBLE_EQ(p.timeout_s(), 11.7);
+}
+
+TEST(FixedTimeoutTest, RejectsNegative) {
+  EXPECT_THROW(FixedTimeout(-1.0), CheckError);
+}
+
+TEST(AdaptiveTimeoutTest, PaperDefaults) {
+  AdaptiveTimeout p;
+  EXPECT_DOUBLE_EQ(p.timeout_s(), 10.0);
+}
+
+TEST(AdaptiveTimeoutTest, CostlySpinUpRaisesTimeout) {
+  AdaptiveTimeout p;
+  // Spin-up delay 10 s after only 20 s idle: ratio 0.5 > 0.05 -> +5 s.
+  p.on_spin_up(20.0, 10.0);
+  EXPECT_DOUBLE_EQ(p.timeout_s(), 15.0);
+}
+
+TEST(AdaptiveTimeoutTest, CheapSpinUpLowersTimeout) {
+  AdaptiveTimeout p;
+  // 10 s delay after 1000 s idle: ratio 0.01 <= 0.05 -> -5 s.
+  p.on_spin_up(1000.0, 10.0);
+  EXPECT_DOUBLE_EQ(p.timeout_s(), 5.0);
+}
+
+TEST(AdaptiveTimeoutTest, ClampsToConfiguredRange) {
+  AdaptiveTimeout p;
+  for (int i = 0; i < 10; ++i) p.on_spin_up(1000.0, 10.0);
+  EXPECT_DOUBLE_EQ(p.timeout_s(), 5.0);  // floor
+  for (int i = 0; i < 10; ++i) p.on_spin_up(20.0, 10.0);
+  EXPECT_DOUBLE_EQ(p.timeout_s(), 30.0);  // ceiling
+}
+
+TEST(AdaptiveTimeoutTest, BoundaryRatioDecreases) {
+  AdaptiveTimeout p;
+  // Exactly 5% is acceptable per the paper ("when the spin-up delay
+  // exceeds 0.05 of the idle time ... increases").
+  p.on_spin_up(200.0, 10.0);
+  EXPECT_DOUBLE_EQ(p.timeout_s(), 5.0);
+}
+
+TEST(AdaptiveTimeoutTest, RejectsBadConfig) {
+  AdaptiveTimeoutConfig c;
+  c.min_s = 0.0;
+  EXPECT_THROW(AdaptiveTimeout{c}, CheckError);
+  c = {};
+  c.initial_s = 100.0;  // above max
+  EXPECT_THROW(AdaptiveTimeout{c}, CheckError);
+}
+
+TEST(DynamicTimeoutTest, SetAndGet) {
+  DynamicTimeout p(11.7);
+  EXPECT_DOUBLE_EQ(p.timeout_s(), 11.7);
+  p.set_timeout(42.0);
+  EXPECT_DOUBLE_EQ(p.timeout_s(), 42.0);
+  p.set_timeout(pareto::kNeverTimeout);
+  EXPECT_TRUE(std::isinf(p.timeout_s()));
+}
+
+TEST(NeverTimeoutTest, Infinite) {
+  NeverTimeout p;
+  EXPECT_TRUE(std::isinf(p.timeout_s()));
+}
+
+TEST(PredictiveTimeoutTest, StartsConservative) {
+  PredictiveTimeout p(11.7);
+  // No observations yet: prediction 0 <= t_be, so never spin down.
+  EXPECT_TRUE(std::isinf(p.timeout_s()));
+}
+
+TEST(PredictiveTimeoutTest, LongIdlenessUnlocksImmediateSpinDown) {
+  PredictiveTimeout p(11.7, 0.5);
+  p.on_idle_end(100.0);
+  p.on_idle_end(100.0);
+  EXPECT_DOUBLE_EQ(p.timeout_s(), 0.0);
+}
+
+TEST(PredictiveTimeoutTest, ShortIdlenessLocksSpinDownOut) {
+  PredictiveTimeout p(11.7, 0.5);
+  p.on_idle_end(100.0);
+  p.on_idle_end(100.0);
+  ASSERT_DOUBLE_EQ(p.timeout_s(), 0.0);
+  for (int i = 0; i < 10; ++i) p.on_spin_up(1.0, 10.0);
+  EXPECT_TRUE(std::isinf(p.timeout_s()));
+}
+
+TEST(PredictiveTimeoutTest, EwmaConvergesToObservedMean) {
+  PredictiveTimeout p(11.7, 0.25);
+  for (int i = 0; i < 100; ++i) p.on_idle_end(40.0);
+  EXPECT_NEAR(p.predicted_idle_s(), 40.0, 1e-6);
+}
+
+TEST(RandomizedTimeoutTest, DrawsWithinRentOrBuyRange) {
+  RandomizedTimeout p(11.7, 5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(p.timeout_s(), 0.0);
+    EXPECT_LE(p.timeout_s(), 11.7);
+    p.on_idle_end(1.0);  // resample
+  }
+}
+
+TEST(RandomizedTimeoutTest, ResamplesPerIdleInterval) {
+  RandomizedTimeout p(11.7, 7);
+  const double first = p.timeout_s();
+  EXPECT_DOUBLE_EQ(p.timeout_s(), first);  // stable within an interval
+  p.on_spin_up(30.0, 10.0);
+  // A fresh draw almost surely differs.
+  EXPECT_NE(p.timeout_s(), first);
+}
+
+TEST(RandomizedTimeoutTest, DeterministicPerSeed) {
+  RandomizedTimeout a(11.7, 9), b(11.7, 9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.timeout_s(), b.timeout_s());
+    a.on_idle_end(1.0);
+    b.on_idle_end(1.0);
+  }
+}
+
+TEST(RandomizedTimeoutTest, DensityMatchesRentOrBuyCdf) {
+  // F(t) = (e^(t/B) - 1)/(e - 1): check the empirical CDF at the median.
+  RandomizedTimeout p(1.0, 11);
+  const double t_half = std::log(1.0 + (std::exp(1.0) - 1.0) * 0.5);
+  int below = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    below += p.timeout_s() < t_half;
+    p.on_idle_end(1.0);
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.02);
+}
+
+TEST(PredictiveTimeoutTest, RejectsBadParameters) {
+  EXPECT_THROW(PredictiveTimeout(0.0), CheckError);
+  EXPECT_THROW(PredictiveTimeout(11.7, 0.0), CheckError);
+  EXPECT_THROW(PredictiveTimeout(11.7, 1.5), CheckError);
+}
+
+}  // namespace
+}  // namespace jpm::disk

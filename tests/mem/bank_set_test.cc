@@ -1,0 +1,135 @@
+#include "jpm/mem/bank_set.h"
+
+#include <gtest/gtest.h>
+
+#include "jpm/util/check.h"
+
+namespace jpm::mem {
+namespace {
+
+RdramParams test_params() {
+  RdramParams p;
+  p.bank_bytes = 16 * kMiB;  // 10.5 mW nap
+  return p;
+}
+
+TEST(BankSetTest, NapOnlyIntegratesConstantPower) {
+  const auto p = test_params();
+  BankSet banks(4, p, BankPolicy::kNapOnly);
+  banks.finalize(100.0);
+  EXPECT_NEAR(banks.static_energy_j(),
+              4 * p.nap_power_w(p.bank_bytes) * 100.0, 1e-9);
+}
+
+TEST(BankSetTest, PowerDownDropsAfterTimeout) {
+  auto p = test_params();
+  p.powerdown_timeout_s = 10.0;  // exaggerated for visibility
+  BankSet banks(1, p, BankPolicy::kPowerDown);
+  banks.finalize(100.0);
+  const double nap_w = p.nap_power_w(p.bank_bytes);
+  const double expected = nap_w * 10.0 + 0.3 * nap_w * 90.0;
+  EXPECT_NEAR(banks.static_energy_j(), expected, 1e-9);
+}
+
+TEST(BankSetTest, TouchRestartsPowerDownTimer) {
+  auto p = test_params();
+  p.powerdown_timeout_s = 10.0;
+  BankSet banks(1, p, BankPolicy::kPowerDown);
+  banks.touch(0, 50.0);  // was: nap 10, pd 40; now restarts
+  banks.finalize(100.0);
+  const double nap_w = p.nap_power_w(p.bank_bytes);
+  // [0,10] nap, [10,50] pd, [50,60] nap, [60,100] pd.
+  const double expected = nap_w * 20.0 + 0.3 * nap_w * 80.0;
+  EXPECT_NEAR(banks.static_energy_j(), expected, 1e-9);
+}
+
+TEST(BankSetTest, DisableFiresAfterTimeout) {
+  auto p = test_params();
+  p.disable_timeout_s = 30.0;
+  BankSet banks(2, p, BankPolicy::kDisable);
+  banks.touch(0, 5.0);
+  auto fired = banks.take_due_disables(40.0);
+  // Bank 1 (never touched) fires at 30; bank 0 fires at 35.
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].bank, 1u);
+  EXPECT_NEAR(fired[0].time_s, 30.0, 1e-12);
+  EXPECT_EQ(fired[1].bank, 0u);
+  EXPECT_NEAR(fired[1].time_s, 35.0, 1e-12);
+  EXPECT_TRUE(banks.is_disabled(0));
+  EXPECT_TRUE(banks.is_disabled(1));
+  EXPECT_EQ(banks.disable_count(), 2u);
+}
+
+TEST(BankSetTest, TouchCancelsPendingDisable) {
+  auto p = test_params();
+  p.disable_timeout_s = 30.0;
+  BankSet banks(1, p, BankPolicy::kDisable);
+  banks.touch(0, 20.0);
+  banks.touch(0, 45.0);
+  EXPECT_TRUE(banks.take_due_disables(50.0).empty());
+  auto fired = banks.take_due_disables(80.0);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_NEAR(fired[0].time_s, 75.0, 1e-12);
+}
+
+TEST(BankSetTest, DisabledBankConsumesNothing) {
+  auto p = test_params();
+  p.disable_timeout_s = 10.0;
+  BankSet banks(1, p, BankPolicy::kDisable);
+  banks.take_due_disables(10.0);
+  banks.finalize(1000.0);
+  const double nap_w = p.nap_power_w(p.bank_bytes);
+  EXPECT_NEAR(banks.static_energy_j(), nap_w * 10.0, 1e-9);
+}
+
+TEST(BankSetTest, ReenabledBankResumesNap) {
+  auto p = test_params();
+  p.disable_timeout_s = 10.0;
+  BankSet banks(1, p, BankPolicy::kDisable);
+  banks.take_due_disables(10.0);
+  ASSERT_TRUE(banks.is_disabled(0));
+  banks.touch(0, 100.0);  // reactivation
+  EXPECT_FALSE(banks.is_disabled(0));
+  banks.finalize(105.0);
+  const double nap_w = p.nap_power_w(p.bank_bytes);
+  // nap [0,10], off [10,100], nap [100,105].
+  EXPECT_NEAR(banks.static_energy_j(), nap_w * 15.0, 1e-9);
+}
+
+TEST(BankSetTest, LazyIntegrationMatchesEagerFinalize) {
+  // Touching in several steps must integrate the same energy as one finalize.
+  auto p = test_params();
+  p.powerdown_timeout_s = 5.0;
+  BankSet lazy(3, p, BankPolicy::kPowerDown);
+  lazy.touch(1, 7.0);
+  lazy.touch(1, 8.0);
+  lazy.touch(2, 30.0);
+  lazy.finalize(60.0);
+
+  const double nap_w = p.nap_power_w(p.bank_bytes);
+  const double pd_w = 0.3 * nap_w;
+  // Bank 0: nap 5, pd 55. Bank 1: nap 5 + pd 2 + nap 1 + nap 5 + pd 47.
+  // Bank 2: nap 5 + pd 25 + nap 5 + pd 25.
+  const double b0 = nap_w * 5 + pd_w * 55;
+  const double b1 = nap_w * 5 + pd_w * 2 + nap_w * 1 + nap_w * 5 + pd_w * 47;
+  const double b2 = nap_w * 5 + pd_w * 25 + nap_w * 5 + pd_w * 25;
+  EXPECT_NEAR(lazy.static_energy_j(), b0 + b1 + b2, 1e-9);
+}
+
+TEST(BankSetTest, NoDisablesFromNonDisablePolicies) {
+  BankSet banks(2, test_params(), BankPolicy::kPowerDown);
+  EXPECT_TRUE(banks.take_due_disables(1e9).empty());
+}
+
+TEST(BankSetTest, RejectsOutOfRangeBank) {
+  BankSet banks(2, test_params(), BankPolicy::kNapOnly);
+  EXPECT_THROW(banks.touch(2, 1.0), CheckError);
+  EXPECT_THROW(banks.is_disabled(5), CheckError);
+}
+
+TEST(BankSetTest, RejectsZeroBanks) {
+  EXPECT_THROW(BankSet(0, test_params(), BankPolicy::kNapOnly), CheckError);
+}
+
+}  // namespace
+}  // namespace jpm::mem

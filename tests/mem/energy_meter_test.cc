@@ -1,0 +1,62 @@
+#include "jpm/mem/energy_meter.h"
+
+#include <gtest/gtest.h>
+
+#include "jpm/util/check.h"
+
+namespace jpm::mem {
+namespace {
+
+TEST(MemoryEnergyMeterTest, StaticEnergyIsPowerTimesTime) {
+  RdramParams p;
+  MemoryEnergyMeter m(p, gib(16));
+  m.finalize(3600.0);
+  EXPECT_NEAR(m.breakdown().static_j, p.nap_power_w(gib(16)) * 3600.0, 1e-6);
+  EXPECT_EQ(m.breakdown().dynamic_j, 0.0);
+}
+
+TEST(MemoryEnergyMeterTest, ResizeSplitsIntegration) {
+  RdramParams p;
+  MemoryEnergyMeter m(p, gib(8));
+  m.set_size(gib(32), 100.0);
+  m.finalize(300.0);
+  const double expected =
+      p.nap_power_w(gib(8)) * 100.0 + p.nap_power_w(gib(32)) * 200.0;
+  EXPECT_NEAR(m.breakdown().static_j, expected, 1e-6);
+  EXPECT_EQ(m.size_bytes(), gib(32));
+}
+
+TEST(MemoryEnergyMeterTest, DynamicAccumulatesPerTransfer) {
+  RdramParams p;
+  MemoryEnergyMeter m(p, 0);
+  m.on_transfer(kMiB);
+  m.on_transfer(3 * kMiB);
+  EXPECT_NEAR(m.breakdown().dynamic_j, p.dynamic_energy_j(4 * kMiB), 1e-12);
+}
+
+TEST(MemoryEnergyMeterTest, ZeroSizeCostsNothingStatic) {
+  RdramParams p;
+  MemoryEnergyMeter m(p, 0);
+  m.finalize(1e6);
+  EXPECT_EQ(m.breakdown().static_j, 0.0);
+}
+
+TEST(MemoryEnergyMeterTest, RejectsTimeGoingBackwards) {
+  RdramParams p;
+  MemoryEnergyMeter m(p, gib(1));
+  m.finalize(10.0);
+  EXPECT_THROW(m.finalize(5.0), CheckError);
+}
+
+TEST(MemoryEnergyMeterTest, MidRunSnapshotsAreCumulative) {
+  RdramParams p;
+  MemoryEnergyMeter m(p, gib(4));
+  m.finalize(50.0);
+  const double first = m.breakdown().static_j;
+  m.finalize(150.0);
+  EXPECT_NEAR(m.breakdown().static_j - first, p.nap_power_w(gib(4)) * 100.0,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace jpm::mem

@@ -1,0 +1,49 @@
+#include "jpm/mem/rdram_model.h"
+
+#include <gtest/gtest.h>
+
+namespace jpm::mem {
+namespace {
+
+TEST(RdramModelTest, PaperConstants) {
+  RdramParams p;
+  // 0.656 mW/MB nap power: one 16 MB bank draws 10.5 mW (paper Fig. 1a).
+  EXPECT_NEAR(p.nap_power_w(16 * kMiB) * 1e3, 10.5, 0.01);
+  // 128 GB in nap draws ~86 W — the paper's always-on memory floor.
+  EXPECT_NEAR(p.nap_power_w(128 * kGiB), 86.0, 0.5);
+  // Dynamic: 0.809 mJ per MB transferred.
+  EXPECT_NEAR(p.dynamic_energy_j(kMiB) * 1e3, 0.809, 1e-6);
+}
+
+TEST(RdramModelTest, PowerDownIsThirtyPercentOfNap) {
+  RdramParams p;
+  EXPECT_NEAR(p.powerdown_power_w(gib(1)) / p.nap_power_w(gib(1)), 0.30,
+              1e-12);
+}
+
+TEST(RdramModelTest, BreakEvenForDisableMatchesPaper) {
+  // 7.7 J to refetch a bank / 10.5 mW nap power = 732 s (paper Section V-A).
+  RdramParams p;
+  const double reload_j = 7.7;
+  EXPECT_NEAR(reload_j / p.nap_power_w(p.bank_bytes), 732.0, 5.0);
+  EXPECT_NEAR(p.disable_timeout_s, 732.0, 1e-9);
+}
+
+TEST(RdramModelTest, PowerScalesLinearlyWithSize) {
+  RdramParams p;
+  EXPECT_DOUBLE_EQ(p.nap_power_w(gib(2)), 2.0 * p.nap_power_w(gib(1)));
+  EXPECT_DOUBLE_EQ(p.dynamic_energy_j(2 * kMiB),
+                   2.0 * p.dynamic_energy_j(kMiB));
+  EXPECT_DOUBLE_EQ(p.nap_power_w(0), 0.0);
+}
+
+// The paper's "break-even memory size": saving the disk's whole 6.6 W static
+// power pays for roughly 10 GB of nap-mode memory.
+TEST(RdramModelTest, BreakEvenMemorySizeNearTenGigabytes) {
+  RdramParams p;
+  const double bytes = 6.6 / p.nap_power_w(1 * kMiB) * kMiB;
+  EXPECT_NEAR(bytes / static_cast<double>(kGiB), 9.8, 0.3);
+}
+
+}  // namespace
+}  // namespace jpm::mem

@@ -1,0 +1,100 @@
+// Monte-Carlo property sweeps for the paper's closed forms (eq. 2-4):
+// for a grid of (alpha, beta, timeout) the analytic expectations must match
+// direct simulation of the timeout policy over sampled idle intervals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "jpm/pareto/pareto.h"
+#include "jpm/pareto/timeout_math.h"
+#include "jpm/util/rng.h"
+
+namespace jpm::pareto {
+namespace {
+
+const DiskTimeoutParams kDisk{6.6, 11.7, 10.0};
+
+class EquationSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(EquationSweep, OffTimeAndShutdownsMatchMonteCarlo) {
+  const auto [alpha, beta, timeout] = GetParam();
+  const ParetoDistribution d(alpha, beta);
+  Rng rng(static_cast<std::uint64_t>(alpha * 1000 + beta * 100 + timeout));
+
+  const int n = 400000;
+  double off_sum = 0.0;
+  double shutdowns = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double l = d.sample(rng);
+    if (l > timeout) {
+      off_sum += l - timeout;
+      shutdowns += 1.0;
+    }
+  }
+  const double n_i = 1.0;  // per-interval expectations
+  const double mc_off = off_sum / n;
+  const double mc_shutdowns = shutdowns / n;
+  const double analytic_off = expected_off_time(d, n_i, timeout);
+  const double analytic_h = expected_shutdowns(d, n_i, timeout);
+
+  // For alpha < 1.5 the excess has such a heavy tail that a sample mean is
+  // dominated by single extreme draws (stable-law convergence); the equality
+  // check is only statistically meaningful above that.
+  if (alpha >= 1.5) {
+    const double rel = alpha < 2.0 ? 0.30 : 0.05;
+    EXPECT_NEAR(mc_off, analytic_off, rel * std::max(analytic_off, 0.2))
+        << "alpha=" << alpha << " beta=" << beta << " t=" << timeout;
+  }
+  EXPECT_NEAR(mc_shutdowns, analytic_h, 0.02)
+      << "alpha=" << alpha << " beta=" << beta << " t=" << timeout;
+}
+
+TEST_P(EquationSweep, PowerIsBetweenSleepFloorAndAlwaysOn) {
+  const auto [alpha, beta, timeout] = GetParam();
+  const ParetoDistribution d(alpha, beta);
+  const double T = 600.0;
+  const double n_i = 20.0;
+  const double p = expected_power(d, n_i, T, timeout, kDisk);
+  EXPECT_GE(p, 0.0);
+  // The timeout policy can overshoot p_d only via transition overhead; with
+  // eq. 4's clamp the value stays within one break-even of the ceiling.
+  EXPECT_LE(p, kDisk.static_power_w *
+                   (1.0 + n_i * kDisk.break_even_s / T) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EquationSweep,
+    ::testing::Combine(::testing::Values(1.2, 1.5, 2.0, 4.0),
+                       ::testing::Values(0.1, 1.0, 5.0),
+                       ::testing::Values(2.0, 11.7, 40.0)));
+
+class OptimalTimeoutSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+// eq. 5 is the argmin of eq. 4 for every (alpha, beta) — verified against a
+// dense timeout grid.
+TEST_P(OptimalTimeoutSweep, ArgminMatchesClosedForm) {
+  const auto [alpha, beta] = GetParam();
+  const ParetoDistribution d(alpha, beta);
+  // Keep n_i * E[L] well under T so the off-time clamp never engages (the
+  // derivation of eq. 5 assumes the idle intervals fit in the period).
+  const double n_i = 10.0, T = 3600.0;
+  ASSERT_LT(n_i * d.mean(), T);
+  const double t_star = optimal_timeout(d, kDisk);
+  const double p_star = expected_power(d, n_i, T, t_star, kDisk);
+  for (double t = beta * 1.01; t < 500.0; t *= 1.07) {
+    EXPECT_GE(expected_power(d, n_i, T, t, kDisk) + 1e-9, p_star)
+        << "alpha=" << alpha << " beta=" << beta << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, OptimalTimeoutSweep,
+                         ::testing::Combine(::testing::Values(1.1, 1.4, 1.8,
+                                                              2.5, 3.5),
+                                            ::testing::Values(0.1, 0.5, 2.0,
+                                                              8.0)));
+
+}  // namespace
+}  // namespace jpm::pareto

@@ -1,0 +1,138 @@
+#include "jpm/pareto/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "jpm/util/check.h"
+#include "jpm/util/rng.h"
+
+namespace jpm::pareto {
+namespace {
+
+TEST(ParetoDistributionTest, RejectsInvalidParameters) {
+  EXPECT_THROW(ParetoDistribution(1.0, 1.0), CheckError);
+  EXPECT_THROW(ParetoDistribution(0.5, 1.0), CheckError);
+  EXPECT_THROW(ParetoDistribution(2.0, 0.0), CheckError);
+  EXPECT_THROW(ParetoDistribution(2.0, -1.0), CheckError);
+}
+
+TEST(ParetoDistributionTest, PdfZeroBelowBeta) {
+  ParetoDistribution d(2.0, 1.5);
+  EXPECT_EQ(d.pdf(1.0), 0.0);
+  EXPECT_EQ(d.pdf(1.5), 0.0);
+  EXPECT_GT(d.pdf(2.0), 0.0);
+}
+
+TEST(ParetoDistributionTest, CdfSurvivalComplementary) {
+  ParetoDistribution d(1.7, 0.3);
+  for (double l : {0.1, 0.3, 0.5, 1.0, 10.0, 100.0}) {
+    EXPECT_NEAR(d.cdf(l) + d.survival(l), 1.0, 1e-12) << "l=" << l;
+  }
+}
+
+TEST(ParetoDistributionTest, MeanMatchesClosedForm) {
+  ParetoDistribution d(3.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+}
+
+TEST(ParetoDistributionTest, QuantileInvertsCdf) {
+  ParetoDistribution d(2.5, 0.7);
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(d.cdf(d.quantile(q)), q, 1e-12) << "q=" << q;
+  }
+}
+
+TEST(ParetoDistributionTest, SampleMeanConvergesToAnalytic) {
+  ParetoDistribution d(3.0, 1.0);  // mean 1.5, finite variance
+  Rng rng(99);
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, d.mean(), 0.01);
+}
+
+TEST(ParetoDistributionTest, ExpectedExcessBelowBetaIsMeanMinusThreshold) {
+  ParetoDistribution d(2.0, 1.0);  // mean 2
+  EXPECT_DOUBLE_EQ(d.expected_excess(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(d.expected_excess(1.0), 1.0);
+}
+
+TEST(ParetoDistributionTest, ExpectedExcessClosedFormAboveBeta) {
+  ParetoDistribution d(2.0, 1.0);
+  // (beta/t)^(alpha-1) * beta/(alpha-1) = (1/4) * 1 = 0.25 at t = 4.
+  EXPECT_NEAR(d.expected_excess(4.0), 0.25, 1e-12);
+}
+
+TEST(ParetoDistributionTest, ExpectedExcessMatchesMonteCarlo) {
+  ParetoDistribution d(2.5, 0.4);
+  Rng rng(7);
+  const double t = 1.1;
+  double sum = 0.0;
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) {
+    const double x = d.sample(rng);
+    sum += x > t ? x - t : 0.0;
+  }
+  EXPECT_NEAR(sum / n, d.expected_excess(t), 5e-3);
+}
+
+TEST(AlphaEstimationTest, MomentEstimatorInvertsTheMean) {
+  // For Pareto(alpha, beta), mean = alpha*beta/(alpha-1); the paper estimates
+  // alpha = mean / (mean - beta).
+  for (double alpha : {1.2, 1.5, 2.0, 3.0, 10.0}) {
+    const ParetoDistribution d(alpha, 0.1);
+    EXPECT_NEAR(estimate_alpha_from_mean(d.mean(), 0.1), alpha, 1e-9)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(AlphaEstimationTest, DegenerateMeanClampsHigh) {
+  EXPECT_DOUBLE_EQ(estimate_alpha_from_mean(0.1, 0.1), kMaxAlpha);
+  EXPECT_DOUBLE_EQ(estimate_alpha_from_mean(0.05, 0.1), kMaxAlpha);
+}
+
+TEST(AlphaEstimationTest, HugeMeanClampsLow) {
+  EXPECT_DOUBLE_EQ(estimate_alpha_from_mean(1e18, 0.1), kMinAlpha);
+}
+
+TEST(AlphaEstimationTest, MleRecoversAlphaFromSamples) {
+  const ParetoDistribution d(2.2, 0.5);
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 200000; ++i) samples.push_back(d.sample(rng));
+  EXPECT_NEAR(estimate_alpha_mle(samples, 0.5), 2.2, 0.05);
+}
+
+TEST(AlphaEstimationTest, MleRejectsEmpty) {
+  EXPECT_THROW(estimate_alpha_mle({}, 0.5), CheckError);
+}
+
+TEST(FitTest, FitFromMeanRoundTrips) {
+  const auto d = fit_from_mean(2.0, 0.5);
+  EXPECT_NEAR(d.mean(), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(d.beta(), 0.5);
+}
+
+class ParetoSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ParetoSweepTest, CdfMonotoneAndNormalized) {
+  const double alpha = GetParam();
+  ParetoDistribution d(alpha, 0.2);
+  double prev = -1.0;
+  for (double l = 0.2; l < 50.0; l *= 1.3) {
+    const double c = d.cdf(l);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);  // rounds to exactly 1.0 deep in the tail
+    prev = c;
+  }
+  EXPECT_GT(d.cdf(1e9), 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ParetoSweepTest,
+                         ::testing::Values(1.05, 1.3, 1.7, 2.0, 3.0, 5.0,
+                                           10.0));
+
+}  // namespace
+}  // namespace jpm::pareto

@@ -1,0 +1,157 @@
+#include "jpm/pareto/timeout_math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "jpm/util/rng.h"
+
+namespace jpm::pareto {
+namespace {
+
+const DiskTimeoutParams kDisk{6.6, 11.7, 10.0};  // the paper's disk
+
+TEST(ExpectedOffTimeTest, ZeroForNeverTimeout) {
+  ParetoDistribution d(2.0, 0.1);
+  EXPECT_EQ(expected_off_time(d, 100, kNeverTimeout), 0.0);
+}
+
+TEST(ExpectedOffTimeTest, ZeroForNoIntervals) {
+  ParetoDistribution d(2.0, 0.1);
+  EXPECT_EQ(expected_off_time(d, 0, 5.0), 0.0);
+}
+
+TEST(ExpectedOffTimeTest, MatchesEquationTwo) {
+  // eq. 2: t_s = n_i * (beta/t_o)^(alpha-1) * beta/(alpha-1)
+  ParetoDistribution d(2.0, 1.0);
+  const double t_o = 4.0;
+  const double expected = 50.0 * std::pow(1.0 / 4.0, 1.0) * 1.0 / 1.0;
+  EXPECT_NEAR(expected_off_time(d, 50, t_o), expected, 1e-9);
+}
+
+TEST(ExpectedShutdownsTest, MatchesEquationThree) {
+  // eq. 3: h = n_i * (beta/t_o)^alpha
+  ParetoDistribution d(1.5, 0.5);
+  const double t_o = 8.0;
+  EXPECT_NEAR(expected_shutdowns(d, 200, t_o),
+              200.0 * std::pow(0.5 / 8.0, 1.5), 1e-9);
+}
+
+TEST(ExpectedShutdownsTest, AllIntervalsShutDownWhenTimeoutBelowBeta) {
+  ParetoDistribution d(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(expected_shutdowns(d, 40, 0.5), 40.0);
+}
+
+TEST(ExpectedPowerTest, NeverTimeoutGivesStaticPower) {
+  ParetoDistribution d(2.0, 0.1);
+  EXPECT_DOUBLE_EQ(expected_power(d, 100, 600, kNeverTimeout, kDisk),
+                   kDisk.static_power_w);
+}
+
+TEST(ExpectedPowerTest, OptimalTimeoutIsAlphaTimesBreakEven) {
+  ParetoDistribution d(1.8, 0.1);
+  EXPECT_DOUBLE_EQ(optimal_timeout(d, kDisk), 1.8 * 11.7);
+}
+
+TEST(ExpectedPowerTest, OptimalTimeoutMinimizesEquationFour) {
+  // Scan a dense grid: no timeout should beat alpha * t_be by more than
+  // numerical noise (eq. 5 is the analytic argmin of eq. 4).
+  for (double alpha : {1.2, 1.6, 2.0, 3.0}) {
+    ParetoDistribution d(alpha, 0.1);
+    const double t_star = optimal_timeout(d, kDisk);
+    const double p_star = expected_power(d, 120, 600.0, t_star, kDisk);
+    for (double t = 0.5; t < 400.0; t *= 1.1) {
+      EXPECT_GE(expected_power(d, 120, 600.0, t, kDisk) + 1e-9, p_star)
+          << "alpha=" << alpha << " t=" << t;
+    }
+  }
+}
+
+TEST(ExpectedPowerTest, MonteCarloAgreement) {
+  // Simulate idle intervals drawn from the distribution and apply the
+  // timeout policy literally; compare against eq. 4.
+  const ParetoDistribution d(1.6, 0.4);
+  const double T = 600.0, t_o = 20.0;
+  const int n_i = 40;
+  Rng rng(11);
+  double total = 0.0;
+  const int trials = 20000;
+  for (int k = 0; k < trials; ++k) {
+    double on = T;  // the disk is on except when asleep inside an interval
+    double transitions = 0.0;
+    for (int i = 0; i < n_i; ++i) {
+      const double l = d.sample(rng);
+      if (l > t_o) {
+        on -= l - t_o;
+        transitions += 1.0;
+      }
+    }
+    total += (kDisk.static_power_w * on +
+              kDisk.static_power_w * kDisk.break_even_s * transitions) /
+             T;
+  }
+  EXPECT_NEAR(total / trials, expected_power(d, n_i, T, t_o, kDisk), 0.02);
+}
+
+TEST(DelayConstraintTest, RatioMatchesEquationSix) {
+  ParetoDistribution d(1.5, 0.2);
+  const double n_i = 30, n_d = 2000, N = 100000, T = 600, t_o = 15.0;
+  const double h = expected_shutdowns(d, n_i, t_o);
+  const double expected = h * (10.0 - 0.5) * (n_d / T) / N;
+  EXPECT_NEAR(expected_delayed_ratio(d, n_i, n_d, N, T, t_o, kDisk), expected,
+              1e-12);
+}
+
+TEST(DelayConstraintTest, MinTimeoutSatisfiesTheBoundTightly) {
+  ParetoDistribution d(1.4, 0.3);
+  const double n_i = 50, n_d = 5000, N = 200000, T = 600, D = 0.001;
+  const double t_min =
+      min_timeout_for_delay_constraint(d, n_i, n_d, N, T, D, kDisk);
+  ASSERT_GT(t_min, 0.0);
+  // At t_min the ratio equals D; slightly below it exceeds D.
+  EXPECT_NEAR(expected_delayed_ratio(d, n_i, n_d, N, T, t_min, kDisk), D,
+              1e-9);
+  EXPECT_GT(expected_delayed_ratio(d, n_i, n_d, N, T, t_min * 0.9, kDisk), D);
+}
+
+TEST(DelayConstraintTest, ZeroWhenNothingCanBeDelayed) {
+  ParetoDistribution d(2.0, 0.1);
+  EXPECT_EQ(min_timeout_for_delay_constraint(d, 0, 100, 1000, 600, 1e-3,
+                                             kDisk),
+            0.0);
+  EXPECT_EQ(min_timeout_for_delay_constraint(d, 10, 0, 1000, 600, 1e-3,
+                                             kDisk),
+            0.0);
+}
+
+TEST(DelayConstraintTest, ZeroWhenConstraintLoose) {
+  ParetoDistribution d(2.0, 0.1);
+  // Tiny traffic, huge allowance: every timeout is fine.
+  EXPECT_EQ(min_timeout_for_delay_constraint(d, 1, 1, 1000000, 600, 0.5,
+                                             kDisk),
+            0.0);
+}
+
+TEST(DelayConstraintTest, TighterLimitRaisesTimeout) {
+  ParetoDistribution d(1.5, 0.2);
+  const double loose =
+      min_timeout_for_delay_constraint(d, 50, 5000, 100000, 600, 0.01, kDisk);
+  const double tight =
+      min_timeout_for_delay_constraint(d, 50, 5000, 100000, 600, 0.0001,
+                                       kDisk);
+  EXPECT_GT(tight, loose);
+}
+
+// Paper Section IV-D: when alpha shrinks (more long intervals), the
+// constrained timeout must grow — the opposite of the unconstrained optimum.
+TEST(DelayConstraintTest, SmallerAlphaNeedsLargerConstrainedTimeout) {
+  const double n_i = 50, n_d = 5000, N = 100000, T = 600, D = 1e-4;
+  const double t_small_alpha = min_timeout_for_delay_constraint(
+      ParetoDistribution(1.2, 0.2), n_i, n_d, N, T, D, kDisk);
+  const double t_large_alpha = min_timeout_for_delay_constraint(
+      ParetoDistribution(2.5, 0.2), n_i, n_d, N, T, D, kDisk);
+  EXPECT_GT(t_small_alpha, t_large_alpha);
+}
+
+}  // namespace
+}  // namespace jpm::pareto

@@ -1,0 +1,62 @@
+#include "jpm/sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "jpm/util/check.h"
+
+namespace jpm::sim {
+namespace {
+
+RunMetrics sample() {
+  RunMetrics m;
+  m.duration_s = 100.0;
+  m.mem_energy.static_j = 600.0;
+  m.mem_energy.dynamic_j = 100.0;
+  m.disk_energy.standby_base_j = 90.0;
+  m.disk_energy.static_j = 200.0;
+  m.disk_energy.transition_j = 77.5;
+  m.disk_energy.dynamic_j = 32.5;
+  m.cache_accesses = 1000;
+  m.disk_accesses = 100;
+  m.disk_busy_s = 5.0;
+  m.total_latency_s = 2.0;
+  m.long_latency_count = 4;
+  return m;
+}
+
+TEST(MetricsTest, DerivedQuantities) {
+  const auto m = sample();
+  EXPECT_DOUBLE_EQ(m.total_j(), 1100.0);
+  EXPECT_DOUBLE_EQ(m.mean_latency_s(), 0.002);
+  EXPECT_DOUBLE_EQ(m.utilization(), 0.05);
+  EXPECT_DOUBLE_EQ(m.long_latency_per_s(), 0.04);
+  EXPECT_DOUBLE_EQ(m.hit_ratio(), 0.9);
+}
+
+TEST(MetricsTest, ZeroDenominatorsAreSafe) {
+  RunMetrics m;
+  EXPECT_EQ(m.mean_latency_s(), 0.0);
+  EXPECT_EQ(m.utilization(), 0.0);
+  EXPECT_EQ(m.long_latency_per_s(), 0.0);
+  EXPECT_EQ(m.hit_ratio(), 0.0);
+}
+
+TEST(MetricsTest, NormalizationAgainstBaseline) {
+  const auto base = sample();
+  auto half = sample();
+  half.mem_energy.static_j = 250.0;
+  half.mem_energy.dynamic_j = 100.0;
+  half.disk_energy.static_j = 100.0;
+  const auto n = normalize_energy(half, base);
+  EXPECT_NEAR(n.memory, 350.0 / 700.0, 1e-12);
+  EXPECT_NEAR(n.disk, 300.0 / 400.0, 1e-12);
+  EXPECT_NEAR(n.total, 650.0 / 1100.0, 1e-12);
+}
+
+TEST(MetricsTest, NormalizationRejectsZeroBaseline) {
+  RunMetrics zero;
+  EXPECT_THROW(normalize_energy(sample(), zero), CheckError);
+}
+
+}  // namespace
+}  // namespace jpm::sim

@@ -1,0 +1,67 @@
+#include "jpm/sim/policies.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "jpm/util/check.h"
+
+namespace jpm::sim {
+namespace {
+
+TEST(PoliciesTest, PaperRosterHasSixteenMethods) {
+  const auto roster = paper_policies();
+  EXPECT_EQ(roster.size(), 16u);
+  std::set<std::string> names;
+  for (const auto& s : roster) names.insert(s.name);
+  EXPECT_EQ(names.size(), 16u) << "names must be unique";
+  EXPECT_TRUE(names.contains("Joint"));
+  EXPECT_TRUE(names.contains("Always-on"));
+  EXPECT_TRUE(names.contains("2TFM-8GB"));
+  EXPECT_TRUE(names.contains("2TFM-128GB"));
+  EXPECT_TRUE(names.contains("ADFM-64GB"));
+  EXPECT_TRUE(names.contains("2TPD-128GB"));
+  EXPECT_TRUE(names.contains("ADPD-128GB"));
+  EXPECT_TRUE(names.contains("2TDS-128GB"));
+  EXPECT_TRUE(names.contains("ADDS-128GB"));
+}
+
+TEST(PoliciesTest, ExactlyOneAlwaysOnAndOneJoint) {
+  const auto roster = paper_policies();
+  int always_on = 0, joint = 0;
+  for (const auto& s : roster) {
+    always_on += s.disk == DiskPolicyKind::kAlwaysOn;
+    joint += s.is_joint();
+  }
+  EXPECT_EQ(always_on, 1);
+  EXPECT_EQ(joint, 1);
+}
+
+TEST(PoliciesTest, FixedPolicyCarriesSize) {
+  const auto s = fixed_policy(DiskPolicyKind::kTwoCompetitive, gib(32));
+  EXPECT_EQ(s.name, "2TFM-32GB");
+  EXPECT_EQ(s.fixed_bytes, gib(32));
+  EXPECT_EQ(s.mem, MemPolicyKind::kFixed);
+}
+
+TEST(PoliciesTest, JointSpecIsSelfConsistent) {
+  const auto s = joint_policy();
+  EXPECT_TRUE(s.is_joint());
+  EXPECT_EQ(s.mem, MemPolicyKind::kJoint);
+}
+
+TEST(PoliciesTest, CustomRosterSizes) {
+  const auto roster = paper_policies(gib(64), {4, 64});
+  // joint + 2*(2 FM + PD + DS) + always-on = 10
+  EXPECT_EQ(roster.size(), 10u);
+  bool found = false;
+  for (const auto& s : roster) found |= s.name == "2TPD-64GB";
+  EXPECT_TRUE(found);
+}
+
+TEST(PoliciesTest, RejectsZeroFixedSize) {
+  EXPECT_THROW(fixed_policy(DiskPolicyKind::kAdaptive, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace jpm::sim

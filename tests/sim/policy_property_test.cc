@@ -1,0 +1,105 @@
+// Parameterized sanity sweep: every method of the paper's roster, run on the
+// same small workload, must satisfy a set of universal invariants — energy
+// components non-negative and additive, counters consistent, utilization and
+// hit ratio within bounds, and the always-on method's energy an upper bound
+// on memory energy for every same-memory-size method.
+#include <gtest/gtest.h>
+
+#include "jpm/sim/runner.h"
+
+namespace jpm::sim {
+namespace {
+
+workload::SynthesizerConfig sweep_workload() {
+  workload::SynthesizerConfig w;
+  w.dataset_bytes = mib(256);
+  w.byte_rate = 15e6;
+  w.popularity = 0.1;
+  w.duration_s = 1500.0;
+  w.page_bytes = 64 * kKiB;
+  w.seed = 12;
+  return w;
+}
+
+EngineConfig sweep_engine() {
+  EngineConfig e;
+  e.joint.physical_bytes = gib(1);
+  e.joint.unit_bytes = 16 * kMiB;
+  e.joint.period_s = 300.0;
+  e.prefill_cache = true;
+  e.warm_up_s = 300.0;
+  return e;
+}
+
+class PolicySweepTest : public ::testing::TestWithParam<std::size_t> {
+ public:
+  static std::vector<PolicySpec> roster() {
+    // Paper roster scaled to the 1 GiB test machine, plus the extensions.
+    std::vector<PolicySpec> specs{joint_policy()};
+    for (auto disk :
+         {DiskPolicyKind::kTwoCompetitive, DiskPolicyKind::kAdaptive}) {
+      for (std::uint64_t mb : {64, 128, 256, 1024}) {
+        specs.push_back(fixed_policy(disk, mib(mb)));
+      }
+      specs.push_back(powerdown_policy(disk, gib(1)));
+      specs.push_back(disable_policy(disk, gib(1)));
+    }
+    specs.push_back(always_on_policy());
+    specs.push_back(drpm_fixed_policy(mib(128)));
+    specs.push_back(drpm_joint_policy());
+    specs.push_back(PolicySpec{"PRFM-128MB", DiskPolicyKind::kPredictive,
+                               MemPolicyKind::kFixed, mib(128)});
+    return specs;
+  }
+};
+
+TEST_P(PolicySweepTest, UniversalInvariantsHold) {
+  const auto specs = roster();
+  ASSERT_LT(GetParam(), specs.size());
+  const auto& spec = specs[GetParam()];
+  const auto m = run_simulation(sweep_workload(), spec, sweep_engine());
+
+  SCOPED_TRACE(spec.name);
+  // Energy sanity.
+  EXPECT_GE(m.mem_energy.static_j, 0.0);
+  EXPECT_GE(m.mem_energy.dynamic_j, 0.0);
+  EXPECT_GE(m.disk_energy.standby_base_j, 0.0);
+  EXPECT_GE(m.disk_energy.static_j, 0.0);
+  EXPECT_GE(m.disk_energy.transition_j, 0.0);
+  EXPECT_GE(m.disk_energy.dynamic_j, 0.0);
+  EXPECT_NEAR(m.total_j(),
+              m.mem_energy.total_j() + m.disk_energy.total_j(), 1e-9);
+
+  // Counter consistency.
+  EXPECT_GT(m.cache_accesses, 0u);
+  EXPECT_LE(m.disk_accesses, m.cache_accesses);
+  EXPECT_LE(m.spin_ups, m.disk_accesses + m.disk_writes);
+  EXPECT_GE(m.hit_ratio(), 0.0);
+  EXPECT_LE(m.hit_ratio(), 1.0);
+  EXPECT_GE(m.utilization(), 0.0);
+  EXPECT_LE(m.utilization(), 1.0);
+  EXPECT_DOUBLE_EQ(m.duration_s, 1200.0);
+
+  // The disk never reports less than the standby floor.
+  EXPECT_GE(m.disk_energy.total_j(),
+            sweep_engine().joint.disk.standby_w * m.duration_s - 1e-6);
+  // Memory static energy never exceeds the all-nap ceiling.
+  const double nap_ceiling =
+      sweep_engine().joint.mem.nap_power_w(gib(1)) * m.duration_s;
+  EXPECT_LE(m.mem_energy.static_j, nap_ceiling * (1.0 + 1e-6));
+
+  // Periods tile the run.
+  ASSERT_FALSE(m.periods.empty());
+  EXPECT_DOUBLE_EQ(m.periods.front().start_s, 0.0);
+  EXPECT_DOUBLE_EQ(m.periods.back().end_s, 1500.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySweepTest,
+                         ::testing::Range<std::size_t>(0, 17));
+
+TEST(PolicySweepTest, RosterSizeMatchesInstantiation) {
+  EXPECT_EQ(PolicySweepTest::roster().size(), 17u);
+}
+
+}  // namespace
+}  // namespace jpm::sim

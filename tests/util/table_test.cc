@@ -1,0 +1,60 @@
+#include "jpm/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "jpm/util/check.h"
+
+namespace jpm {
+namespace {
+
+TEST(TableTest, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 1);
+  t.row().cell("beta").cell(std::uint64_t{42});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, PercentFormatting) {
+  Table t({"x"});
+  t.row().cell_percent(0.427, 1);
+  EXPECT_NE(t.to_string().find("42.7%"), std::string::npos);
+}
+
+TEST(TableTest, ColumnWidthsFitLongestCell) {
+  Table t({"h"});
+  t.row().cell("short");
+  t.row().cell("a-much-longer-cell");
+  const std::string s = t.to_string();
+  // Every rendered row has the same width.
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t eol = s.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    EXPECT_EQ(eol - pos, first_len);
+    pos = eol + 1;
+  }
+}
+
+TEST(TableTest, RejectsCellBeforeRow) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), CheckError);
+}
+
+TEST(TableTest, RejectsTooManyCells) {
+  Table t({"a"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), CheckError);
+}
+
+TEST(TableTest, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), CheckError);
+}
+
+}  // namespace
+}  // namespace jpm

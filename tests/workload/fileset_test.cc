@@ -1,0 +1,107 @@
+#include "jpm/workload/fileset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace jpm::workload {
+namespace {
+
+FileSetConfig cfg(std::uint64_t dataset, double file_scale = 1.0) {
+  FileSetConfig c;
+  c.dataset_bytes = dataset;
+  c.base_dataset_bytes = gib(1);
+  c.file_scale = file_scale;
+  c.seed = 3;
+  return c;
+}
+
+TEST(FileSetTest, TotalBytesNearTarget) {
+  FileSet fs(cfg(gib(1)));
+  const double ratio = static_cast<double>(fs.total_bytes()) /
+                       static_cast<double>(gib(1));
+  EXPECT_NEAR(ratio, 1.0, 0.05);
+}
+
+TEST(FileSetTest, OffsetsAreContiguousAndOrdered) {
+  FileSet fs(cfg(mib(64)));
+  std::uint64_t expected_offset = 0;
+  for (std::size_t i = 0; i < fs.file_count(); ++i) {
+    EXPECT_EQ(fs.file(i).offset_bytes, expected_offset);
+    expected_offset += fs.file(i).size_bytes;
+  }
+  EXPECT_EQ(expected_offset, fs.total_bytes());
+}
+
+TEST(FileSetTest, ClassStructureFollowsSpecWeb99) {
+  const auto classes = specweb99_classes(1.0);
+  ASSERT_EQ(classes.size(), 4u);
+  double share = 0.0;
+  for (const auto& c : classes) {
+    EXPECT_LT(c.min_bytes, c.max_bytes);
+    share += c.request_share;
+  }
+  EXPECT_NEAR(share, 1.0, 1e-9);
+  // Largest class tops out at ~1 MB.
+  EXPECT_NEAR(static_cast<double>(classes.back().max_bytes), 1024.0 * 1024,
+              1.0);
+}
+
+TEST(FileSetTest, FileScaleScalesSizes) {
+  const auto small = specweb99_classes(1.0);
+  const auto large = specweb99_classes(16.0);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(large[i].max_bytes, 16 * small[i].max_bytes);
+  }
+}
+
+// The paper's scaling rule: x4 data set => x2 files and x2 file sizes.
+TEST(FileSetTest, SqrtScalingRule) {
+  FileSet base(cfg(gib(1)));
+  FileSet big(cfg(gib(4)));
+  const double count_ratio = static_cast<double>(big.file_count()) /
+                             static_cast<double>(base.file_count());
+  EXPECT_NEAR(count_ratio, 2.0, 0.1);
+  const double mean_base = static_cast<double>(base.total_bytes()) /
+                           static_cast<double>(base.file_count());
+  const double mean_big = static_cast<double>(big.total_bytes()) /
+                          static_cast<double>(big.file_count());
+  EXPECT_NEAR(mean_big / mean_base, 2.0, 0.1);
+}
+
+TEST(FileSetTest, DeterministicForSeed) {
+  FileSet a(cfg(mib(256))), b(cfg(mib(256)));
+  ASSERT_EQ(a.file_count(), b.file_count());
+  for (std::size_t i = 0; i < a.file_count(); ++i) {
+    EXPECT_EQ(a.file(i).size_bytes, b.file(i).size_bytes);
+    EXPECT_EQ(a.file(i).offset_bytes, b.file(i).offset_bytes);
+  }
+}
+
+TEST(FileSetTest, PageMathCoversWholeFile) {
+  FileSet fs(cfg(mib(64)));
+  const std::uint64_t page = 64 * kKiB;
+  for (std::size_t i = 0; i < std::min<std::size_t>(fs.file_count(), 500);
+       ++i) {
+    const auto& f = fs.file(i);
+    const auto first = fs.first_page(i, page);
+    const auto count = fs.page_count(i, page);
+    EXPECT_LE(first * page, f.offset_bytes);
+    EXPECT_GE((first + count) * page, f.offset_bytes + f.size_bytes);
+    // Never more than one page of slack on either side.
+    EXPECT_LE(count, (f.size_bytes / page) + 2);
+  }
+}
+
+TEST(FileSetTest, ShuffleDecorrelatesClassFromPosition) {
+  FileSet fs(cfg(gib(1)));
+  // The first 100 files by disk order should span several classes.
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i < 100 && i < fs.file_count(); ++i) {
+    mask |= 1u << fs.file(i).file_class;
+  }
+  EXPECT_GT(__builtin_popcount(mask), 1);
+}
+
+}  // namespace
+}  // namespace jpm::workload

