@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_joint.dir/bench_ablation_joint.cc.o"
+  "CMakeFiles/bench_ablation_joint.dir/bench_ablation_joint.cc.o.d"
+  "bench_ablation_joint"
+  "bench_ablation_joint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_joint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_cluster.cc" "bench/CMakeFiles/bench_ext_cluster.dir/bench_ext_cluster.cc.o" "gcc" "bench/CMakeFiles/bench_ext_cluster.dir/bench_ext_cluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

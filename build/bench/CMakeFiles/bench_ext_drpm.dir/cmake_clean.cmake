@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_drpm.dir/bench_ext_drpm.cc.o"
+  "CMakeFiles/bench_ext_drpm.dir/bench_ext_drpm.cc.o.d"
+  "bench_ext_drpm"
+  "bench_ext_drpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_drpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

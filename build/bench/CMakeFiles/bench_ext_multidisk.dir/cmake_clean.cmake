@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multidisk.dir/bench_ext_multidisk.cc.o"
+  "CMakeFiles/bench_ext_multidisk.dir/bench_ext_multidisk.cc.o.d"
+  "bench_ext_multidisk"
+  "bench_ext_multidisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multidisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

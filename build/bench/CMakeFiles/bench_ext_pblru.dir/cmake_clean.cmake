@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pblru.dir/bench_ext_pblru.cc.o"
+  "CMakeFiles/bench_ext_pblru.dir/bench_ext_pblru.cc.o.d"
+  "bench_ext_pblru"
+  "bench_ext_pblru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pblru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

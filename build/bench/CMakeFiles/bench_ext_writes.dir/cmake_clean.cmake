@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_writes.dir/bench_ext_writes.cc.o"
+  "CMakeFiles/bench_ext_writes.dir/bench_ext_writes.cc.o.d"
+  "bench_ext_writes"
+  "bench_ext_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

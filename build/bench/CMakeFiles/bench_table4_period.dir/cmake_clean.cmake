@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_period.dir/bench_table4_period.cc.o"
+  "CMakeFiles/bench_table4_period.dir/bench_table4_period.cc.o.d"
+  "bench_table4_period"
+  "bench_table4_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_bank.dir/bench_table5_bank.cc.o"
+  "CMakeFiles/bench_table5_bank.dir/bench_table5_bank.cc.o.d"
+  "bench_table5_bank"
+  "bench_table5_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_consolidation.dir/cluster_consolidation.cpp.o"
+  "CMakeFiles/cluster_consolidation.dir/cluster_consolidation.cpp.o.d"
+  "cluster_consolidation"
+  "cluster_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

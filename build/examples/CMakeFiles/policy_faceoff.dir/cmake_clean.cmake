@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_faceoff.dir/policy_faceoff.cpp.o"
+  "CMakeFiles/policy_faceoff.dir/policy_faceoff.cpp.o.d"
+  "policy_faceoff"
+  "policy_faceoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_faceoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

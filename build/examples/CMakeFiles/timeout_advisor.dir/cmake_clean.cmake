@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeout_advisor.dir/timeout_advisor.cpp.o"
+  "CMakeFiles/timeout_advisor.dir/timeout_advisor.cpp.o.d"
+  "timeout_advisor"
+  "timeout_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeout_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jpm/cache/idle_sweep.cc" "src/CMakeFiles/jpm_cache.dir/jpm/cache/idle_sweep.cc.o" "gcc" "src/CMakeFiles/jpm_cache.dir/jpm/cache/idle_sweep.cc.o.d"
+  "/root/repo/src/jpm/cache/lru_cache.cc" "src/CMakeFiles/jpm_cache.dir/jpm/cache/lru_cache.cc.o" "gcc" "src/CMakeFiles/jpm_cache.dir/jpm/cache/lru_cache.cc.o.d"
+  "/root/repo/src/jpm/cache/miss_curve.cc" "src/CMakeFiles/jpm_cache.dir/jpm/cache/miss_curve.cc.o" "gcc" "src/CMakeFiles/jpm_cache.dir/jpm/cache/miss_curve.cc.o.d"
+  "/root/repo/src/jpm/cache/partitioned_lru.cc" "src/CMakeFiles/jpm_cache.dir/jpm/cache/partitioned_lru.cc.o" "gcc" "src/CMakeFiles/jpm_cache.dir/jpm/cache/partitioned_lru.cc.o.d"
+  "/root/repo/src/jpm/cache/stack_distance.cc" "src/CMakeFiles/jpm_cache.dir/jpm/cache/stack_distance.cc.o" "gcc" "src/CMakeFiles/jpm_cache.dir/jpm/cache/stack_distance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpm_cache.dir/jpm/cache/idle_sweep.cc.o"
+  "CMakeFiles/jpm_cache.dir/jpm/cache/idle_sweep.cc.o.d"
+  "CMakeFiles/jpm_cache.dir/jpm/cache/lru_cache.cc.o"
+  "CMakeFiles/jpm_cache.dir/jpm/cache/lru_cache.cc.o.d"
+  "CMakeFiles/jpm_cache.dir/jpm/cache/miss_curve.cc.o"
+  "CMakeFiles/jpm_cache.dir/jpm/cache/miss_curve.cc.o.d"
+  "CMakeFiles/jpm_cache.dir/jpm/cache/partitioned_lru.cc.o"
+  "CMakeFiles/jpm_cache.dir/jpm/cache/partitioned_lru.cc.o.d"
+  "CMakeFiles/jpm_cache.dir/jpm/cache/stack_distance.cc.o"
+  "CMakeFiles/jpm_cache.dir/jpm/cache/stack_distance.cc.o.d"
+  "libjpm_cache.a"
+  "libjpm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

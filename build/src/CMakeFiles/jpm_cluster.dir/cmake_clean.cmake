@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpm_cluster.dir/jpm/cluster/cluster.cc.o"
+  "CMakeFiles/jpm_cluster.dir/jpm/cluster/cluster.cc.o.d"
+  "libjpm_cluster.a"
+  "libjpm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

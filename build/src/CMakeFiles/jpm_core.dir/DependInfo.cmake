@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jpm/core/candidate_search.cc" "src/CMakeFiles/jpm_core.dir/jpm/core/candidate_search.cc.o" "gcc" "src/CMakeFiles/jpm_core.dir/jpm/core/candidate_search.cc.o.d"
+  "/root/repo/src/jpm/core/joint_power_manager.cc" "src/CMakeFiles/jpm_core.dir/jpm/core/joint_power_manager.cc.o" "gcc" "src/CMakeFiles/jpm_core.dir/jpm/core/joint_power_manager.cc.o.d"
+  "/root/repo/src/jpm/core/period_stats.cc" "src/CMakeFiles/jpm_core.dir/jpm/core/period_stats.cc.o" "gcc" "src/CMakeFiles/jpm_core.dir/jpm/core/period_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jpm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

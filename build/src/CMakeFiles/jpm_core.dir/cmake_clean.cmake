@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpm_core.dir/jpm/core/candidate_search.cc.o"
+  "CMakeFiles/jpm_core.dir/jpm/core/candidate_search.cc.o.d"
+  "CMakeFiles/jpm_core.dir/jpm/core/joint_power_manager.cc.o"
+  "CMakeFiles/jpm_core.dir/jpm/core/joint_power_manager.cc.o.d"
+  "CMakeFiles/jpm_core.dir/jpm/core/period_stats.cc.o"
+  "CMakeFiles/jpm_core.dir/jpm/core/period_stats.cc.o.d"
+  "libjpm_core.a"
+  "libjpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jpm/disk/disk_array.cc" "src/CMakeFiles/jpm_disk.dir/jpm/disk/disk_array.cc.o" "gcc" "src/CMakeFiles/jpm_disk.dir/jpm/disk/disk_array.cc.o.d"
+  "/root/repo/src/jpm/disk/disk_model.cc" "src/CMakeFiles/jpm_disk.dir/jpm/disk/disk_model.cc.o" "gcc" "src/CMakeFiles/jpm_disk.dir/jpm/disk/disk_model.cc.o.d"
+  "/root/repo/src/jpm/disk/disk_power.cc" "src/CMakeFiles/jpm_disk.dir/jpm/disk/disk_power.cc.o" "gcc" "src/CMakeFiles/jpm_disk.dir/jpm/disk/disk_power.cc.o.d"
+  "/root/repo/src/jpm/disk/disk_queue.cc" "src/CMakeFiles/jpm_disk.dir/jpm/disk/disk_queue.cc.o" "gcc" "src/CMakeFiles/jpm_disk.dir/jpm/disk/disk_queue.cc.o.d"
+  "/root/repo/src/jpm/disk/multispeed.cc" "src/CMakeFiles/jpm_disk.dir/jpm/disk/multispeed.cc.o" "gcc" "src/CMakeFiles/jpm_disk.dir/jpm/disk/multispeed.cc.o.d"
+  "/root/repo/src/jpm/disk/offline.cc" "src/CMakeFiles/jpm_disk.dir/jpm/disk/offline.cc.o" "gcc" "src/CMakeFiles/jpm_disk.dir/jpm/disk/offline.cc.o.d"
+  "/root/repo/src/jpm/disk/timeout_policy.cc" "src/CMakeFiles/jpm_disk.dir/jpm/disk/timeout_policy.cc.o" "gcc" "src/CMakeFiles/jpm_disk.dir/jpm/disk/timeout_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jpm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_pareto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpm_disk.dir/jpm/disk/disk_array.cc.o"
+  "CMakeFiles/jpm_disk.dir/jpm/disk/disk_array.cc.o.d"
+  "CMakeFiles/jpm_disk.dir/jpm/disk/disk_model.cc.o"
+  "CMakeFiles/jpm_disk.dir/jpm/disk/disk_model.cc.o.d"
+  "CMakeFiles/jpm_disk.dir/jpm/disk/disk_power.cc.o"
+  "CMakeFiles/jpm_disk.dir/jpm/disk/disk_power.cc.o.d"
+  "CMakeFiles/jpm_disk.dir/jpm/disk/disk_queue.cc.o"
+  "CMakeFiles/jpm_disk.dir/jpm/disk/disk_queue.cc.o.d"
+  "CMakeFiles/jpm_disk.dir/jpm/disk/multispeed.cc.o"
+  "CMakeFiles/jpm_disk.dir/jpm/disk/multispeed.cc.o.d"
+  "CMakeFiles/jpm_disk.dir/jpm/disk/offline.cc.o"
+  "CMakeFiles/jpm_disk.dir/jpm/disk/offline.cc.o.d"
+  "CMakeFiles/jpm_disk.dir/jpm/disk/timeout_policy.cc.o"
+  "CMakeFiles/jpm_disk.dir/jpm/disk/timeout_policy.cc.o.d"
+  "libjpm_disk.a"
+  "libjpm_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpm_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpm_mem.dir/jpm/mem/bank_set.cc.o"
+  "CMakeFiles/jpm_mem.dir/jpm/mem/bank_set.cc.o.d"
+  "CMakeFiles/jpm_mem.dir/jpm/mem/energy_meter.cc.o"
+  "CMakeFiles/jpm_mem.dir/jpm/mem/energy_meter.cc.o.d"
+  "CMakeFiles/jpm_mem.dir/jpm/mem/rdram_model.cc.o"
+  "CMakeFiles/jpm_mem.dir/jpm/mem/rdram_model.cc.o.d"
+  "libjpm_mem.a"
+  "libjpm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jpm/pareto/pareto.cc" "src/CMakeFiles/jpm_pareto.dir/jpm/pareto/pareto.cc.o" "gcc" "src/CMakeFiles/jpm_pareto.dir/jpm/pareto/pareto.cc.o.d"
+  "/root/repo/src/jpm/pareto/timeout_math.cc" "src/CMakeFiles/jpm_pareto.dir/jpm/pareto/timeout_math.cc.o" "gcc" "src/CMakeFiles/jpm_pareto.dir/jpm/pareto/timeout_math.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpm_pareto.dir/jpm/pareto/pareto.cc.o"
+  "CMakeFiles/jpm_pareto.dir/jpm/pareto/pareto.cc.o.d"
+  "CMakeFiles/jpm_pareto.dir/jpm/pareto/timeout_math.cc.o"
+  "CMakeFiles/jpm_pareto.dir/jpm/pareto/timeout_math.cc.o.d"
+  "libjpm_pareto.a"
+  "libjpm_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpm_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjpm_pareto.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpm_sim.dir/jpm/sim/engine.cc.o"
+  "CMakeFiles/jpm_sim.dir/jpm/sim/engine.cc.o.d"
+  "CMakeFiles/jpm_sim.dir/jpm/sim/metrics.cc.o"
+  "CMakeFiles/jpm_sim.dir/jpm/sim/metrics.cc.o.d"
+  "CMakeFiles/jpm_sim.dir/jpm/sim/policies.cc.o"
+  "CMakeFiles/jpm_sim.dir/jpm/sim/policies.cc.o.d"
+  "CMakeFiles/jpm_sim.dir/jpm/sim/runner.cc.o"
+  "CMakeFiles/jpm_sim.dir/jpm/sim/runner.cc.o.d"
+  "libjpm_sim.a"
+  "libjpm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjpm_sim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpm_util.dir/jpm/util/rng.cc.o"
+  "CMakeFiles/jpm_util.dir/jpm/util/rng.cc.o.d"
+  "CMakeFiles/jpm_util.dir/jpm/util/stats.cc.o"
+  "CMakeFiles/jpm_util.dir/jpm/util/stats.cc.o.d"
+  "CMakeFiles/jpm_util.dir/jpm/util/table.cc.o"
+  "CMakeFiles/jpm_util.dir/jpm/util/table.cc.o.d"
+  "libjpm_util.a"
+  "libjpm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jpm/workload/fileset.cc" "src/CMakeFiles/jpm_workload.dir/jpm/workload/fileset.cc.o" "gcc" "src/CMakeFiles/jpm_workload.dir/jpm/workload/fileset.cc.o.d"
+  "/root/repo/src/jpm/workload/popularity.cc" "src/CMakeFiles/jpm_workload.dir/jpm/workload/popularity.cc.o" "gcc" "src/CMakeFiles/jpm_workload.dir/jpm/workload/popularity.cc.o.d"
+  "/root/repo/src/jpm/workload/synthesizer.cc" "src/CMakeFiles/jpm_workload.dir/jpm/workload/synthesizer.cc.o" "gcc" "src/CMakeFiles/jpm_workload.dir/jpm/workload/synthesizer.cc.o.d"
+  "/root/repo/src/jpm/workload/trace.cc" "src/CMakeFiles/jpm_workload.dir/jpm/workload/trace.cc.o" "gcc" "src/CMakeFiles/jpm_workload.dir/jpm/workload/trace.cc.o.d"
+  "/root/repo/src/jpm/workload/trace_io.cc" "src/CMakeFiles/jpm_workload.dir/jpm/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/jpm_workload.dir/jpm/workload/trace_io.cc.o.d"
+  "/root/repo/src/jpm/workload/trace_stats.cc" "src/CMakeFiles/jpm_workload.dir/jpm/workload/trace_stats.cc.o" "gcc" "src/CMakeFiles/jpm_workload.dir/jpm/workload/trace_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jpm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

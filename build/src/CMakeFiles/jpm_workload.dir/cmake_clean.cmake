@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpm_workload.dir/jpm/workload/fileset.cc.o"
+  "CMakeFiles/jpm_workload.dir/jpm/workload/fileset.cc.o.d"
+  "CMakeFiles/jpm_workload.dir/jpm/workload/popularity.cc.o"
+  "CMakeFiles/jpm_workload.dir/jpm/workload/popularity.cc.o.d"
+  "CMakeFiles/jpm_workload.dir/jpm/workload/synthesizer.cc.o"
+  "CMakeFiles/jpm_workload.dir/jpm/workload/synthesizer.cc.o.d"
+  "CMakeFiles/jpm_workload.dir/jpm/workload/trace.cc.o"
+  "CMakeFiles/jpm_workload.dir/jpm/workload/trace.cc.o.d"
+  "CMakeFiles/jpm_workload.dir/jpm/workload/trace_io.cc.o"
+  "CMakeFiles/jpm_workload.dir/jpm/workload/trace_io.cc.o.d"
+  "CMakeFiles/jpm_workload.dir/jpm/workload/trace_stats.cc.o"
+  "CMakeFiles/jpm_workload.dir/jpm/workload/trace_stats.cc.o.d"
+  "libjpm_workload.a"
+  "libjpm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

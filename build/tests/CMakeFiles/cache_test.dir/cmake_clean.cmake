@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_test.dir/cache/idle_sweep_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/idle_sweep_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/lru_cache_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/lru_cache_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/miss_curve_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/miss_curve_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/partitioned_lru_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/partitioned_lru_test.cc.o.d"
+  "CMakeFiles/cache_test.dir/cache/stack_distance_test.cc.o"
+  "CMakeFiles/cache_test.dir/cache/stack_distance_test.cc.o.d"
+  "cache_test"
+  "cache_test.pdb"
+  "cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/disk/disk_array_test.cc" "tests/CMakeFiles/disk_test.dir/disk/disk_array_test.cc.o" "gcc" "tests/CMakeFiles/disk_test.dir/disk/disk_array_test.cc.o.d"
+  "/root/repo/tests/disk/disk_model_test.cc" "tests/CMakeFiles/disk_test.dir/disk/disk_model_test.cc.o" "gcc" "tests/CMakeFiles/disk_test.dir/disk/disk_model_test.cc.o.d"
+  "/root/repo/tests/disk/disk_power_test.cc" "tests/CMakeFiles/disk_test.dir/disk/disk_power_test.cc.o" "gcc" "tests/CMakeFiles/disk_test.dir/disk/disk_power_test.cc.o.d"
+  "/root/repo/tests/disk/disk_queue_test.cc" "tests/CMakeFiles/disk_test.dir/disk/disk_queue_test.cc.o" "gcc" "tests/CMakeFiles/disk_test.dir/disk/disk_queue_test.cc.o.d"
+  "/root/repo/tests/disk/multispeed_test.cc" "tests/CMakeFiles/disk_test.dir/disk/multispeed_test.cc.o" "gcc" "tests/CMakeFiles/disk_test.dir/disk/multispeed_test.cc.o.d"
+  "/root/repo/tests/disk/offline_test.cc" "tests/CMakeFiles/disk_test.dir/disk/offline_test.cc.o" "gcc" "tests/CMakeFiles/disk_test.dir/disk/offline_test.cc.o.d"
+  "/root/repo/tests/disk/timeout_policy_test.cc" "tests/CMakeFiles/disk_test.dir/disk/timeout_policy_test.cc.o" "gcc" "tests/CMakeFiles/disk_test.dir/disk/timeout_policy_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_test.dir/disk/disk_array_test.cc.o"
+  "CMakeFiles/disk_test.dir/disk/disk_array_test.cc.o.d"
+  "CMakeFiles/disk_test.dir/disk/disk_model_test.cc.o"
+  "CMakeFiles/disk_test.dir/disk/disk_model_test.cc.o.d"
+  "CMakeFiles/disk_test.dir/disk/disk_power_test.cc.o"
+  "CMakeFiles/disk_test.dir/disk/disk_power_test.cc.o.d"
+  "CMakeFiles/disk_test.dir/disk/disk_queue_test.cc.o"
+  "CMakeFiles/disk_test.dir/disk/disk_queue_test.cc.o.d"
+  "CMakeFiles/disk_test.dir/disk/multispeed_test.cc.o"
+  "CMakeFiles/disk_test.dir/disk/multispeed_test.cc.o.d"
+  "CMakeFiles/disk_test.dir/disk/offline_test.cc.o"
+  "CMakeFiles/disk_test.dir/disk/offline_test.cc.o.d"
+  "CMakeFiles/disk_test.dir/disk/timeout_policy_test.cc.o"
+  "CMakeFiles/disk_test.dir/disk/timeout_policy_test.cc.o.d"
+  "disk_test"
+  "disk_test.pdb"
+  "disk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
