@@ -7,7 +7,13 @@
 // periods); the trace granularity (256 kB pages, 16x SPECWeb99 file sizes)
 // bounds trace length so a full 16-policy sweep runs in seconds per point.
 //
-// Set JPM_BENCH_FAST=1 to quarter the simulated duration for smoke runs.
+// Environment knobs, honored by every bench binary:
+//   JPM_BENCH_FAST=1  quarters the simulated duration for smoke runs.
+//   JPM_THREADS=N     worker threads for the sweep fan-out (run_sweep
+//                     synthesizes each point's trace once and replays it
+//                     across N workers; 1 = the exact serial path, default =
+//                     hardware concurrency). Tables on stdout are
+//                     byte-identical for every N; only wall-clock changes.
 #pragma once
 
 #include <cstdio>
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "jpm/sim/runner.h"
+#include "jpm/util/parallel.h"
 #include "jpm/util/table.h"
 
 namespace jpm::bench {
@@ -29,6 +36,14 @@ inline bool fast_mode() {
 // One hour measured after a 20-minute warm-up (quarter scale in fast mode).
 inline double measured_duration_s() { return fast_mode() ? 900.0 : 3600.0; }
 inline double warm_up_s() { return fast_mode() ? 600.0 : 1200.0; }
+
+// One stderr line recording the knobs in effect, so saved bench logs say how
+// they were produced; stdout (the tables) stays byte-identical across knob
+// settings.
+inline void print_run_banner() {
+  std::cerr << "jpm-bench: threads=" << util::default_thread_count()
+            << (fast_mode() ? ", fast mode (JPM_BENCH_FAST=1)" : "") << "\n";
+}
 
 inline workload::SynthesizerConfig paper_workload(std::uint64_t dataset_bytes,
                                                   double byte_rate,

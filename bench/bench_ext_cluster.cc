@@ -16,6 +16,7 @@
 using namespace jpm;
 
 int main() {
+  bench::print_run_banner();
   auto workload = bench::paper_workload(gib(32), 60e6, 0.1);
 
   std::cout << "Joint power management across a 4-server cluster "

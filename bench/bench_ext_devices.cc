@@ -13,6 +13,7 @@
 using namespace jpm;
 
 int main() {
+  bench::print_run_banner();
   const auto workload = bench::paper_workload(gib(16), 25e6, 0.1);
   std::cout << "Joint power management across device classes "
                "(16 GB data set, 25 MB/s)\n";

@@ -13,6 +13,7 @@
 using namespace jpm;
 
 int main() {
+  bench::print_run_banner();
   const auto engine = bench::paper_engine();
   const std::vector<sim::PolicySpec> roster{
       sim::joint_policy(),

@@ -12,6 +12,7 @@
 using namespace jpm;
 
 int main() {
+  bench::print_run_banner();
   auto workload = bench::paper_workload(gib(32), 100e6, 0.1);
   const std::vector<sim::PolicySpec> roster{
       sim::joint_policy(),

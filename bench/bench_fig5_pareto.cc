@@ -10,6 +10,7 @@
 using namespace jpm;
 
 int main() {
+  bench::print_run_banner();
   // alpha1 > alpha2, beta1 < beta2: the paper's two illustrative curves.
   const pareto::ParetoDistribution d1(2.5, 0.5);
   const pareto::ParetoDistribution d2(1.2, 2.0);

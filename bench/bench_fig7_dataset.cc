@@ -17,6 +17,7 @@
 using namespace jpm;
 
 int main() {
+  bench::print_run_banner();
   const auto engine = bench::paper_engine();
   const auto roster = sim::paper_policies();
 

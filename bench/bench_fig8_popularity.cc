@@ -13,6 +13,7 @@
 using namespace jpm;
 
 int main() {
+  bench::print_run_banner();
   // The popularity crossover hinges on small-file random IO throttling the
   // disk (~1.3 MB/s effective at 16 kB transfers): at 5 MB/s offered load
   // the trace is short enough to afford spec-faithful SPECWeb99 file sizes

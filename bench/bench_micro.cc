@@ -1,12 +1,15 @@
 // Google-benchmark microbenches for the simulator's hot kernels: LRU cache
 // operations, the Fenwick stack-distance tracker, the idle-interval sweep,
-// Pareto fitting, and trace synthesis.
+// Pareto fitting, trace synthesis throughput, and single-policy engine
+// replay — the perf baseline for the sweep hot loop.
 #include <benchmark/benchmark.h>
 
 #include "jpm/cache/idle_sweep.h"
 #include "jpm/cache/lru_cache.h"
 #include "jpm/cache/stack_distance.h"
 #include "jpm/pareto/pareto.h"
+#include "jpm/sim/engine.h"
+#include "jpm/sim/policies.h"
 #include "jpm/util/rng.h"
 #include "jpm/workload/synthesizer.h"
 
@@ -71,14 +74,47 @@ void BM_TraceSynthesis(benchmark::State& state) {
   cfg.duration_s = 60.0;
   cfg.page_bytes = 256 * kKiB;
   cfg.seed = 5;
+  std::uint64_t events = 0;
   for (auto _ : state) {
     workload::TraceGenerator gen(cfg);
     std::uint64_t n = 0;
     while (gen.next()) ++n;
     benchmark::DoNotOptimize(n);
+    events += n;
   }
+  // events/s: the synthesis throughput run_sweep pays once per sweep point.
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_TraceSynthesis);
+
+// Materializes a trace once and replays it through a single policy's full
+// pipeline per iteration — exactly one unit of run_sweep's fan-out, and the
+// perf baseline for future engine hot-loop work (items = trace events).
+void BM_EngineReplay(benchmark::State& state) {
+  workload::SynthesizerConfig cfg;
+  cfg.dataset_bytes = mib(256);
+  cfg.byte_rate = 20e6;
+  cfg.duration_s = 600.0;
+  cfg.page_bytes = 64 * kKiB;
+  cfg.seed = 6;
+  const auto trace = workload::synthesize_trace(cfg);
+
+  sim::EngineConfig e;
+  e.joint.physical_bytes = gib(1);
+  e.joint.unit_bytes = 16 * kMiB;
+  e.joint.page_bytes = 64 * kKiB;
+  e.joint.period_s = 300.0;
+  const auto policy = state.range(0) == 0
+                          ? sim::fixed_policy(
+                                sim::DiskPolicyKind::kTwoCompetitive, mib(128))
+                          : sim::joint_policy();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_simulation(trace, policy, e));
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(trace.events.size()));
+}
+BENCHMARK(BM_EngineReplay)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace jpm

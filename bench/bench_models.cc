@@ -10,6 +10,7 @@
 using namespace jpm;
 
 int main() {
+  bench::print_run_banner();
   const mem::RdramParams m;
   const disk::DiskParams d;
 

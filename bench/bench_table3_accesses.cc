@@ -8,6 +8,7 @@
 using namespace jpm;
 
 int main() {
+  bench::print_run_banner();
   const auto engine = bench::paper_engine();
   std::vector<sim::PolicySpec> roster{sim::joint_policy()};
   for (std::uint64_t g : {8, 16, 32, 64, 128}) {

@@ -9,6 +9,7 @@
 using namespace jpm;
 
 int main() {
+  bench::print_run_banner();
   const auto workload = bench::paper_workload(gib(16), 100e6, 0.1);
   std::cout << "Table V — joint method vs bank (resize-unit) size "
                "(16 GB, 100 MB/s)\n";

@@ -10,10 +10,13 @@
 #include <cstdlib>
 
 #include "jpm/cluster/cluster.h"
+#include "jpm/util/parallel.h"
 
 using namespace jpm;
 
 int main(int argc, char** argv) {
+  std::fprintf(stderr, "threads=%u (set JPM_THREADS to override)\n",
+               util::default_thread_count());
   const std::uint32_t servers =
       argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4;
   const double rate_mb = argc > 2 ? std::atof(argv[2]) : 40.0;

@@ -8,11 +8,14 @@
 #include <iostream>
 
 #include "jpm/sim/runner.h"
+#include "jpm/util/parallel.h"
 #include "jpm/util/table.h"
 
 using namespace jpm;
 
 int main(int argc, char** argv) {
+  std::fprintf(stderr, "threads=%u (set JPM_THREADS to override)\n",
+               util::default_thread_count());
   const std::uint64_t dataset_gib =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16;
   const double rate_mb = argc > 2 ? std::atof(argv[2]) : 100.0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "jpm/util/check.h"
+#include "jpm/util/parallel.h"
 
 namespace jpm::cluster {
 
@@ -163,7 +164,10 @@ ClusterMetrics ClusterEngine::run() {
   ClusterMetrics out;
   out.duration_s = workload_.duration_s - config_.engine.warm_up_s;
   out.servers.resize(config_.server_count);
-  for (std::uint32_t s = 0; s < config_.server_count; ++s) {
+  // Per-server pipelines replay disjoint sub-traces and share nothing
+  // mutable, so they fan out across the pool (JPM_THREADS workers); each
+  // task writes only its own ServerOutcome slot.
+  util::parallel_for(config_.server_count, [&](std::size_t s) {
     ServerOutcome& server = out.servers[s];
     server.requests = request_counts[s];
 
@@ -194,7 +198,7 @@ ClusterMetrics ClusterEngine::run() {
     server.chassis_energy_j =
         config_.chassis_on_w * usage.on_s +
         config_.chassis_off_w * (workload_.duration_s - usage.on_s);
-  }
+  });
   return out;
 }
 

@@ -19,10 +19,13 @@ struct Engine::Impl {
   PolicySpec policy;
   EngineConfig config;
 
-  // Trace source: exactly one of the two is active.
+  // Trace source: a live generator, an owned replay, or a borrowed immutable
+  // Trace. The latter two both run through the `events` view.
   std::unique_ptr<workload::TraceGenerator> generator;
-  ReplayTrace replay;
-  std::size_t replay_index = 0;
+  ReplayTrace replay;  // owned storage for the ReplayTrace constructor
+  const workload::TraceEvent* events = nullptr;  // owned or borrowed view
+  std::size_t event_count = 0;
+  std::size_t event_index = 0;
   double duration_s = 0.0;
   std::uint64_t total_pages = 0;
 
@@ -42,6 +45,10 @@ struct Engine::Impl {
   RunMetrics metrics;
 
   double next_flush = 0.0;  // next background writeback tick (0 = disabled)
+
+  // Reused across period boundaries and bank disables so the hot loop does
+  // not allocate a fresh vector per event.
+  std::vector<cache::PageId> dirty_scratch;
 
   // Per-period measured quantities (Fig. 9 and period records).
   double next_boundary = 0.0;
@@ -84,12 +91,29 @@ struct Engine::Impl {
   Impl(ReplayTrace trace, const PolicySpec& spec, const EngineConfig& cfg)
       : policy(spec), config(cfg), replay(std::move(trace)),
         meter(cfg.joint.mem, 0, 0.0), last_disk_finish(0.0) {
-    JPM_CHECK_MSG(!replay.events.empty(), "replay trace is empty");
     duration_s = replay.duration_s;
     total_pages = replay.total_pages;
+    attach_events(replay.events);
+    init(replay.page_bytes);
+  }
+
+  Impl(const workload::Trace& trace, const PolicySpec& spec,
+       const EngineConfig& cfg)
+      : policy(spec), config(cfg), meter(cfg.joint.mem, 0, 0.0),
+        last_disk_finish(0.0) {
+    duration_s = trace.duration_s;
+    total_pages = trace.total_pages;
+    attach_events(trace.events);
+    init(trace.page_bytes);
+  }
+
+  // Validates an event sequence and adopts it as the run's source. Fills
+  // duration and data-set size when the caller left them derived (0).
+  void attach_events(const std::vector<workload::TraceEvent>& evs) {
+    JPM_CHECK_MSG(!evs.empty(), "replay trace is empty");
     double prev = 0.0;
     std::uint64_t max_page = 0;
-    for (const auto& e : replay.events) {
+    for (const auto& e : evs) {
       JPM_CHECK_MSG(e.time_s >= prev, "replay trace must be time-sorted");
       prev = e.time_s;
       max_page = std::max(max_page, e.page);
@@ -101,14 +125,13 @@ struct Engine::Impl {
     if (total_pages == 0) total_pages = max_page + 1;
     JPM_CHECK_MSG(max_page < total_pages,
                   "trace pages exceed the declared data-set size");
-    init(replay.page_bytes);
+    events = evs.data();
+    event_count = evs.size();
   }
 
   std::optional<workload::TraceEvent> next_event() {
     if (generator) return generator->next();
-    if (replay_index < replay.events.size()) {
-      return replay.events[replay_index++];
-    }
+    if (event_index < event_count) return events[event_index++];
     return std::nullopt;
   }
 
@@ -239,15 +262,18 @@ struct Engine::Impl {
     if (config.prefill_cache) prefill();
   }
 
-  // Writes the given dirty pages back to disk (ascending page order keeps
-  // most of a flush burst sequential). Background traffic: no user-visible
+  // Writes one dirty page back to disk. Background traffic: no user-visible
   // latency, but it occupies and wakes the disk like any other access.
+  void write_back_page(double t, cache::PageId p) {
+    const auto res = disk->read(t, p, config.joint.page_bytes);
+    ++metrics.disk_writes;
+    last_disk_finish = res.finish_s;
+  }
+
+  // Writes the given dirty pages back to disk (ascending page order keeps
+  // most of a flush burst sequential).
   void write_back(double t, const std::vector<cache::PageId>& pages) {
-    for (cache::PageId p : pages) {
-      const auto res = disk->read(t, p, config.joint.page_bytes);
-      ++metrics.disk_writes;
-      last_disk_finish = res.finish_s;
-    }
+    for (cache::PageId p : pages) write_back_page(t, p);
   }
 
   void process_flushes_until(double t) {
@@ -325,9 +351,9 @@ struct Engine::Impl {
       const core::JointDecision& d = manager->on_period_end(stats);
       const std::uint64_t frames =
           d.memory_units * config.joint.unit_frames();
-      std::vector<cache::PageId> dirty;
-      lru->set_capacity(std::max<std::uint64_t>(frames, 1), &dirty);
-      write_back(boundary, dirty);
+      dirty_scratch.clear();
+      lru->set_capacity(std::max<std::uint64_t>(frames, 1), &dirty_scratch);
+      write_back(boundary, dirty_scratch);
       meter.set_size(d.memory_bytes, boundary);
       dynamic_timeout->set_timeout(d.timeout_s);
       current_units = d.memory_units;
@@ -360,9 +386,9 @@ struct Engine::Impl {
       process_flushes_until(t);
       if (banks) {
         for (const auto& d : banks->take_due_disables(t)) {
-          std::vector<cache::PageId> dirty;
-          lru->invalidate_bank(d.bank, &dirty);
-          write_back(t, dirty);
+          dirty_scratch.clear();
+          lru->invalidate_bank(d.bank, &dirty_scratch);
+          write_back(t, dirty_scratch);
         }
       }
       disk->advance(t);
@@ -389,7 +415,7 @@ struct Engine::Impl {
         // disk read happens now; the page becomes dirty for a later flush.
         const auto placed = lru->insert(event->page);
         if (placed.evicted && placed.evicted_dirty) {
-          write_back(t, {placed.evicted_page});
+          write_back_page(t, placed.evicted_page);
         }
         lru->mark_dirty(event->page);
         meter.on_transfer(page_bytes);
@@ -417,7 +443,7 @@ struct Engine::Impl {
 
       const auto placed = lru->insert(event->page);
       if (placed.evicted && placed.evicted_dirty) {
-        write_back(t, {placed.evicted_page});
+        write_back_page(t, placed.evicted_page);
       }
       meter.on_transfer(2 * page_bytes);  // fill + serve
       if (banks) banks->touch(placed.bank, t);
@@ -432,7 +458,7 @@ struct Engine::Impl {
         last_disk_finish = ra.finish_s;
         const auto ra_placed = lru->insert(next_page);
         if (ra_placed.evicted && ra_placed.evicted_dirty) {
-          write_back(t, {ra_placed.evicted_page});
+          write_back_page(t, ra_placed.evicted_page);
         }
         meter.on_transfer(page_bytes);
         if (banks) banks->touch(ra_placed.bank, t);
@@ -491,6 +517,9 @@ Engine::Engine(const workload::SynthesizerConfig& workload,
 Engine::Engine(ReplayTrace trace, const PolicySpec& policy,
                const EngineConfig& config)
     : impl_(std::make_unique<Impl>(std::move(trace), policy, config)) {}
+Engine::Engine(const workload::Trace& trace, const PolicySpec& policy,
+               const EngineConfig& config)
+    : impl_(std::make_unique<Impl>(trace, policy, config)) {}
 Engine::~Engine() = default;
 Engine::Engine(Engine&&) noexcept = default;
 Engine& Engine::operator=(Engine&&) noexcept = default;
@@ -501,6 +530,12 @@ RunMetrics run_simulation(const workload::SynthesizerConfig& workload,
                           const PolicySpec& policy,
                           const EngineConfig& config) {
   return Engine(workload, policy, config).run();
+}
+
+RunMetrics run_simulation(const workload::Trace& trace,
+                          const PolicySpec& policy,
+                          const EngineConfig& config) {
+  return Engine(trace, policy, config).run();
 }
 
 RunMetrics replay_simulation(ReplayTrace trace, const PolicySpec& policy,

@@ -60,6 +60,12 @@ class Engine {
          const EngineConfig& config);
   Engine(ReplayTrace trace, const PolicySpec& policy,
          const EngineConfig& config);
+  // Replays a shared immutable trace without copying it; the trace must
+  // outlive the engine. Any number of engines may replay the same Trace
+  // concurrently. Metrics are bit-identical to the synthesizing constructor
+  // when the trace came from workload::synthesize_trace of the same config.
+  Engine(const workload::Trace& trace, const PolicySpec& policy,
+         const EngineConfig& config);
   ~Engine();
   Engine(Engine&&) noexcept;
   Engine& operator=(Engine&&) noexcept;
@@ -74,6 +80,8 @@ class Engine {
 
 // Convenience wrappers: construct + run.
 RunMetrics run_simulation(const workload::SynthesizerConfig& workload,
+                          const PolicySpec& policy, const EngineConfig& config);
+RunMetrics run_simulation(const workload::Trace& trace,
                           const PolicySpec& policy, const EngineConfig& config);
 RunMetrics replay_simulation(ReplayTrace trace, const PolicySpec& policy,
                              const EngineConfig& config);

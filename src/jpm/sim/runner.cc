@@ -1,53 +1,99 @@
 #include "jpm/sim/runner.h"
 
+#include <mutex>
 #include <sstream>
+#include <utility>
 
 #include "jpm/util/check.h"
+#include "jpm/util/parallel.h"
 
 namespace jpm::sim {
+namespace {
+
+// The roster's single always-on entry: every energy figure normalizes
+// against it, so its absence (or duplication) is a configuration error.
+std::size_t find_baseline(const std::vector<PolicySpec>& roster) {
+  std::size_t baseline = roster.size();
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    if (roster[i].disk == DiskPolicyKind::kAlwaysOn &&
+        !roster[i].multi_speed) {
+      JPM_CHECK_MSG(baseline == roster.size(),
+                    "roster must contain exactly one always-on baseline; "
+                    "found both \"" << roster[baseline].name << "\" and \""
+                                    << roster[i].name << "\"");
+      baseline = i;
+    }
+  }
+  JPM_CHECK_MSG(baseline < roster.size(),
+                "roster needs an always-on baseline to normalize energy "
+                "against (no non-multi-speed always-on entry found)");
+  return baseline;
+}
+
+}  // namespace
 
 std::vector<SweepPoint> run_sweep(
     const std::vector<std::pair<std::string, workload::SynthesizerConfig>>&
         workloads,
     const std::vector<PolicySpec>& roster, const EngineConfig& config,
     const std::function<void(const std::string&)>& progress) {
-  std::size_t baseline_index = roster.size();
-  for (std::size_t i = 0; i < roster.size(); ++i) {
-    if (roster[i].disk == DiskPolicyKind::kAlwaysOn &&
-        !roster[i].multi_speed) {
-      JPM_CHECK_MSG(baseline_index == roster.size(),
-                    "roster must contain exactly one always-on policy");
-      baseline_index = i;
+  const std::size_t baseline_index = find_baseline(roster);
+  const std::size_t n_points = workloads.size();
+  const std::size_t n_policies = roster.size();
+
+  // Synthesize each sweep point's trace exactly once; every policy run then
+  // replays it read-only. All randomness lives in the synthesizer, whose
+  // stream derives solely from the point's seed, so neither sharing nor
+  // scheduling can change any metric.
+  std::vector<workload::Trace> traces(n_points);
+  util::parallel_for(n_points, [&](std::size_t i) {
+    traces[i] = workload::synthesize_trace(workloads[i].second);
+  });
+
+  std::vector<SweepPoint> points(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    points[i].label = workloads[i].first;
+    points[i].workload = workloads[i].second;
+    points[i].outcomes.resize(n_policies);
+    for (std::size_t j = 0; j < n_policies; ++j) {
+      points[i].outcomes[j].spec = roster[j];
     }
   }
-  JPM_CHECK_MSG(baseline_index < roster.size(),
-                "roster needs an always-on baseline");
 
-  std::vector<SweepPoint> points;
-  points.reserve(workloads.size());
-  for (const auto& [label, workload] : workloads) {
-    SweepPoint point;
-    point.label = label;
-    point.workload = workload;
-    point.outcomes.reserve(roster.size());
-    for (const auto& spec : roster) {
-      RunOutcome outcome;
-      outcome.spec = spec;
-      outcome.metrics = run_simulation(workload, spec, config);
-      point.outcomes.push_back(std::move(outcome));
-      if (progress) {
-        std::ostringstream os;
-        os << "[" << label << "] " << spec.name << ": total "
-           << point.outcomes.back().metrics.total_j() / 1e3 << " kJ, "
-           << point.outcomes.back().metrics.disk_accesses << " disk accesses";
-        progress(os.str());
-      }
+  // Fan the independent policy runs out across cores (JPM_THREADS workers;
+  // 1 = serial). Each point's baseline run is scheduled first so its metrics
+  // are ready as early as possible; every task writes only its own
+  // preallocated outcome slot, keeping results in roster order and
+  // bit-identical to the serial path.
+  std::vector<std::pair<std::size_t, std::size_t>> jobs;
+  jobs.reserve(n_points * n_policies);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    jobs.emplace_back(i, baseline_index);
+    for (std::size_t j = 0; j < n_policies; ++j) {
+      if (j != baseline_index) jobs.emplace_back(i, j);
     }
+  }
+  std::mutex progress_mu;
+  util::parallel_for(jobs.size(), [&](std::size_t t) {
+    const auto [i, j] = jobs[t];
+    RunOutcome& outcome = points[i].outcomes[j];
+    outcome.metrics = run_simulation(traces[i], roster[j], config);
+    if (progress) {  // only pay for formatting when a sink is attached
+      std::ostringstream os;
+      os << "[" << points[i].label << "] " << roster[j].name << ": total "
+         << outcome.metrics.total_j() / 1e3 << " kJ, "
+         << outcome.metrics.disk_accesses << " disk accesses";
+      const std::lock_guard<std::mutex> lock(progress_mu);
+      progress(os.str());
+    }
+  });
+
+  // Normalize against the baseline run's metrics, computed once above.
+  for (auto& point : points) {
     point.baseline = point.outcomes[baseline_index].metrics;
     for (auto& outcome : point.outcomes) {
       outcome.normalized = normalize_energy(outcome.metrics, point.baseline);
     }
-    points.push_back(std::move(point));
   }
   return points;
 }

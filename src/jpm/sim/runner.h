@@ -25,8 +25,12 @@ struct SweepPoint {
 };
 
 // Runs every policy for every workload; the roster must contain exactly one
-// always-on entry, used as the normalization baseline. `progress` (optional)
-// is invoked with a human-readable line after each run.
+// always-on entry, used as the normalization baseline. Each workload's trace
+// is synthesized once and shared read-only by all of its policy runs, which
+// fan out across a fixed thread pool (JPM_THREADS workers, default hardware
+// concurrency, 1 = serial) — results are bit-identical regardless of the
+// worker count. `progress` (optional) is invoked with a human-readable line
+// after each run; calls are serialized but may arrive in any run order.
 std::vector<SweepPoint> run_sweep(
     const std::vector<std::pair<std::string, workload::SynthesizerConfig>>&
         workloads,

@@ -1,0 +1,35 @@
+// Fixed fork-join parallelism for embarrassingly parallel loops (policy
+// sweeps, per-server cluster pipelines, per-point trace synthesis).
+//
+// Work is striped statically — worker w executes indices w, w + W, w + 2W, …
+// with no work stealing — so the task -> thread mapping is deterministic and
+// every task writes only its own preallocated output slot. Determinism of
+// results therefore never depends on scheduling; only wall-clock does.
+//
+// The worker count comes from the JPM_THREADS environment variable when set
+// (1 = the exact serial legacy path, run inline on the caller), otherwise
+// from std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace jpm::util {
+
+// Worker count for the parallel_for overload that does not take one:
+// JPM_THREADS when set to a positive integer, else hardware concurrency
+// (falling back to 1 when that is unknown).
+unsigned default_thread_count();
+
+// Runs body(i) for every i in [0, n) across `workers` threads (statically
+// striped, see above). With workers <= 1 or n <= 1 the loop runs inline on
+// the calling thread. Blocks until every task finished. If tasks throw, the
+// first exception (in worker-observation order) is rethrown on the caller
+// after all workers have stopped; tasks not yet started are skipped.
+void parallel_for(std::size_t n, unsigned workers,
+                  const std::function<void(std::size_t)>& body);
+
+// Same, with workers = default_thread_count().
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace jpm::util

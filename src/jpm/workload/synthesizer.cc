@@ -164,4 +164,16 @@ std::vector<TraceEvent> synthesize(const SynthesizerConfig& config) {
   return out;
 }
 
+Trace synthesize_trace(const SynthesizerConfig& config) {
+  TraceGenerator gen(config);
+  Trace trace;
+  trace.page_bytes = config.page_bytes;
+  // Matches the generator-driven engine path: total pages from the file set
+  // (not max accessed page) and the configured duration (not the last event).
+  trace.total_pages = gen.total_pages();
+  trace.duration_s = config.duration_s;
+  while (auto e = gen.next()) trace.events.push_back(*e);
+  return trace;
+}
+
 }  // namespace jpm::workload

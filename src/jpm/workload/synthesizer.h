@@ -80,4 +80,10 @@ class TraceGenerator {
 // Materializes a whole trace (convenience for tests and small runs).
 std::vector<TraceEvent> synthesize(const SynthesizerConfig& config);
 
+// Materializes the configured workload once into an immutable Trace with all
+// derived fields (total_pages, duration) filled from the generator, so the
+// result can be replayed by any number of engine runs — concurrently and
+// without copying — with metrics bit-identical to generator-driven runs.
+Trace synthesize_trace(const SynthesizerConfig& config);
+
 }  // namespace jpm::workload

@@ -18,6 +18,17 @@ struct TraceEvent {
   bool is_write = false;
 };
 
+// A fully materialized, immutable trace: synthesized (or loaded) once and
+// then shared read-only by any number of concurrent engine replays. The
+// derived fields are filled by synthesize_trace (synthesizer.h) so a replay
+// is bit-identical to a generator-driven run of the same config.
+struct Trace {
+  std::vector<TraceEvent> events;  // time-sorted
+  std::uint64_t page_bytes = 0;
+  std::uint64_t total_pages = 0;   // data-set size in pages (linear layout)
+  double duration_s = 0.0;         // simulated duration
+};
+
 // Materialized trace plus summary properties used by harness reporting.
 struct TraceSummary {
   std::uint64_t events = 0;

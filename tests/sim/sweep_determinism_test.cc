@@ -1,0 +1,150 @@
+// Determinism suite for the parallel sweep runner: a multi-threaded
+// run_sweep must produce bit-identical RunMetrics to the serial legacy path
+// (JPM_THREADS=1), and the shared-trace engine overload must be
+// bit-identical to the synthesizing one.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "jpm/sim/runner.h"
+
+namespace jpm::sim {
+namespace {
+
+workload::SynthesizerConfig point_workload(std::uint64_t dataset_bytes,
+                                           std::uint64_t seed) {
+  workload::SynthesizerConfig w;
+  w.dataset_bytes = dataset_bytes;
+  w.byte_rate = 20e6;
+  w.popularity = 0.1;
+  w.duration_s = 1200.0;
+  w.page_bytes = 64 * kKiB;
+  w.file_scale = 16.0;
+  w.seed = seed;
+  return w;
+}
+
+EngineConfig sweep_engine() {
+  EngineConfig e;
+  e.joint.physical_bytes = gib(1);
+  e.joint.unit_bytes = 16 * kMiB;
+  e.joint.page_bytes = 64 * kKiB;
+  e.joint.period_s = 300.0;
+  e.prefill_cache = true;
+  e.warm_up_s = 300.0;
+  return e;
+}
+
+// A 6-policy roster spanning every policy family plus the baseline.
+std::vector<PolicySpec> six_policy_roster() {
+  return {joint_policy(),
+          fixed_policy(DiskPolicyKind::kTwoCompetitive, mib(64)),
+          fixed_policy(DiskPolicyKind::kAdaptive, mib(128)),
+          powerdown_policy(DiskPolicyKind::kTwoCompetitive, gib(1)),
+          disable_policy(DiskPolicyKind::kAdaptive, gib(1)),
+          always_on_policy()};
+}
+
+std::vector<std::pair<std::string, workload::SynthesizerConfig>>
+three_point_sweep() {
+  return {{"128MB", point_workload(mib(128), 7)},
+          {"256MB", point_workload(mib(256), 8)},
+          {"512MB", point_workload(mib(512), 9)}};
+}
+
+void expect_bit_identical(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.policy_name, b.policy_name);
+  EXPECT_EQ(a.duration_s, b.duration_s);
+  EXPECT_EQ(a.mem_energy.static_j, b.mem_energy.static_j);
+  EXPECT_EQ(a.mem_energy.dynamic_j, b.mem_energy.dynamic_j);
+  EXPECT_EQ(a.disk_energy.standby_base_j, b.disk_energy.standby_base_j);
+  EXPECT_EQ(a.disk_energy.static_j, b.disk_energy.static_j);
+  EXPECT_EQ(a.disk_energy.transition_j, b.disk_energy.transition_j);
+  EXPECT_EQ(a.disk_energy.dynamic_j, b.disk_energy.dynamic_j);
+  EXPECT_EQ(a.cache_accesses, b.cache_accesses);
+  EXPECT_EQ(a.disk_accesses, b.disk_accesses);
+  EXPECT_EQ(a.disk_writes, b.disk_writes);
+  EXPECT_EQ(a.readahead_fetches, b.readahead_fetches);
+  EXPECT_EQ(a.disk_shutdowns, b.disk_shutdowns);
+  EXPECT_EQ(a.spin_ups, b.spin_ups);
+  EXPECT_EQ(a.disk_busy_s, b.disk_busy_s);
+  EXPECT_EQ(a.spindle_count, b.spindle_count);
+  EXPECT_EQ(a.total_latency_s, b.total_latency_s);
+  EXPECT_EQ(a.long_latency_count, b.long_latency_count);
+  ASSERT_EQ(a.periods.size(), b.periods.size());
+  for (std::size_t p = 0; p < a.periods.size(); ++p) {
+    EXPECT_EQ(a.periods[p].start_s, b.periods[p].start_s);
+    EXPECT_EQ(a.periods[p].end_s, b.periods[p].end_s);
+    EXPECT_EQ(a.periods[p].cache_accesses, b.periods[p].cache_accesses);
+    EXPECT_EQ(a.periods[p].disk_accesses, b.periods[p].disk_accesses);
+    EXPECT_EQ(a.periods[p].mean_idle_s, b.periods[p].mean_idle_s);
+    EXPECT_EQ(a.periods[p].memory_units, b.periods[p].memory_units);
+    EXPECT_EQ(a.periods[p].timeout_s, b.periods[p].timeout_s);
+  }
+}
+
+std::vector<SweepPoint> sweep_with_threads(const char* threads) {
+  const char* old = std::getenv("JPM_THREADS");
+  const std::string saved = old ? old : "";
+  const bool had_old = old != nullptr;
+  ::setenv("JPM_THREADS", threads, 1);
+  auto points =
+      run_sweep(three_point_sweep(), six_policy_roster(), sweep_engine());
+  if (had_old) {
+    ::setenv("JPM_THREADS", saved.c_str(), 1);
+  } else {
+    ::unsetenv("JPM_THREADS");
+  }
+  return points;
+}
+
+TEST(SweepDeterminismTest, EightThreadsMatchSerialBitForBit) {
+  const auto serial = sweep_with_threads("1");
+  const auto parallel = sweep_with_threads("8");
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(serial[i].label);
+    EXPECT_EQ(serial[i].label, parallel[i].label);
+    expect_bit_identical(serial[i].baseline, parallel[i].baseline);
+    ASSERT_EQ(serial[i].outcomes.size(), parallel[i].outcomes.size());
+    for (std::size_t j = 0; j < serial[i].outcomes.size(); ++j) {
+      SCOPED_TRACE(serial[i].outcomes[j].spec.name);
+      EXPECT_EQ(serial[i].outcomes[j].spec.name,
+                parallel[i].outcomes[j].spec.name);
+      expect_bit_identical(serial[i].outcomes[j].metrics,
+                           parallel[i].outcomes[j].metrics);
+      EXPECT_EQ(serial[i].outcomes[j].normalized.total,
+                parallel[i].outcomes[j].normalized.total);
+      EXPECT_EQ(serial[i].outcomes[j].normalized.disk,
+                parallel[i].outcomes[j].normalized.disk);
+      EXPECT_EQ(serial[i].outcomes[j].normalized.memory,
+                parallel[i].outcomes[j].normalized.memory);
+    }
+  }
+}
+
+TEST(SweepDeterminismTest, SharedTraceMatchesSynthesizingEngine) {
+  const auto w = point_workload(mib(128), 7);
+  const auto e = sweep_engine();
+  const auto policy = fixed_policy(DiskPolicyKind::kTwoCompetitive, mib(64));
+
+  const auto trace = workload::synthesize_trace(w);
+  const auto from_trace = run_simulation(trace, policy, e);
+  const auto from_config = run_simulation(w, policy, e);
+  expect_bit_identical(from_trace, from_config);
+}
+
+TEST(SweepDeterminismTest, SharedTraceSupportsRepeatedReplays) {
+  const auto w = point_workload(mib(128), 11);
+  const auto e = sweep_engine();
+  const auto trace = workload::synthesize_trace(w);
+  const auto first = run_simulation(trace, joint_policy(), e);
+  const auto second = run_simulation(trace, joint_policy(), e);
+  expect_bit_identical(first, second);
+}
+
+}  // namespace
+}  // namespace jpm::sim

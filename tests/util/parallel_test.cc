@@ -1,0 +1,138 @@
+#include "jpm/util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace jpm::util {
+namespace {
+
+// Scoped JPM_THREADS override that restores the previous value on exit.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("JPM_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value) {
+      ::setenv("JPM_THREADS", value, 1);
+    } else {
+      ::unsetenv("JPM_THREADS");
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (had_old_) {
+      ::setenv("JPM_THREADS", old_.c_str(), 1);
+    } else {
+      ::unsetenv("JPM_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(ParallelForTest, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  parallel_for(0, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, SingleWorkerRunsInlineInOrder) {
+  std::vector<std::size_t> order;
+  const auto caller = std::this_thread::get_id();
+  parallel_for(5, 1, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // no synchronization needed: inline path
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, SingleTaskRunsInlineEvenWithManyWorkers) {
+  const auto caller = std::this_thread::get_id();
+  int calls = 0;
+  parallel_for(1, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(kN, 8, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, EachTaskWritesItsOwnSlot) {
+  constexpr std::size_t kN = 257;
+  std::vector<std::size_t> out(kN, 0);
+  parallel_for(kN, 7, [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelForTest, PropagatesExceptionFromWorker) {
+  EXPECT_THROW(
+      parallel_for(100, 4,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("task 37 failed");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, PropagatesExceptionFromInlinePath) {
+  EXPECT_THROW(parallel_for(3, 1,
+                            [](std::size_t) {
+                              throw std::runtime_error("inline failure");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, SkipsRemainingTasksAfterFailure) {
+  // After a worker records a failure the other stripes stop picking up new
+  // tasks; with one element per stripe nothing else can even start.
+  std::atomic<int> started{0};
+  try {
+    parallel_for(64, 2, [&](std::size_t i) {
+      ++started;
+      if (i == 0) throw std::runtime_error("fail fast");
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_LE(started.load(), 64);
+  EXPECT_GE(started.load(), 1);
+}
+
+TEST(DefaultThreadCountTest, HonorsEnvVariable) {
+  ScopedThreadsEnv env("3");
+  EXPECT_EQ(default_thread_count(), 3u);
+}
+
+TEST(DefaultThreadCountTest, OneMeansSerial) {
+  ScopedThreadsEnv env("1");
+  EXPECT_EQ(default_thread_count(), 1u);
+}
+
+TEST(DefaultThreadCountTest, IgnoresInvalidValues) {
+  for (const char* bad : {"0", "-2", "bogus", ""}) {
+    ScopedThreadsEnv env(bad);
+    EXPECT_GE(default_thread_count(), 1u) << bad;
+  }
+}
+
+TEST(DefaultThreadCountTest, UnsetFallsBackToHardware) {
+  ScopedThreadsEnv env(nullptr);
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace jpm::util
