@@ -2,11 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "jpm/util/check.h"
 #include "jpm/util/parallel.h"
 
 namespace jpm::cluster {
+
+void ClusterConfig::validate() const {
+  const auto bad = [](const std::string& why) {
+    throw std::invalid_argument("invalid ClusterConfig: " + why);
+  };
+  if (server_count == 0) bad("server_count must be at least 1");
+  if (partition_pages == 0) bad("partition_pages must be positive");
+  if (!(rate_cap_rps > 0.0)) bad("rate_cap_rps must be positive");
+  if (!(rate_ewma_tau_s > 0.0)) bad("rate_ewma_tau_s must be positive");
+  if (chassis_on_w < 0.0 || chassis_off_w < 0.0) {
+    bad("chassis powers must be nonnegative");
+  }
+  if (!(server_off_idle_s > 0.0)) bad("server_off_idle_s must be positive");
+  if (server_boot_s < 0.0) bad("server_boot_s must be nonnegative");
+}
 
 double ClusterMetrics::pipeline_energy_j() const {
   double total = 0.0;
@@ -102,6 +119,49 @@ std::vector<std::uint32_t> route_requests(
   return routes;
 }
 
+FaultRouting route_requests_with_faults(
+    const std::vector<workload::TraceEvent>& trace, const ClusterConfig& cfg,
+    const std::vector<OutageWindows>& outages) {
+  JPM_CHECK(outages.size() == cfg.server_count);
+  FaultRouting out;
+  out.routes = route_requests(trace, cfg);
+
+  // Per-server cursor into its sorted outage windows; the trace is
+  // time-sorted, so each cursor only moves forward.
+  std::vector<std::size_t> cursor(cfg.server_count, 0);
+  const auto down_at = [&](std::uint32_t s, double t) {
+    auto& w = cursor[s];
+    while (w < outages[s].size() && outages[s][w].second <= t) ++w;
+    return w < outages[s].size() && outages[s][w].first <= t;
+  };
+
+  std::uint32_t current = out.routes.empty() ? 0 : out.routes[0];
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (!trace[i].request_start) {
+      // Continuations drain on whichever server their request landed on,
+      // even if it crashed mid-request (connection draining).
+      out.routes[i] = current;
+      continue;
+    }
+    std::uint32_t target = out.routes[i];
+    if (down_at(target, trace[i].time_s)) {
+      for (std::uint32_t step = 1; step < cfg.server_count; ++step) {
+        const auto candidate = static_cast<std::uint32_t>(
+            (target + step) % cfg.server_count);
+        if (!down_at(candidate, trace[i].time_s)) {
+          target = candidate;
+          ++out.failed_over_requests;
+          break;
+        }
+      }
+      // Every server down: the home server keeps the request.
+    }
+    out.routes[i] = target;
+    current = target;
+  }
+  return out;
+}
+
 ChassisUsage chassis_usage(const std::vector<double>& request_times_s,
                            double duration_s, double off_idle_s) {
   JPM_CHECK(off_idle_s > 0.0);
@@ -133,12 +193,71 @@ ChassisUsage chassis_usage(const std::vector<double>& request_times_s,
   return usage;
 }
 
+ChassisUsage chassis_usage(const std::vector<double>& request_times_s,
+                           double duration_s, double off_idle_s,
+                           const OutageWindows& outages) {
+  JPM_CHECK(off_idle_s > 0.0);
+  ChassisUsage usage;
+  double on_since = 0.0;
+  double last_activity = 0.0;
+  bool on = true;
+  std::size_t w = 0;
+
+  // Idle-timeout transition strictly before time t (the base state machine).
+  const auto idle_off_before = [&](double t) {
+    if (on && t - last_activity > off_idle_s) {
+      usage.on_s += (last_activity + off_idle_s) - on_since;
+      on = false;
+      ++usage.power_cycles;
+    }
+  };
+  // A crash at `crash` forces the chassis off (one forced power cycle even
+  // if the idle timeout already had it off — the restart is a real cycle);
+  // the server is back on when the outage ends.
+  const auto apply_crash = [&](double crash, double restart) {
+    idle_off_before(crash);
+    if (on) {
+      usage.on_s += std::max(crash, on_since) - on_since;
+      on = false;
+    }
+    ++usage.power_cycles;
+    if (restart < duration_s) {
+      on = true;
+      on_since = restart;
+      last_activity = restart;
+    }
+  };
+
+  for (double t : request_times_s) {
+    while (w < outages.size() && outages[w].first <= t) {
+      apply_crash(outages[w].first, outages[w].second);
+      ++w;
+    }
+    idle_off_before(t);
+    if (!on) {
+      on = true;
+      on_since = t;
+    }
+    last_activity = std::max(last_activity, t);
+  }
+  while (w < outages.size() && outages[w].first < duration_s) {
+    apply_crash(outages[w].first, outages[w].second);
+    ++w;
+  }
+  if (on) {
+    const double end_of_on =
+        std::min(duration_s, last_activity + off_idle_s);
+    usage.on_s += std::max(end_of_on, on_since) - on_since;
+    if (end_of_on < duration_s) ++usage.power_cycles;
+  }
+  return usage;
+}
+
 ClusterEngine::ClusterEngine(const ClusterConfig& config,
                              const workload::SynthesizerConfig& workload,
                              const sim::PolicySpec& policy)
     : config_(config), workload_(workload), policy_(policy) {
-  JPM_CHECK(config.server_count > 0);
-  JPM_CHECK(config.partition_pages > 0);
+  config.validate();
 }
 
 ClusterMetrics ClusterEngine::run() {
@@ -147,7 +266,28 @@ ClusterMetrics ClusterEngine::run() {
   const std::uint64_t total_pages = generator.total_pages();
   std::vector<workload::TraceEvent> trace;
   while (auto e = generator.next()) trace.push_back(*e);
-  const auto routes = route_requests(trace, config_);
+
+  // Injected server crashes: outage windows are drawn per server from the
+  // fault plan (deterministic in (seed, server index)) and the dead
+  // server's requests fail over to survivors.
+  const fault::FaultPlan& plan = config_.engine.fault;
+  std::vector<OutageWindows> outages(config_.server_count);
+  std::uint64_t crash_count = 0;
+  if (plan.crashes_active()) {
+    for (std::uint32_t s = 0; s < config_.server_count; ++s) {
+      outages[s] = fault::crash_windows(plan, s, workload_.duration_s);
+      crash_count += outages[s].size();
+    }
+  }
+  std::uint64_t failed_over = 0;
+  std::vector<std::uint32_t> routes;
+  if (plan.crashes_active()) {
+    FaultRouting fr = route_requests_with_faults(trace, config_, outages);
+    routes = std::move(fr.routes);
+    failed_over = fr.failed_over_requests;
+  } else {
+    routes = route_requests(trace, config_);
+  }
 
   std::vector<std::vector<workload::TraceEvent>> per_server(
       config_.server_count);
@@ -171,6 +311,14 @@ ClusterMetrics ClusterEngine::run() {
     ServerOutcome& server = out.servers[s];
     server.requests = request_counts[s];
 
+    // Decorrelate per-server disk-fault streams: without this every
+    // server's spindle 0 would replay the same failure sequence.
+    sim::EngineConfig engine_cfg = config_.engine;
+    if (engine_cfg.fault.disk_faults_active()) {
+      engine_cfg.fault.seed = fault::stream_seed(
+          plan.seed, 0x2000000ull + static_cast<std::uint64_t>(s));
+    }
+
     if (per_server[s].empty()) {
       // Never touched: the pipeline idles the whole run. Account it with an
       // empty replay (one synthetic no-op would skew counters).
@@ -180,7 +328,7 @@ ClusterMetrics ClusterEngine::run() {
       idle.total_pages = total_pages;
       idle.duration_s = workload_.duration_s;
       server.metrics =
-          sim::replay_simulation(std::move(idle), policy_, config_.engine);
+          sim::replay_simulation(std::move(idle), policy_, engine_cfg);
     } else {
       sim::ReplayTrace replay;
       replay.events = std::move(per_server[s]);
@@ -188,17 +336,27 @@ ClusterMetrics ClusterEngine::run() {
       replay.total_pages = total_pages;
       replay.duration_s = workload_.duration_s;
       server.metrics =
-          sim::replay_simulation(std::move(replay), policy_, config_.engine);
+          sim::replay_simulation(std::move(replay), policy_, engine_cfg);
     }
 
-    const auto usage = chassis_usage(arrivals[s], workload_.duration_s,
-                                     config_.server_off_idle_s);
+    const auto usage =
+        plan.crashes_active()
+            ? chassis_usage(arrivals[s], workload_.duration_s,
+                            config_.server_off_idle_s, outages[s])
+            : chassis_usage(arrivals[s], workload_.duration_s,
+                            config_.server_off_idle_s);
     server.chassis_on_s = usage.on_s;
     server.power_cycles = usage.power_cycles;
     server.chassis_energy_j =
         config_.chassis_on_w * usage.on_s +
         config_.chassis_off_w * (workload_.duration_s - usage.on_s);
   });
+
+  for (const auto& s : out.servers) {
+    out.reliability.merge(s.metrics.reliability);
+  }
+  out.reliability.server_crashes += crash_count;
+  out.reliability.failed_over_requests += failed_over;
   return out;
 }
 

@@ -49,6 +49,12 @@ struct ClusterConfig {
   // request (kUnbalanced-style consolidation makes such windows long).
   double server_off_idle_s = 600.0;
   double server_boot_s = 30.0;  // unavailable time on power-up
+
+  // Rejects nonsensical cluster configurations (zero server_count, zero
+  // partition_pages, negative powers/intervals) with a descriptive
+  // std::invalid_argument. The nested engine config is validated by the
+  // engines themselves.
+  void validate() const;
 };
 
 struct ServerOutcome {
@@ -62,6 +68,9 @@ struct ServerOutcome {
 struct ClusterMetrics {
   std::vector<ServerOutcome> servers;
   double duration_s = 0.0;
+  // Aggregated fault-injection outcome: per-server pipeline counters merged
+  // with cluster-level crash and failover counts (all-zero without faults).
+  fault::ReliabilityMetrics reliability;
 
   double pipeline_energy_j() const;  // sum of memory+disk energy
   double chassis_energy_j() const;
@@ -93,6 +102,22 @@ class ClusterEngine {
 std::vector<std::uint32_t> route_requests(
     const std::vector<workload::TraceEvent>& trace, const ClusterConfig& cfg);
 
+// Per-server crash outage windows, sorted and disjoint.
+using OutageWindows = std::vector<std::pair<double, double>>;
+
+// Fault-aware routing: requests whose home server is inside an outage
+// window re-route to the next surviving server in ring order (with every
+// server down the home server keeps the request). Continuations follow
+// their request's route — connections opened before a crash drain on the
+// original server. Exposed for testing.
+struct FaultRouting {
+  std::vector<std::uint32_t> routes;
+  std::uint64_t failed_over_requests = 0;
+};
+FaultRouting route_requests_with_faults(
+    const std::vector<workload::TraceEvent>& trace, const ClusterConfig& cfg,
+    const std::vector<OutageWindows>& outages);
+
 // Chassis on/off accounting over one server's request arrival times.
 struct ChassisUsage {
   double on_s = 0.0;
@@ -100,5 +125,11 @@ struct ChassisUsage {
 };
 ChassisUsage chassis_usage(const std::vector<double>& request_times_s,
                            double duration_s, double off_idle_s);
+// Outage-aware overload: a crash forces the chassis off for the window
+// (one forced power cycle); the server restarts — and is back on — at the
+// window's end.
+ChassisUsage chassis_usage(const std::vector<double>& request_times_s,
+                           double duration_s, double off_idle_s,
+                           const OutageWindows& outages);
 
 }  // namespace jpm::cluster

@@ -1,11 +1,18 @@
 #include "jpm/core/joint_power_manager.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "jpm/util/check.h"
 
 namespace jpm::core {
 
 JointPowerManager::JointPowerManager(const JointConfig& config)
-    : config_(config) {
+    : JointPowerManager(config, fault::ManagerGuardConfig{}) {}
+
+JointPowerManager::JointPowerManager(const JointConfig& config,
+                                     const fault::ManagerGuardConfig& guard)
+    : config_(config), guard_(guard) {
   JPM_CHECK(config.page_bytes > 0);
   JPM_CHECK(config.unit_bytes % config.page_bytes == 0);
   JPM_CHECK(config.physical_bytes % config.unit_bytes == 0);
@@ -24,14 +31,89 @@ double JointPowerManager::initial_timeout_s() const {
   return config_.disk.break_even_s();
 }
 
+bool JointPowerManager::stats_usable(const PeriodStats& stats) const {
+  const double dur = stats.duration_s();
+  if (!std::isfinite(dur) || dur < 0.0) return false;
+  if (!std::isfinite(stats.disk_busy_s) || stats.disk_busy_s < 0.0) {
+    return false;
+  }
+  return true;
+}
+
+bool JointPowerManager::decision_usable(const JointDecision& d) const {
+  if (d.memory_units == 0 || d.memory_units > config_.max_units()) {
+    return false;
+  }
+  // kNeverTimeout is +inf and legitimate; NaN or negative timeouts are not.
+  if (std::isnan(d.timeout_s) || d.timeout_s < 0.0) return false;
+  if (std::isnan(d.detail.chosen.alpha) ||
+      !std::isfinite(d.detail.chosen.predicted_energy_j)) {
+    return false;
+  }
+  return true;
+}
+
+void JointPowerManager::apply_fallback(JointDecision& d) {
+  d.memory_units = config_.max_units();
+  d.memory_bytes = d.memory_units * config_.unit_bytes;
+  d.timeout_s = config_.disk.break_even_s();
+  ++reliability_.manager_fallbacks;
+}
+
 const JointDecision& JointPowerManager::on_period_end(
     const PeriodStats& stats) {
   JointDecision d;
   d.at_s = stats.end_s;
-  d.detail = search_candidates(stats, config_, fallback_service_s_);
-  d.memory_units = d.detail.chosen.memory_units;
-  d.memory_bytes = d.memory_units * config_.unit_bytes;
-  d.timeout_s = d.detail.chosen.timeout_s;
+  if (!stats_usable(stats)) {
+    apply_fallback(d);
+  } else {
+    bool ok = true;
+    try {
+      d.detail = search_candidates(stats, config_, fallback_service_s_);
+      d.memory_units = d.detail.chosen.memory_units;
+      d.memory_bytes = d.memory_units * config_.unit_bytes;
+      d.timeout_s = d.detail.chosen.timeout_s;
+    } catch (const CheckError&) {
+      ok = false;
+    }
+    if (!ok || !decision_usable(d)) apply_fallback(d);
+  }
+
+  if (guard_.enabled) {
+    // Closed loop on the *observed* constraints of the period just finished
+    // (the search only enforces them on predictions). A violation backs the
+    // timeout off multiplicatively and pins memory at the maximum; clean
+    // periods relax the scale back toward the open loop.
+    const double dur = stats.duration_s();
+    bool violated = false;
+    if (dur > 0.0) {
+      const double util = stats.disk_busy_s / dur;
+      const double delayed_ratio =
+          stats.cache_accesses == 0
+              ? 0.0
+              : static_cast<double>(stats.delayed_requests) /
+                    static_cast<double>(stats.cache_accesses);
+      violated =
+          util > config_.util_limit || delayed_ratio > config_.delay_limit;
+    }
+    if (violated) {
+      ++reliability_.violated_periods;
+      if (guard_scale_ < guard_.max_scale) {
+        guard_scale_ =
+            std::min(guard_scale_ * guard_.backoff_factor, guard_.max_scale);
+        ++reliability_.guard_backoffs;
+      }
+    } else {
+      guard_scale_ = std::max(1.0, guard_scale_ / guard_.relax_factor);
+    }
+    if (guard_scale_ > 1.0) {
+      d.memory_units = config_.max_units();
+      d.memory_bytes = d.memory_units * config_.unit_bytes;
+      d.timeout_s =
+          std::max(d.timeout_s, config_.disk.break_even_s()) * guard_scale_;
+    }
+  }
+
   decisions_.push_back(std::move(d));
   return decisions_.back();
 }

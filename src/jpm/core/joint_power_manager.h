@@ -13,6 +13,7 @@
 
 #include "jpm/core/candidate_search.h"
 #include "jpm/core/period_stats.h"
+#include "jpm/fault/fault.h"
 
 namespace jpm::core {
 
@@ -27,6 +28,10 @@ struct JointDecision {
 class JointPowerManager {
  public:
   explicit JointPowerManager(const JointConfig& config);
+  // Variant with the closed-loop constraint guard (fault-injected engines
+  // enable it through FaultPlan::guard; disabled == the paper's open loop).
+  JointPowerManager(const JointConfig& config,
+                    const fault::ManagerGuardConfig& guard);
 
   // Startup posture before any statistics exist: all memory, 2-competitive
   // timeout (the conservative defaults the comparison methods also use).
@@ -34,14 +39,34 @@ class JointPowerManager {
   double initial_timeout_s() const;
 
   // Called at each period boundary with the period just finished.
+  //
+  // Robustness: the statistics and the search result are validated first;
+  // non-finite inputs, an out-of-range result, or a search failure
+  // (CheckError) fall back to the conservative startup posture instead of
+  // propagating garbage into the coming period. When the guard is enabled,
+  // a finished period that *observed* a utilization or delayed-ratio
+  // violation additionally backs the timeout off multiplicatively
+  // (recovering within a bounded number of clean periods).
   const JointDecision& on_period_end(const PeriodStats& stats);
 
   const JointConfig& config() const { return config_; }
   const std::vector<JointDecision>& decisions() const { return decisions_; }
+  const fault::ReliabilityMetrics& reliability() const {
+    return reliability_;
+  }
+  // Current guard timeout multiplier (1 == open loop); exposed for tests.
+  double guard_scale() const { return guard_scale_; }
 
  private:
+  bool stats_usable(const PeriodStats& stats) const;
+  bool decision_usable(const JointDecision& d) const;
+  void apply_fallback(JointDecision& d);
+
   JointConfig config_;
   double fallback_service_s_;
+  fault::ManagerGuardConfig guard_;
+  double guard_scale_ = 1.0;
+  fault::ReliabilityMetrics reliability_;
   std::vector<JointDecision> decisions_;
 };
 

@@ -21,9 +21,10 @@ void PeriodStatsCollector::on_access(double t, std::uint64_t depth_frames) {
   if (depth_frames == cache::kColdAccess) ++current_.cold_accesses;
 }
 
-void PeriodStatsCollector::on_disk_access(double service_s) {
+void PeriodStatsCollector::on_disk_access(double service_s, bool delayed) {
   ++current_.actual_disk_accesses;
   current_.disk_busy_s += service_s;
+  if (delayed) ++current_.delayed_requests;
 }
 
 PeriodStats PeriodStatsCollector::harvest(double end_s) {

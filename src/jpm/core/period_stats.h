@@ -25,6 +25,9 @@ struct PeriodStats {
   // Measured during the period (for service-time calibration).
   std::uint64_t actual_disk_accesses = 0;
   double disk_busy_s = 0.0;
+  // Accesses that had to wait for a spin-up — the paper's "delayed
+  // requests"; feeds the manager's observed delayed-ratio guard.
+  std::uint64_t delayed_requests = 0;
 
   double duration_s() const { return end_s - start_s; }
   // Mean measured service time per disk access; 0 when no disk access.
@@ -41,7 +44,7 @@ class PeriodStatsCollector {
                        double start_s);
 
   void on_access(double t, std::uint64_t depth_frames);
-  void on_disk_access(double service_s);
+  void on_disk_access(double service_s, bool delayed = false);
 
   // Closes the period at `end_s` and returns its stats; collection restarts
   // immediately for the next period.

@@ -21,9 +21,17 @@ DiskArray::DiskArray(const DiskArrayConfig& config,
   for (std::uint32_t i = 0; i < config.disk_count; ++i) {
     policies_.push_back(factory());
     JPM_CHECK(policies_.back() != nullptr);
-    disks_.push_back(std::make_unique<Disk>(config.params,
-                                            policies_.back().get(),
-                                            start_time_s));
+    if (config.fault.disk_faults_active()) {
+      // Array members are never pinned: a degraded spindle's stripes
+      // re-route to survivors instead.
+      disks_.push_back(std::make_unique<Disk>(
+          config.params, policies_.back().get(), start_time_s, config.fault,
+          /*spindle_index=*/i, /*pin_when_degraded=*/false));
+    } else {
+      disks_.push_back(std::make_unique<Disk>(config.params,
+                                              policies_.back().get(),
+                                              start_time_s));
+    }
   }
 }
 
@@ -43,7 +51,23 @@ void DiskArray::advance(double now) {
 
 DiskRequestResult DiskArray::read(double t, std::uint64_t page,
                                   std::uint64_t bytes) {
-  const std::uint32_t i = disk_of(page);
+  std::uint32_t i = disk_of(page);
+  // Graceful degradation: stripes whose home spindle is degraded re-route
+  // to the next surviving spindle in ring order. The read that *detects*
+  // the degradation (the failing spin-up) is still served by the home disk;
+  // only subsequent reads move. With every spindle degraded the home disk
+  // serves anyway (slowly) rather than dropping the request.
+  if (disks_[i]->degraded()) {
+    for (std::uint32_t step = 1; step < disks_.size(); ++step) {
+      const std::uint32_t candidate =
+          static_cast<std::uint32_t>((i + step) % disks_.size());
+      if (!disks_[candidate]->degraded()) {
+        i = candidate;
+        ++rerouted_requests_;
+        break;
+      }
+    }
+  }
   ++requests_[i];
   // Present the disk with its stripe-local page index so striping does not
   // break sequential-run detection within a stripe.
@@ -90,6 +114,13 @@ double DiskArray::busy_time_s() const {
 std::uint64_t DiskArray::shutdowns() const {
   std::uint64_t total = 0;
   for (const auto& d : disks_) total += d->shutdowns();
+  return total;
+}
+
+fault::ReliabilityMetrics DiskArray::reliability() const {
+  fault::ReliabilityMetrics total;
+  for (const auto& d : disks_) total.merge(d->reliability());
+  total.rerouted_requests += rerouted_requests_;
   return total;
 }
 

@@ -37,6 +37,10 @@ struct DiskArrayConfig {
   std::uint64_t stripe_bytes = 64 * kMiB;
   std::uint64_t page_bytes = 256 * kKiB;
   DiskParams params;
+  // Fault injection (disabled by default). Spindle i draws its spin-up
+  // failures from the sub-stream (fault.seed, i); degraded spindles stop
+  // receiving stripes — read() re-routes to the next survivor in ring order.
+  fault::FaultPlan fault;
 };
 
 class DiskArray final : public Storage {
@@ -58,13 +62,15 @@ class DiskArray final : public Storage {
     return static_cast<std::uint32_t>(disks_.size());
   }
 
-  // Which spindle serves the given page.
+  // Which spindle the stripe map assigns the page to (ignores degradation;
+  // read() re-routes away from degraded spindles on top of this).
   std::uint32_t disk_of(std::uint64_t page) const;
   const Disk& disk(std::uint32_t i) const;
   // Per-disk request counts (data-layout diagnostics).
   const std::vector<std::uint64_t>& requests_per_disk() const {
     return requests_;
   }
+  fault::ReliabilityMetrics reliability() const override;
 
  private:
   DiskArrayConfig config_;
@@ -72,6 +78,7 @@ class DiskArray final : public Storage {
   std::vector<std::unique_ptr<TimeoutPolicy>> policies_;
   std::vector<std::unique_ptr<Disk>> disks_;
   std::vector<std::uint64_t> requests_;
+  std::uint64_t rerouted_requests_ = 0;
 };
 
 }  // namespace jpm::disk

@@ -1,6 +1,50 @@
 #include "jpm/disk/disk_model.h"
 
-namespace jpm::disk::presets {
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace jpm::disk {
+namespace {
+
+[[noreturn]] void reject(const DiskParams& p, const std::string& why) {
+  std::ostringstream os;
+  os << "invalid DiskParams: " << why << " (active " << p.active_w
+     << " W, idle " << p.idle_w << " W, standby " << p.standby_w
+     << " W, transition " << p.transition_j << " J, spin-up " << p.spin_up_s
+     << " s)";
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace
+
+void DiskParams::validate() const {
+  if (!(std::isfinite(active_w) && std::isfinite(idle_w) &&
+        std::isfinite(standby_w) && std::isfinite(transition_j) &&
+        std::isfinite(spin_up_s) && std::isfinite(avg_seek_s) &&
+        std::isfinite(avg_rotation_s) &&
+        std::isfinite(media_rate_bytes_per_s))) {
+    reject(*this, "all parameters must be finite");
+  }
+  if (idle_w <= standby_w) {
+    reject(*this,
+           "idle_w must exceed standby_w — otherwise the manageable static "
+           "power is nonpositive and break_even_s() divides by zero or goes "
+           "negative, silently corrupting every timeout decision");
+  }
+  if (standby_w < 0.0) reject(*this, "standby_w must be nonnegative");
+  if (active_w < idle_w) reject(*this, "active_w must be at least idle_w");
+  if (transition_j <= 0.0) reject(*this, "transition_j must be positive");
+  if (spin_up_s < 0.0) reject(*this, "spin_up_s must be nonnegative");
+  if (avg_seek_s < 0.0 || avg_rotation_s < 0.0) {
+    reject(*this, "positioning times must be nonnegative");
+  }
+  if (media_rate_bytes_per_s <= 0.0) {
+    reject(*this, "media_rate_bytes_per_s must be positive");
+  }
+}
+
+namespace presets {
 
 DiskParams server_ide() { return DiskParams{}; }
 
@@ -30,4 +74,5 @@ DiskParams ssd_like() {
   return p;
 }
 
-}  // namespace jpm::disk::presets
+}  // namespace presets
+}  // namespace jpm::disk

@@ -34,9 +34,17 @@ struct DiskParams {
   double static_power_w() const { return idle_w - standby_w; }
   // Dynamic power at peak bandwidth (active minus idle).
   double dynamic_power_w() const { return active_w - idle_w; }
-  // Break-even time t_be = transition energy / p_d.
+  // Break-even time t_be = transition energy / p_d. Meaningless (division by
+  // zero or negative) unless idle_w > standby_w — validate() rejects such
+  // parameter sets where configurations are built.
   double break_even_s() const { return transition_j / static_power_w(); }
   double positioning_s() const { return avg_seek_s + avg_rotation_s; }
+
+  // Rejects parameter sets that would silently corrupt the timeout math
+  // (idle_w <= standby_w makes break_even_s() divide by zero or go
+  // negative) or the service model. Throws std::invalid_argument with a
+  // descriptive message; called wherever disks and managers are built.
+  void validate() const;
 
   // View consumed by the Pareto timeout math.
   pareto::DiskTimeoutParams timeout_params() const {

@@ -37,6 +37,11 @@ void DiskPowerMeter::add_busy_time(double dt) {
   busy_time_s_ += dt;
 }
 
+void DiskPowerMeter::add_fault_transition(double joules) {
+  JPM_CHECK(joules >= 0.0);
+  fault_transition_j_ += joules;
+}
+
 void DiskPowerMeter::finalize(double t) {
   // `on_since_` can sit in the future relative to a mid-run snapshot when a
   // spin-up completion was booked eagerly; only integrate elapsed on-time.
@@ -51,7 +56,9 @@ DiskEnergyBreakdown DiskPowerMeter::breakdown() const {
   DiskEnergyBreakdown e;
   e.standby_base_j = params_.standby_w * (finalized_at_ - start_time_s_);
   e.static_j = params_.static_power_w() * on_time_s_;
-  e.transition_j = params_.transition_j * static_cast<double>(shutdowns_);
+  e.transition_j =
+      params_.transition_j * static_cast<double>(shutdowns_) +
+      fault_transition_j_;
   e.dynamic_j = params_.dynamic_power_w() * busy_time_s_;
   return e;
 }

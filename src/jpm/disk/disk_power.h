@@ -36,6 +36,9 @@ class DiskPowerMeter {
   void begin_spin_up(double t);    // kStandby -> kSpinningUp
   void complete_spin_up(double t); // kSpinningUp -> kOn
   void add_busy_time(double dt);   // service time (dynamic energy)
+  // Energy burned by a failed (fault-injected) spin-up attempt; booked into
+  // the transition term without counting a shutdown.
+  void add_fault_transition(double joules);
   void finalize(double t);         // close the books at end of run
 
   DiskState state() const { return state_; }
@@ -53,6 +56,7 @@ class DiskPowerMeter {
   double on_time_s_ = 0.0;
   double busy_time_s_ = 0.0;
   double finalized_at_ = 0.0;
+  double fault_transition_j_ = 0.0;
   std::uint64_t shutdowns_ = 0;
 };
 

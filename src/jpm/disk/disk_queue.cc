@@ -14,7 +14,17 @@ Disk::Disk(const DiskParams& params, TimeoutPolicy* policy,
   JPM_CHECK(policy != nullptr);
 }
 
+Disk::Disk(const DiskParams& params, TimeoutPolicy* policy,
+           double start_time_s, const fault::FaultPlan& plan,
+           std::uint32_t spindle_index, bool pin_when_degraded)
+    : service_(params), policy_(policy), meter_(params, start_time_s),
+      free_at_(start_time_s), available_at_(start_time_s),
+      fault_(plan, spindle_index), pin_when_degraded_(pin_when_degraded) {
+  JPM_CHECK(policy != nullptr);
+}
+
 void Disk::advance(double now) {
+  if (degraded_ && pin_when_degraded_) return;  // pinned always-on
   if (meter_.state() != DiskState::kOn) return;
   if (now <= free_at_) return;  // still busy (or exactly done) — not idle yet
   const double timeout = policy_->timeout_s();
@@ -40,7 +50,32 @@ DiskRequestResult Disk::read(double t, std::uint64_t page,
     // moment the disk drained its queue until now.
     const double idle_before = t - free_at_;
     meter_.begin_spin_up(t);
-    available_at_ = t + service_.params().spin_up_s;
+    double spin_delay = service_.params().spin_up_s;
+    if (fault_.active() && !degraded_) {
+      // Injected spin-up failures: each failed attempt burns a full
+      // transition's energy plus the spin-up time, then backs off
+      // exponentially (bounded) before the next try. Past
+      // `spinup_degrade_after` consecutive failures the spindle is declared
+      // degraded and the final attempt is forced to succeed — the drive
+      // still turns, it just can no longer be trusted to cycle.
+      std::uint32_t failed = 0;
+      while (fault_.attempt_fails()) {
+        ++failed;
+        ++reliability_.spinup_retries;
+        meter_.add_fault_transition(service_.params().transition_j);
+        const double wasted =
+            service_.params().spin_up_s + fault_.backoff_s(failed);
+        reliability_.retry_delay_s += wasted;
+        spin_delay += wasted;
+        if (failed >= fault_.plan().spinup_degrade_after) {
+          degraded_ = true;
+          degraded_since_ = t;
+          ++reliability_.degraded_spindles;
+          break;
+        }
+      }
+    }
+    available_at_ = t + spin_delay;
     policy_->on_spin_up(idle_before, available_at_ - t);
     res.triggered_spin_up = true;
   }
@@ -50,7 +85,8 @@ DiskRequestResult Disk::read(double t, std::uint64_t page,
   }
 
   res.sequential = page == last_page_ + 1;
-  const double svc = service_.service_time_s(bytes, res.sequential);
+  double svc = service_.service_time_s(bytes, res.sequential);
+  if (degraded_) svc *= fault_.plan().degraded_service_factor;
   res.start_s = std::max(earliest, free_at_);
   res.finish_s = res.start_s + svc;
   res.latency_s = res.finish_s - t;
@@ -68,7 +104,12 @@ DiskEnergyBreakdown Disk::energy_through(double t) {
 
 void Disk::finalize(double t_end) {
   advance(t_end);
-  meter_.finalize(std::max(t_end, free_at_));
+  const double end = std::max(t_end, free_at_);
+  meter_.finalize(end);
+  if (degraded_ && end > degraded_since_) {
+    reliability_.degraded_time_s += end - degraded_since_;
+    degraded_since_ = end;  // idempotent under repeated finalize
+  }
 }
 
 }  // namespace jpm::disk

@@ -12,6 +12,7 @@
 #include "jpm/disk/disk_model.h"
 #include "jpm/disk/disk_power.h"
 #include "jpm/disk/timeout_policy.h"
+#include "jpm/fault/fault.h"
 #include "jpm/util/units.h"
 
 namespace jpm::disk {
@@ -28,6 +29,16 @@ class Disk {
  public:
   // `policy` is borrowed and must outlive the disk.
   Disk(const DiskParams& params, TimeoutPolicy* policy, double start_time_s);
+
+  // Fault-injected variant: spin-up attempts can fail per `plan`, retried
+  // with bounded exponential backoff; after `plan.spinup_degrade_after`
+  // consecutive failures the spindle is degraded. A degraded spindle serves
+  // at `degraded_service_factor` times the normal service time; when
+  // `pin_when_degraded` is set (single-disk configs, where there is no
+  // survivor to re-route to) it is additionally kept spinning forever.
+  Disk(const DiskParams& params, TimeoutPolicy* policy, double start_time_s,
+       const fault::FaultPlan& plan, std::uint32_t spindle_index,
+       bool pin_when_degraded);
 
   // Processes any timeout expiry up to `now`. Idempotent; called by read()
   // too, but the engine should also call it at period boundaries so spin-
@@ -51,6 +62,13 @@ class Disk {
   // Time the disk became (or becomes) free of queued work.
   double free_at() const { return free_at_; }
 
+  // True once the spindle hit `spinup_degrade_after` consecutive spin-up
+  // failures; arrays consult this to re-route stripes to survivors.
+  bool degraded() const { return degraded_; }
+  const fault::ReliabilityMetrics& reliability() const {
+    return reliability_;
+  }
+
  private:
   ServiceModel service_;
   TimeoutPolicy* policy_;
@@ -59,6 +77,11 @@ class Disk {
   double available_at_;  // spin-up completion when state is kSpinningUp
   std::uint64_t last_page_ = ~std::uint64_t{0} - 1;
   std::uint64_t requests_ = 0;
+  fault::SpinUpFaultStream fault_;
+  fault::ReliabilityMetrics reliability_;
+  bool pin_when_degraded_ = false;
+  bool degraded_ = false;
+  double degraded_since_ = 0.0;
 };
 
 }  // namespace jpm::disk

@@ -31,6 +31,9 @@ class Storage {
   virtual std::uint64_t shutdowns() const = 0;
   // Number of independently-utilizable spindles (for utilization averaging).
   virtual std::uint32_t spindle_count() const = 0;
+  // Fault-injection counters; all-zero for backends without fault support
+  // or on a fault-free run.
+  virtual fault::ReliabilityMetrics reliability() const { return {}; }
 };
 
 // Adapts the single Disk to the Storage interface.
@@ -39,6 +42,13 @@ class SingleDiskStorage final : public Storage {
   SingleDiskStorage(const DiskParams& params, TimeoutPolicy* policy,
                     double start_time_s)
       : disk_(params, policy, start_time_s) {}
+
+  // Fault-injected variant. A degraded single disk has no survivor to
+  // re-route to, so it is pinned always-on (pin_when_degraded).
+  SingleDiskStorage(const DiskParams& params, TimeoutPolicy* policy,
+                    double start_time_s, const fault::FaultPlan& plan)
+      : disk_(params, policy, start_time_s, plan, /*spindle_index=*/0,
+              /*pin_when_degraded=*/true) {}
 
   void advance(double now) override { disk_.advance(now); }
   DiskRequestResult read(double t, std::uint64_t page,
@@ -53,6 +63,9 @@ class SingleDiskStorage final : public Storage {
   double busy_time_s() const override { return disk_.busy_time_s(); }
   std::uint64_t shutdowns() const override { return disk_.shutdowns(); }
   std::uint32_t spindle_count() const override { return 1; }
+  fault::ReliabilityMetrics reliability() const override {
+    return disk_.reliability();
+  }
 
   const Disk& disk() const { return disk_; }
 

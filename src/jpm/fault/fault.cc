@@ -1,0 +1,113 @@
+#include "jpm/fault/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace jpm::fault {
+namespace {
+
+void reject(const std::string& what) { throw std::invalid_argument(what); }
+
+void require(bool ok, const char* msg) {
+  if (!ok) reject(std::string("FaultPlan: ") + msg);
+}
+
+}  // namespace
+
+void validate(const FaultPlan& plan) {
+  require(plan.p_spinup_fail >= 0.0 && plan.p_spinup_fail <= 1.0,
+          "p_spinup_fail must lie in [0, 1]");
+  require(plan.spinup_degrade_after >= 1,
+          "spinup_degrade_after must be at least 1");
+  require(plan.spinup_backoff_s >= 0.0,
+          "spinup_backoff_s must be nonnegative");
+  require(plan.spinup_backoff_max_s >= plan.spinup_backoff_s,
+          "spinup_backoff_max_s must be at least spinup_backoff_s");
+  require(plan.degraded_service_factor >= 1.0,
+          "degraded_service_factor must be at least 1");
+  require(plan.guard.backoff_factor >= 1.0,
+          "guard.backoff_factor must be at least 1");
+  require(plan.guard.relax_factor >= 1.0,
+          "guard.relax_factor must be at least 1");
+  require(plan.guard.max_scale >= 1.0, "guard.max_scale must be at least 1");
+  require(plan.server_mtbf_s >= 0.0, "server_mtbf_s must be nonnegative");
+  require(plan.server_outage_s > 0.0, "server_outage_s must be positive");
+  require(std::isfinite(plan.p_spinup_fail) &&
+              std::isfinite(plan.spinup_backoff_s) &&
+              std::isfinite(plan.spinup_backoff_max_s) &&
+              std::isfinite(plan.degraded_service_factor) &&
+              std::isfinite(plan.server_mtbf_s) &&
+              std::isfinite(plan.server_outage_s),
+          "fault knobs must be finite");
+}
+
+void ReliabilityMetrics::merge(const ReliabilityMetrics& other) {
+  spinup_retries += other.spinup_retries;
+  retry_delay_s += other.retry_delay_s;
+  degraded_spindles += other.degraded_spindles;
+  degraded_time_s += other.degraded_time_s;
+  rerouted_requests += other.rerouted_requests;
+  manager_fallbacks += other.manager_fallbacks;
+  violated_periods += other.violated_periods;
+  guard_backoffs += other.guard_backoffs;
+  server_crashes += other.server_crashes;
+  failed_over_requests += other.failed_over_requests;
+}
+
+bool ReliabilityMetrics::any() const {
+  return spinup_retries != 0 || retry_delay_s != 0.0 ||
+         degraded_spindles != 0 || degraded_time_s != 0.0 ||
+         rerouted_requests != 0 || manager_fallbacks != 0 ||
+         violated_periods != 0 || guard_backoffs != 0 ||
+         server_crashes != 0 || failed_over_requests != 0;
+}
+
+std::uint64_t stream_seed(std::uint64_t base_seed, std::uint64_t salt) {
+  // splitmix64-style mix keeps sub-streams decorrelated even for adjacent
+  // salts; the Rng constructor mixes once more.
+  std::uint64_t z = base_seed + (salt + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+SpinUpFaultStream::SpinUpFaultStream(const FaultPlan& plan,
+                                     std::uint32_t spindle_index)
+    : plan_(plan), rng_(stream_seed(plan.seed, spindle_index)),
+      active_(plan.disk_faults_active()) {}
+
+bool SpinUpFaultStream::attempt_fails() {
+  if (!active_) return false;
+  return rng_.chance(plan_.p_spinup_fail);
+}
+
+double SpinUpFaultStream::backoff_s(std::uint32_t failed_attempts) const {
+  if (failed_attempts == 0) return 0.0;
+  double backoff = plan_.spinup_backoff_s;
+  for (std::uint32_t i = 1; i < failed_attempts; ++i) {
+    backoff *= 2.0;
+    if (backoff >= plan_.spinup_backoff_max_s) break;
+  }
+  return std::min(backoff, plan_.spinup_backoff_max_s);
+}
+
+std::vector<std::pair<double, double>> crash_windows(
+    const FaultPlan& plan, std::uint32_t server_index, double duration_s) {
+  std::vector<std::pair<double, double>> windows;
+  if (!plan.crashes_active() || duration_s <= 0.0) return windows;
+  // Server sub-streams are salted past the spindle range so a config using
+  // both disk faults and crashes never correlates the two.
+  Rng rng(stream_seed(plan.seed, 0x1000000ull + server_index));
+  double t = rng.exponential(plan.server_mtbf_s);
+  while (t < duration_s) {
+    const double end = t + plan.server_outage_s;
+    windows.emplace_back(t, end);
+    // The next failure clock starts after the restart.
+    t = end + rng.exponential(plan.server_mtbf_s);
+  }
+  return windows;
+}
+
+}  // namespace jpm::fault

@@ -1,0 +1,140 @@
+// Fault injection and graceful degradation (jpm::fault).
+//
+// A FaultPlan is a seeded, declarative description of the faults to inject
+// into a run. Every stream of fault decisions is derived deterministically
+// from the plan's seed plus a structural index (spindle number, server
+// number), never from wall-clock time or scheduling, so a faulted run is
+// replayable bit-identically under any JPM_THREADS and across repeats.
+//
+// Three degradation paths consume the plan:
+//   * Disk (disk/disk_queue.cc): spin-up attempts fail with probability
+//     p_spinup_fail and are retried with bounded exponential backoff; each
+//     failed attempt costs one transition energy plus the retry delay. After
+//     spinup_degrade_after consecutive failures the spindle is degraded:
+//     a single disk is pinned always-on and serves with elevated latency,
+//     an array member stops receiving stripes (DiskArray re-routes).
+//   * Manager (core/joint_power_manager.cc): period statistics and search
+//     results are validated; non-finite inputs or a failed search fall back
+//     to the conservative posture (all memory, 2-competitive timeout). The
+//     closed-loop guard additionally watches *observed* utilization and
+//     delayed-request ratio and backs the timeout off multiplicatively when
+//     the previous period violated them, relaxing again on clean periods.
+//   * Cluster (cluster/cluster.cc): servers crash as a Poisson process with
+//     mean time between failures server_mtbf_s; a crashed server's partition
+//     re-routes to survivors for server_outage_s, then the server restarts.
+//
+// With plan.enabled == false every consumer takes its pre-fault code path
+// and output stays bit-identical to a build without fault injection.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "jpm/util/rng.h"
+
+namespace jpm::fault {
+
+// Closed-loop constraint guard for the joint power manager. Disabled by
+// default so directly-constructed managers keep the paper's open-loop
+// behavior; fault-injected engines enable it through FaultPlan::guard.
+struct ManagerGuardConfig {
+  bool enabled = false;
+  // Timeout scale multiplier applied after a period that violated the
+  // observed utilization or delayed-ratio limit.
+  double backoff_factor = 2.0;
+  // Scale divisor applied after a clean period (recovery toward open loop).
+  double relax_factor = 2.0;
+  // Ceiling on the scale so recovery takes a bounded number of periods.
+  double max_scale = 64.0;
+};
+
+struct FaultPlan {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+
+  // --- disk spin-up faults ---
+  // Probability that one spin-up attempt fails.
+  double p_spinup_fail = 0.0;
+  // Consecutive failures before the spindle is marked degraded.
+  std::uint32_t spinup_degrade_after = 3;
+  // Retry backoff: initial delay, doubled per attempt, bounded by the max.
+  double spinup_backoff_s = 1.0;
+  double spinup_backoff_max_s = 30.0;
+  // Service-time multiplier of a degraded spindle (elevated latency).
+  double degraded_service_factor = 1.5;
+
+  // --- manager guard ---
+  ManagerGuardConfig guard;
+
+  // --- cluster server crashes ---
+  // Mean time between failures per server; 0 disables crash injection.
+  double server_mtbf_s = 0.0;
+  // Outage length: the crashed server restarts this long after the crash.
+  double server_outage_s = 120.0;
+
+  bool disk_faults_active() const { return enabled && p_spinup_fail > 0.0; }
+  bool crashes_active() const { return enabled && server_mtbf_s > 0.0; }
+};
+
+// Throws std::invalid_argument with a descriptive message on out-of-range
+// knobs (probabilities outside [0, 1], non-positive thresholds, ...).
+void validate(const FaultPlan& plan);
+
+// Counters describing how a run degraded and recovered; threaded through
+// RunMetrics and ClusterMetrics. All-zero on a fault-free run.
+struct ReliabilityMetrics {
+  // Disk path.
+  std::uint64_t spinup_retries = 0;    // failed spin-up attempts
+  double retry_delay_s = 0.0;          // total delay spent retrying
+  std::uint32_t degraded_spindles = 0;
+  double degraded_time_s = 0.0;        // summed per degraded spindle
+  std::uint64_t rerouted_requests = 0; // array reads moved off degraded disks
+  // Manager path.
+  std::uint64_t manager_fallbacks = 0; // invalid input / failed search
+  std::uint64_t violated_periods = 0;  // observed U or D violations
+  std::uint64_t guard_backoffs = 0;    // guard escalations
+  // Cluster path.
+  std::uint64_t server_crashes = 0;
+  std::uint64_t failed_over_requests = 0;  // requests re-routed off a dead server
+
+  void merge(const ReliabilityMetrics& other);
+  bool any() const;
+};
+
+// Deterministic Bernoulli stream of spin-up failures for one spindle. The
+// stream depends only on (plan.seed, spindle_index) and the order of
+// attempts, so replays are bit-identical regardless of thread count.
+class SpinUpFaultStream {
+ public:
+  // Inactive stream: attempt_fails() is always false, no RNG is consumed.
+  SpinUpFaultStream() = default;
+  SpinUpFaultStream(const FaultPlan& plan, std::uint32_t spindle_index);
+
+  bool active() const { return active_; }
+  // Draws the next attempt outcome (true = the spin-up attempt fails).
+  bool attempt_fails();
+  // Backoff before retry number `failed_attempts` (1-based), bounded
+  // exponential: initial * 2^(n-1), capped at the plan's max.
+  double backoff_s(std::uint32_t failed_attempts) const;
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  bool active_ = false;
+};
+
+// Crash outage windows [crash, crash + outage) for one server over a run,
+// drawn as a Poisson process (exponential gaps of mean server_mtbf_s) from
+// a stream derived from (plan.seed, server_index). Empty when crashes are
+// disabled. Windows are disjoint and sorted.
+std::vector<std::pair<double, double>> crash_windows(const FaultPlan& plan,
+                                                     std::uint32_t server_index,
+                                                     double duration_s);
+
+// Derives an independent deterministic seed for a structural sub-stream
+// (per spindle, per server) from the plan seed.
+std::uint64_t stream_seed(std::uint64_t base_seed, std::uint64_t salt);
+
+}  // namespace jpm::fault

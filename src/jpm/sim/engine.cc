@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <sstream>
+#include <stdexcept>
 
 #include "jpm/cache/lru_cache.h"
 #include "jpm/cache/stack_distance.h"
@@ -57,6 +59,8 @@ struct Engine::Impl {
   std::uint64_t period_disk_accesses = 0;
   double period_gap_sum = 0.0;
   std::uint64_t period_gap_count = 0;
+  double period_busy_start_s = 0.0;
+  std::uint64_t period_delayed_requests = 0;
   double last_disk_finish;
   bool ran = false;
 
@@ -135,8 +139,42 @@ struct Engine::Impl {
     return std::nullopt;
   }
 
+  // Rejects configurations that would silently corrupt the run. Uses
+  // std::invalid_argument (bad input), not JPM_CHECK (internal invariant).
+  void validate_config() const {
+    const auto bad = [](const std::string& why) {
+      throw std::invalid_argument("invalid EngineConfig: " + why);
+    };
+    const auto& jc = config.joint;
+    if (config.disk_count == 0) bad("disk_count must be at least 1");
+    if (config.stripe_bytes == 0) bad("stripe_bytes must be positive");
+    if (jc.page_bytes == 0) bad("page_bytes must be positive");
+    if (!(jc.period_s > 0.0) || !std::isfinite(jc.period_s)) {
+      bad("joint.period_s must be positive and finite");
+    }
+    if (!(jc.window_s > 0.0) || !std::isfinite(jc.window_s)) {
+      bad("joint.window_s must be positive and finite");
+    }
+    if (jc.util_limit < 0.0 || !std::isfinite(jc.util_limit)) {
+      bad("joint.util_limit must be nonnegative and finite");
+    }
+    if (jc.delay_limit < 0.0 || !std::isfinite(jc.delay_limit)) {
+      bad("joint.delay_limit must be nonnegative and finite");
+    }
+    if (config.warm_up_s < 0.0) bad("warm_up_s must be nonnegative");
+    if (config.flush_interval_s < 0.0) {
+      bad("flush_interval_s must be nonnegative (0 disables)");
+    }
+    if (config.long_latency_threshold_s < 0.0) {
+      bad("long_latency_threshold_s must be nonnegative");
+    }
+    jc.disk.validate();
+    fault::validate(config.fault);
+  }
+
   void init(std::uint64_t page_bytes) {
     config.joint.page_bytes = page_bytes;
+    validate_config();
     const auto& jc = config.joint;
     JPM_CHECK_MSG(jc.unit_bytes % jc.page_bytes == 0,
                   "enumeration unit must be a whole number of pages");
@@ -179,14 +217,20 @@ struct Engine::Impl {
       disk = std::make_unique<disk::MultiSpeedDisk>(
           disk::drpm_params(jc.disk), 0.0);
     } else if (config.disk_count == 1) {
-      disk = std::make_unique<disk::SingleDiskStorage>(
-          jc.disk, timeout_policy.get(), 0.0);
+      if (config.fault.disk_faults_active()) {
+        disk = std::make_unique<disk::SingleDiskStorage>(
+            jc.disk, timeout_policy.get(), 0.0, config.fault);
+      } else {
+        disk = std::make_unique<disk::SingleDiskStorage>(
+            jc.disk, timeout_policy.get(), 0.0);
+      }
     } else {
       disk::DiskArrayConfig array_cfg;
       array_cfg.disk_count = config.disk_count;
       array_cfg.stripe_bytes = config.stripe_bytes;
       array_cfg.page_bytes = jc.page_bytes;
       array_cfg.params = jc.disk;
+      array_cfg.fault = config.fault;
       const auto factory = [this, &jc]() -> std::unique_ptr<disk::TimeoutPolicy> {
         switch (policy.disk) {
           case DiskPolicyKind::kTwoCompetitive:
@@ -247,7 +291,12 @@ struct Engine::Impl {
       JPM_CHECK_MSG(policy.mem == MemPolicyKind::kJoint,
                     "joint disk policy requires joint memory policy");
       tracker = std::make_unique<cache::StackDistanceTracker>();
-      manager = std::make_unique<core::JointPowerManager>(jc);
+      // The closed-loop guard only engages through an enabled fault plan;
+      // otherwise the manager keeps the paper's open-loop behavior.
+      const fault::ManagerGuardConfig guard =
+          config.fault.enabled ? config.fault.guard
+                               : fault::ManagerGuardConfig{};
+      manager = std::make_unique<core::JointPowerManager>(jc, guard);
       collector = std::make_unique<core::PeriodStatsCollector>(
           jc.unit_frames(), jc.max_units(), 0.0);
       current_units = manager->initial_memory_units();
@@ -335,6 +384,8 @@ struct Engine::Impl {
                                   static_cast<double>(period_gap_count);
       rec.memory_units = current_units;
       rec.timeout_s = timeout_policy->timeout_s();
+      rec.busy_s = disk->busy_time_s() - period_busy_start_s;
+      rec.delayed_requests = period_delayed_requests;
       metrics.periods.push_back(rec);
     }
     period_start = boundary;
@@ -342,6 +393,8 @@ struct Engine::Impl {
     period_disk_accesses = 0;
     period_gap_sum = 0.0;
     period_gap_count = 0;
+    period_busy_start_s = disk->busy_time_s();
+    period_delayed_requests = 0;
   }
 
   void handle_boundary(double boundary) {
@@ -427,12 +480,18 @@ struct Engine::Impl {
       const auto res = disk->read(t, event->page, page_bytes);
       ++metrics.disk_accesses;
       ++period_disk_accesses;
-      if (res.triggered_spin_up) ++metrics.spin_ups;
+      if (res.triggered_spin_up) {
+        ++metrics.spin_ups;
+        ++period_delayed_requests;
+      }
       metrics.total_latency_s += res.latency_s;
       if (res.latency_s > config.long_latency_threshold_s) {
         ++metrics.long_latency_count;
       }
-      if (collector) collector->on_disk_access(res.finish_s - res.start_s);
+      if (collector) {
+        collector->on_disk_access(res.finish_s - res.start_s,
+                                  /*delayed=*/res.triggered_spin_up);
+      }
 
       const double gap = t - last_disk_finish;
       if (gap >= jc.window_s) {
@@ -489,6 +548,11 @@ struct Engine::Impl {
     if (banks) metrics.mem_energy.static_j += banks->static_energy_j();
     metrics.disk_busy_s = disk->busy_time_s();
     metrics.disk_shutdowns = disk->shutdowns();
+    // Reliability covers the whole run (warm-up included): a degraded
+    // spindle stays degraded across the warm-up boundary, so subtracting a
+    // snapshot would misstate the counters.
+    metrics.reliability = disk->reliability();
+    if (manager) metrics.reliability.merge(manager->reliability());
 
     // Subtract the warm-up window.
     metrics.mem_energy.static_j -=

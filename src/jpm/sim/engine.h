@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "jpm/core/joint_power_manager.h"
+#include "jpm/fault/fault.h"
 #include "jpm/sim/metrics.h"
 #include "jpm/sim/policies.h"
 #include "jpm/workload/synthesizer.h"
@@ -41,6 +42,10 @@ struct EngineConfig {
   // the same disk operation (Papathanasiou & Scott's energy-aware
   // prefetching direction). 0 disables.
   std::uint32_t readahead_pages = 0;
+  // Fault injection (see fault/fault.h). Disabled by default; a disabled
+  // plan leaves the run bit-identical to a config without one. Per-run
+  // reliability counters surface in RunMetrics::reliability.
+  fault::FaultPlan fault;
 };
 
 // A captured or saved trace to replay instead of synthesizing one (see

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "jpm/disk/disk_power.h"
+#include "jpm/fault/fault.h"
 #include "jpm/mem/energy_meter.h"
 
 namespace jpm::sim {
@@ -20,6 +21,8 @@ struct PeriodRecord {
   double mean_idle_s = 0.0;       // measured gaps >= aggregation window
   std::uint64_t memory_units = 0; // capacity in effect at period end
   double timeout_s = 0.0;         // disk timeout in effect at period end
+  double busy_s = 0.0;            // disk busy time inside the period
+  std::uint64_t delayed_requests = 0;  // accesses that waited on a spin-up
 };
 
 struct RunMetrics {
@@ -40,6 +43,9 @@ struct RunMetrics {
 
   double total_latency_s = 0.0;       // summed over disk accesses (hits ~ 0)
   std::uint64_t long_latency_count = 0;  // latency > threshold (0.5 s)
+
+  // Fault-injection outcome (all-zero on a fault-free run).
+  fault::ReliabilityMetrics reliability;
 
   std::vector<PeriodRecord> periods;
 

@@ -2,10 +2,44 @@
 
 #include <cmath>
 #include <queue>
+#include <stdexcept>
+#include <string>
 
 #include "jpm/util/check.h"
 
 namespace jpm::workload {
+
+void SynthesizerConfig::validate() const {
+  const auto bad = [](const std::string& why) {
+    throw std::invalid_argument("invalid SynthesizerConfig: " + why);
+  };
+  if (dataset_bytes == 0) bad("dataset_bytes must be positive");
+  if (page_bytes == 0) bad("page_bytes must be positive");
+  if (!(byte_rate > 0.0) || !std::isfinite(byte_rate)) {
+    bad("byte_rate must be positive and finite");
+  }
+  if (!(duration_s > 0.0) || !std::isfinite(duration_s)) {
+    bad("duration_s must be positive and finite");
+  }
+  if (popularity < 0.0 || popularity > 1.0) {
+    bad("popularity must lie in [0, 1]");
+  }
+  if (!(file_scale > 0.0)) bad("file_scale must be positive");
+  if (rate_modulation < 0.0) bad("rate_modulation must be nonnegative");
+  if (modulation_period_s < 0.0) {
+    bad("modulation_period_s must be nonnegative (0 disables)");
+  }
+  if (intra_request_spacing_s < 0.0) {
+    bad("intra_request_spacing_s must be nonnegative");
+  }
+  if (temporal_locality < 0.0 || temporal_locality > 1.0) {
+    bad("temporal_locality must lie in [0, 1]");
+  }
+  if (write_fraction < 0.0 || write_fraction > 1.0) {
+    bad("write_fraction must lie in [0, 1]");
+  }
+}
+
 namespace {
 
 // A page access waiting to be emitted; requests overlap, so a min-heap on
@@ -41,15 +75,11 @@ struct TraceGenerator::Impl {
   std::size_t recent_next = 0;
 
   explicit Impl(const SynthesizerConfig& cfg)
-      : config(cfg),
+      : config((cfg.validate(), cfg)),
         files(FileSetConfig{cfg.dataset_bytes, gib(4), cfg.file_scale,
                             cfg.seed}),
         popularity(files, PopularityConfig{cfg.popularity, 0.9, cfg.seed}),
         rng(cfg.seed * 0x2545f4914f6cdd1dull + 0x9e37) {
-    JPM_CHECK(cfg.byte_rate > 0.0);
-    JPM_CHECK(cfg.duration_s > 0.0);
-    JPM_CHECK(cfg.page_bytes > 0);
-    JPM_CHECK(cfg.intra_request_spacing_s >= 0.0);
     for (std::size_t i = 0; i < files.file_count(); ++i) {
       mean_request_bytes += popularity.probability(i) *
                             static_cast<double>(files.file(i).size_bytes);

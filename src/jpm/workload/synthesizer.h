@@ -49,6 +49,11 @@ struct SynthesizerConfig {
   // Number of recent requests the locality draw can repeat from.
   std::size_t locality_window = 8192;
   std::uint64_t seed = 1;
+
+  // Rejects unusable workload knobs (zero page_bytes/dataset/duration,
+  // probabilities outside [0, 1], negative rates) with a descriptive
+  // std::invalid_argument. TraceGenerator calls it on construction.
+  void validate() const;
 };
 
 class TraceGenerator {

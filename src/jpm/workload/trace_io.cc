@@ -27,9 +27,11 @@ constexpr std::uint8_t kFlagWrite = 1u << 1;
 
 void check_monotonic(const std::vector<TraceEvent>& trace) {
   double prev = -1.0;
-  for (const auto& e : trace) {
-    JPM_CHECK_MSG(e.time_s >= prev, "trace timestamps must be nondecreasing");
-    prev = e.time_s;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    JPM_CHECK_MSG(trace[i].time_s >= prev,
+                  "trace timestamps must be nondecreasing (record "
+                      << i << " goes backwards)");
+    prev = trace[i].time_s;
   }
 }
 
@@ -61,14 +63,39 @@ std::vector<TraceEvent> read_binary_trace(std::istream& is) {
   std::uint64_t count = 0;
   is.read(reinterpret_cast<char*>(&version), sizeof version);
   is.read(reinterpret_cast<char*>(&count), sizeof count);
+  JPM_CHECK_MSG(is.good(), "trace header truncated");
   JPM_CHECK_MSG(version == 1 || version == kVersion,
-                "unsupported trace version");
+                "unsupported trace version " << version);
+
+  // Bounds-check the declared record count against the remaining stream
+  // before allocating: a corrupt or hostile header must not drive a
+  // multi-gigabyte reserve (or a long truncation loop). Non-seekable
+  // streams skip the pre-check and rely on the per-record one below.
+  const std::istream::pos_type body_start = is.tellg();
+  if (body_start != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end_pos = is.tellg();
+    is.seekg(body_start);
+    if (end_pos != std::istream::pos_type(-1) && end_pos >= body_start) {
+      const auto available =
+          static_cast<std::uint64_t>(end_pos - body_start);
+      JPM_CHECK_MSG(
+          count <= available / sizeof(PackedEvent),
+          "corrupt trace header: " << count << " records declared but only "
+                                   << available / sizeof(PackedEvent)
+                                   << " fit in the remaining " << available
+                                   << " bytes");
+    }
+  }
+
   std::vector<TraceEvent> trace;
   trace.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     PackedEvent p;
     is.read(reinterpret_cast<char*>(&p), sizeof p);
-    JPM_CHECK_MSG(is.good(), "trace truncated");
+    JPM_CHECK_MSG(is.good(), "trace truncated at record "
+                                 << i << " of " << count << " (byte offset "
+                                 << 16 + i * sizeof(PackedEvent) << ")");
     trace.push_back(TraceEvent{p.time_s, p.page, (p.flags & kFlagStart) != 0,
                                (p.flags & kFlagWrite) != 0});
   }

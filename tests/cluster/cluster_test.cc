@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "jpm/util/check.h"
 
 namespace jpm::cluster {
@@ -186,7 +189,25 @@ TEST(ClusterEngineTest, RejectsZeroServers) {
   cfg.server_count = 0;
   EXPECT_THROW(
       ClusterEngine(cfg, small_workload(), sim::always_on_policy()),
-      CheckError);
+      std::invalid_argument);
+}
+
+TEST(ClusterEngineTest, ConfigValidationNamesTheProblem) {
+  auto cfg = small_cluster(2, DistributionPolicy::kRoundRobin);
+  cfg.partition_pages = 0;
+  try {
+    cfg.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("partition_pages"),
+              std::string::npos);
+  }
+  cfg = small_cluster(2, DistributionPolicy::kRoundRobin);
+  cfg.server_off_idle_s = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_cluster(2, DistributionPolicy::kRoundRobin);
+  cfg.chassis_on_w = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
 }  // namespace

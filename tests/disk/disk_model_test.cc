@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+#include <string>
+
 #include "jpm/util/units.h"
 
 namespace jpm::disk {
@@ -20,6 +24,52 @@ TEST(DiskParamsTest, TimeoutParamsViewMatches) {
   EXPECT_DOUBLE_EQ(tp.static_power_w, p.static_power_w());
   EXPECT_DOUBLE_EQ(tp.break_even_s, p.break_even_s());
   EXPECT_DOUBLE_EQ(tp.transition_s, p.spin_up_s);
+}
+
+TEST(DiskParamsValidateTest, AcceptsDefaultsAndPresets) {
+  EXPECT_NO_THROW(DiskParams{}.validate());
+  EXPECT_NO_THROW(presets::server_ide().validate());
+  EXPECT_NO_THROW(presets::laptop_25().validate());
+  EXPECT_NO_THROW(presets::ssd_like().validate());
+}
+
+TEST(DiskParamsValidateTest, RejectsIdleBelowStandbyNamingBreakEven) {
+  // idle_w <= standby_w makes the manageable static power nonpositive and
+  // break_even_s() divide by zero / go negative — the exact corruption the
+  // validation exists to catch.
+  DiskParams p;
+  p.idle_w = p.standby_w;
+  try {
+    p.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("idle_w"), std::string::npos);
+    EXPECT_NE(what.find("break_even"), std::string::npos);
+    // The message echoes the offending parameter set.
+    EXPECT_NE(what.find("standby"), std::string::npos);
+  }
+}
+
+TEST(DiskParamsValidateTest, RejectsOtherCorruptParameters) {
+  DiskParams p;
+  p.transition_j = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = DiskParams{};
+  p.spin_up_s = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = DiskParams{};
+  p.active_w = p.idle_w - 1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = DiskParams{};
+  p.media_rate_bytes_per_s = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = DiskParams{};
+  p.avg_seek_s = -1e-3;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = DiskParams{};
+  p.idle_w = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
 }
 
 TEST(ServiceModelTest, SequentialSkipsPositioning) {

@@ -1,0 +1,231 @@
+#include "jpm/fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace jpm::fault {
+namespace {
+
+FaultPlan disk_fault_plan(double p) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.p_spinup_fail = p;
+  return plan;
+}
+
+TEST(FaultPlanTest, DefaultPlanIsInertAndValid) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled);
+  EXPECT_FALSE(plan.disk_faults_active());
+  EXPECT_FALSE(plan.crashes_active());
+  EXPECT_NO_THROW(validate(plan));
+}
+
+TEST(FaultPlanTest, ActivationRequiresTheEnabledFlag) {
+  FaultPlan plan;
+  plan.p_spinup_fail = 1.0;
+  plan.server_mtbf_s = 100.0;
+  EXPECT_FALSE(plan.disk_faults_active());
+  EXPECT_FALSE(plan.crashes_active());
+  plan.enabled = true;
+  EXPECT_TRUE(plan.disk_faults_active());
+  EXPECT_TRUE(plan.crashes_active());
+}
+
+TEST(FaultPlanValidateTest, RejectsOutOfRangeKnobs) {
+  auto expect_rejected = [](FaultPlan plan, const char* knob) {
+    try {
+      validate(plan);
+      FAIL() << "expected std::invalid_argument naming " << knob;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("FaultPlan"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find(knob), std::string::npos);
+    }
+  };
+  FaultPlan plan;
+  plan.p_spinup_fail = -0.1;
+  expect_rejected(plan, "p_spinup_fail");
+  plan = FaultPlan{};
+  plan.p_spinup_fail = 1.5;
+  expect_rejected(plan, "p_spinup_fail");
+  plan = FaultPlan{};
+  plan.spinup_degrade_after = 0;
+  expect_rejected(plan, "spinup_degrade_after");
+  plan = FaultPlan{};
+  plan.spinup_backoff_s = -1.0;
+  expect_rejected(plan, "spinup_backoff_s");
+  plan = FaultPlan{};
+  plan.spinup_backoff_max_s = 0.5 * plan.spinup_backoff_s;
+  expect_rejected(plan, "spinup_backoff_max_s");
+  plan = FaultPlan{};
+  plan.degraded_service_factor = 0.9;
+  expect_rejected(plan, "degraded_service_factor");
+  plan = FaultPlan{};
+  plan.guard.backoff_factor = 0.5;
+  expect_rejected(plan, "guard.backoff_factor");
+  plan = FaultPlan{};
+  plan.guard.relax_factor = 0.0;
+  expect_rejected(plan, "guard.relax_factor");
+  plan = FaultPlan{};
+  plan.guard.max_scale = 0.5;
+  expect_rejected(plan, "guard.max_scale");
+  plan = FaultPlan{};
+  plan.server_mtbf_s = -1.0;
+  expect_rejected(plan, "server_mtbf_s");
+  plan = FaultPlan{};
+  plan.server_outage_s = 0.0;
+  expect_rejected(plan, "server_outage_s");
+  plan = FaultPlan{};
+  plan.p_spinup_fail = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(validate(plan), std::invalid_argument);
+}
+
+TEST(StreamSeedTest, AdjacentSaltsDecorrelate) {
+  const auto a = stream_seed(1, 0);
+  const auto b = stream_seed(1, 1);
+  const auto c = stream_seed(2, 0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+  // Deterministic: the same (base, salt) always maps to the same seed.
+  EXPECT_EQ(stream_seed(1, 0), a);
+}
+
+TEST(SpinUpFaultStreamTest, InactiveDefaultStreamNeverFails) {
+  SpinUpFaultStream stream;
+  EXPECT_FALSE(stream.active());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(stream.attempt_fails());
+}
+
+TEST(SpinUpFaultStreamTest, DisabledPlanYieldsInactiveStream) {
+  FaultPlan plan = disk_fault_plan(1.0);
+  plan.enabled = false;
+  SpinUpFaultStream stream(plan, 0);
+  EXPECT_FALSE(stream.active());
+  EXPECT_FALSE(stream.attempt_fails());
+}
+
+TEST(SpinUpFaultStreamTest, SameSpindleReplaysIdentically) {
+  const auto plan = disk_fault_plan(0.5);
+  SpinUpFaultStream a(plan, 3);
+  SpinUpFaultStream b(plan, 3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.attempt_fails(), b.attempt_fails()) << "draw " << i;
+  }
+}
+
+TEST(SpinUpFaultStreamTest, DifferentSpindlesDecorrelate) {
+  const auto plan = disk_fault_plan(0.5);
+  SpinUpFaultStream a(plan, 0);
+  SpinUpFaultStream b(plan, 1);
+  int differing = 0;
+  for (int i = 0; i < 200; ++i) {
+    differing += a.attempt_fails() != b.attempt_fails();
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(SpinUpFaultStreamTest, FailureRateTracksProbability) {
+  const auto plan = disk_fault_plan(0.25);
+  SpinUpFaultStream stream(plan, 0);
+  int failures = 0;
+  for (int i = 0; i < 10000; ++i) failures += stream.attempt_fails();
+  EXPECT_NEAR(failures / 10000.0, 0.25, 0.02);
+}
+
+TEST(SpinUpFaultStreamTest, BackoffIsBoundedExponential) {
+  FaultPlan plan = disk_fault_plan(1.0);
+  plan.spinup_backoff_s = 1.0;
+  plan.spinup_backoff_max_s = 30.0;
+  SpinUpFaultStream stream(plan, 0);
+  EXPECT_DOUBLE_EQ(stream.backoff_s(0), 0.0);
+  EXPECT_DOUBLE_EQ(stream.backoff_s(1), 1.0);
+  EXPECT_DOUBLE_EQ(stream.backoff_s(2), 2.0);
+  EXPECT_DOUBLE_EQ(stream.backoff_s(3), 4.0);
+  EXPECT_DOUBLE_EQ(stream.backoff_s(6), 30.0);   // 32 capped at 30
+  EXPECT_DOUBLE_EQ(stream.backoff_s(40), 30.0);  // stays capped, no overflow
+}
+
+TEST(CrashWindowsTest, EmptyWhenDisabled) {
+  FaultPlan plan;
+  plan.server_mtbf_s = 100.0;  // knob set, but enabled == false
+  EXPECT_TRUE(crash_windows(plan, 0, 1e6).empty());
+  plan.enabled = true;
+  plan.server_mtbf_s = 0.0;  // crash injection off
+  EXPECT_TRUE(crash_windows(plan, 0, 1e6).empty());
+}
+
+TEST(CrashWindowsTest, WindowsAreSortedDisjointAndSized) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.server_mtbf_s = 500.0;
+  plan.server_outage_s = 120.0;
+  const auto windows = crash_windows(plan, 2, 20000.0);
+  ASSERT_FALSE(windows.empty());
+  double prev_end = 0.0;
+  for (const auto& [start, end] : windows) {
+    EXPECT_GE(start, prev_end);
+    EXPECT_DOUBLE_EQ(end, start + plan.server_outage_s);
+    EXPECT_LT(start, 20000.0);
+    prev_end = end;
+  }
+}
+
+TEST(CrashWindowsTest, DeterministicPerServerAndDecorrelatedAcross) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.server_mtbf_s = 500.0;
+  const auto a1 = crash_windows(plan, 0, 20000.0);
+  const auto a2 = crash_windows(plan, 0, 20000.0);
+  EXPECT_EQ(a1, a2);
+  const auto b = crash_windows(plan, 1, 20000.0);
+  EXPECT_NE(a1, b);
+}
+
+TEST(ReliabilityMetricsTest, MergeSumsEveryCounter) {
+  ReliabilityMetrics a;
+  a.spinup_retries = 1;
+  a.retry_delay_s = 2.0;
+  a.degraded_spindles = 3;
+  a.degraded_time_s = 4.0;
+  a.rerouted_requests = 5;
+  a.manager_fallbacks = 6;
+  a.violated_periods = 7;
+  a.guard_backoffs = 8;
+  a.server_crashes = 9;
+  a.failed_over_requests = 10;
+  ReliabilityMetrics b = a;
+  b.merge(a);
+  EXPECT_EQ(b.spinup_retries, 2u);
+  EXPECT_DOUBLE_EQ(b.retry_delay_s, 4.0);
+  EXPECT_EQ(b.degraded_spindles, 6u);
+  EXPECT_DOUBLE_EQ(b.degraded_time_s, 8.0);
+  EXPECT_EQ(b.rerouted_requests, 10u);
+  EXPECT_EQ(b.manager_fallbacks, 12u);
+  EXPECT_EQ(b.violated_periods, 14u);
+  EXPECT_EQ(b.guard_backoffs, 16u);
+  EXPECT_EQ(b.server_crashes, 18u);
+  EXPECT_EQ(b.failed_over_requests, 20u);
+}
+
+TEST(ReliabilityMetricsTest, AnyDetectsEachCounter) {
+  EXPECT_FALSE(ReliabilityMetrics{}.any());
+  ReliabilityMetrics m;
+  m.spinup_retries = 1;
+  EXPECT_TRUE(m.any());
+  m = ReliabilityMetrics{};
+  m.degraded_time_s = 0.5;
+  EXPECT_TRUE(m.any());
+  m = ReliabilityMetrics{};
+  m.manager_fallbacks = 1;
+  EXPECT_TRUE(m.any());
+  m = ReliabilityMetrics{};
+  m.failed_over_requests = 1;
+  EXPECT_TRUE(m.any());
+}
+
+}  // namespace
+}  // namespace jpm::fault

@@ -73,6 +73,14 @@ void expect_bit_identical(const RunMetrics& a, const RunMetrics& b) {
   EXPECT_EQ(a.spindle_count, b.spindle_count);
   EXPECT_EQ(a.total_latency_s, b.total_latency_s);
   EXPECT_EQ(a.long_latency_count, b.long_latency_count);
+  EXPECT_EQ(a.reliability.spinup_retries, b.reliability.spinup_retries);
+  EXPECT_EQ(a.reliability.retry_delay_s, b.reliability.retry_delay_s);
+  EXPECT_EQ(a.reliability.degraded_spindles, b.reliability.degraded_spindles);
+  EXPECT_EQ(a.reliability.degraded_time_s, b.reliability.degraded_time_s);
+  EXPECT_EQ(a.reliability.rerouted_requests, b.reliability.rerouted_requests);
+  EXPECT_EQ(a.reliability.manager_fallbacks, b.reliability.manager_fallbacks);
+  EXPECT_EQ(a.reliability.violated_periods, b.reliability.violated_periods);
+  EXPECT_EQ(a.reliability.guard_backoffs, b.reliability.guard_backoffs);
   ASSERT_EQ(a.periods.size(), b.periods.size());
   for (std::size_t p = 0; p < a.periods.size(); ++p) {
     EXPECT_EQ(a.periods[p].start_s, b.periods[p].start_s);
@@ -82,16 +90,21 @@ void expect_bit_identical(const RunMetrics& a, const RunMetrics& b) {
     EXPECT_EQ(a.periods[p].mean_idle_s, b.periods[p].mean_idle_s);
     EXPECT_EQ(a.periods[p].memory_units, b.periods[p].memory_units);
     EXPECT_EQ(a.periods[p].timeout_s, b.periods[p].timeout_s);
+    EXPECT_EQ(a.periods[p].busy_s, b.periods[p].busy_s);
+    EXPECT_EQ(a.periods[p].delayed_requests, b.periods[p].delayed_requests);
   }
 }
 
-std::vector<SweepPoint> sweep_with_threads(const char* threads) {
+std::vector<SweepPoint> sweep_with_threads(
+    const char* threads,
+    const std::vector<std::pair<std::string, workload::SynthesizerConfig>>&
+        points_in,
+    const EngineConfig& engine) {
   const char* old = std::getenv("JPM_THREADS");
   const std::string saved = old ? old : "";
   const bool had_old = old != nullptr;
   ::setenv("JPM_THREADS", threads, 1);
-  auto points =
-      run_sweep(three_point_sweep(), six_policy_roster(), sweep_engine());
+  auto points = run_sweep(points_in, six_policy_roster(), engine);
   if (had_old) {
     ::setenv("JPM_THREADS", saved.c_str(), 1);
   } else {
@@ -100,10 +113,41 @@ std::vector<SweepPoint> sweep_with_threads(const char* threads) {
   return points;
 }
 
-TEST(SweepDeterminismTest, EightThreadsMatchSerialBitForBit) {
-  const auto serial = sweep_with_threads("1");
-  const auto parallel = sweep_with_threads("8");
+std::vector<SweepPoint> sweep_with_threads(const char* threads) {
+  return sweep_with_threads(threads, three_point_sweep(), sweep_engine());
+}
 
+// Fault sweep setup: sparse requests and a short break-even so the disk
+// spin-cycles constantly, making the injected spin-up failures (p = 0.5)
+// actually fire; the determinism claim must hold under faults too.
+workload::SynthesizerConfig sparse_point(std::uint64_t dataset_bytes,
+                                         std::uint64_t seed) {
+  auto w = point_workload(dataset_bytes, seed);
+  w.byte_rate = 0.2e6;
+  return w;
+}
+
+std::vector<std::pair<std::string, workload::SynthesizerConfig>>
+sparse_sweep() {
+  return {{"64MB", sparse_point(mib(64), 3)},
+          {"128MB", sparse_point(mib(128), 4)}};
+}
+
+EngineConfig faulted_sweep_engine() {
+  EngineConfig e = sweep_engine();
+  e.prefill_cache = false;
+  e.warm_up_s = 0.0;
+  e.joint.disk.transition_j = 7.75;  // break-even ~1.2 s
+  e.fault.enabled = true;
+  e.fault.seed = 42;
+  e.fault.p_spinup_fail = 0.5;
+  e.fault.spinup_degrade_after = 4;
+  e.fault.guard.enabled = true;
+  return e;
+}
+
+void expect_points_bit_identical(const std::vector<SweepPoint>& serial,
+                                 const std::vector<SweepPoint>& parallel) {
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     SCOPED_TRACE(serial[i].label);
@@ -123,6 +167,47 @@ TEST(SweepDeterminismTest, EightThreadsMatchSerialBitForBit) {
       EXPECT_EQ(serial[i].outcomes[j].normalized.memory,
                 parallel[i].outcomes[j].normalized.memory);
     }
+  }
+}
+
+TEST(SweepDeterminismTest, EightThreadsMatchSerialBitForBit) {
+  const auto serial = sweep_with_threads("1");
+  const auto parallel = sweep_with_threads("8");
+  expect_points_bit_identical(serial, parallel);
+}
+
+TEST(SweepDeterminismTest, FaultInjectedSweepIsThreadCountInvariant) {
+  const auto engine = faulted_sweep_engine();
+  const auto serial = sweep_with_threads("1", sparse_sweep(), engine);
+  const auto parallel = sweep_with_threads("8", sparse_sweep(), engine);
+  expect_points_bit_identical(serial, parallel);
+  // The plan above must actually exercise the fault paths, otherwise this
+  // test degenerates into the fault-free one.
+  bool any_reliability = false;
+  for (const auto& point : serial) {
+    for (const auto& outcome : point.outcomes) {
+      any_reliability |= outcome.metrics.reliability.any();
+    }
+  }
+  EXPECT_TRUE(any_reliability);
+}
+
+TEST(SweepDeterminismTest, DisabledFaultPlanMatchesNoPlanBitForBit) {
+  // A present-but-disabled plan — even with aggressive knobs — must leave
+  // every metric bit-identical to an engine config without one.
+  EngineConfig with_knobs = sweep_engine();
+  with_knobs.fault.enabled = false;
+  with_knobs.fault.p_spinup_fail = 0.9;
+  with_knobs.fault.server_mtbf_s = 100.0;
+  with_knobs.fault.guard.enabled = true;  // inert while enabled == false
+
+  const auto w = point_workload(mib(128), 7);
+  for (const auto& policy : six_policy_roster()) {
+    SCOPED_TRACE(policy.name);
+    const auto plain = run_simulation(w, policy, sweep_engine());
+    const auto gated = run_simulation(w, policy, with_knobs);
+    expect_bit_identical(plain, gated);
+    EXPECT_FALSE(gated.reliability.any());
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 namespace jpm::workload {
@@ -18,6 +20,55 @@ SynthesizerConfig small_cfg() {
   c.rate_modulation = 0.0;
   c.seed = 9;
   return c;
+}
+
+TEST(SynthesizerConfigTest, ValidateAcceptsSaneConfigs) {
+  EXPECT_NO_THROW(small_cfg().validate());
+  EXPECT_NO_THROW(SynthesizerConfig{}.validate());
+}
+
+TEST(SynthesizerConfigTest, ValidateNamesTheOffendingKnob) {
+  const auto expect_rejected = [](SynthesizerConfig cfg, const char* knob) {
+    try {
+      cfg.validate();
+      FAIL() << "expected std::invalid_argument naming " << knob;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("invalid SynthesizerConfig"),
+                std::string::npos);
+      EXPECT_NE(std::string(e.what()).find(knob), std::string::npos);
+    }
+  };
+  auto cfg = small_cfg();
+  cfg.dataset_bytes = 0;
+  expect_rejected(cfg, "dataset_bytes");
+  cfg = small_cfg();
+  cfg.page_bytes = 0;
+  expect_rejected(cfg, "page_bytes");
+  cfg = small_cfg();
+  cfg.byte_rate = 0.0;
+  expect_rejected(cfg, "byte_rate");
+  cfg = small_cfg();
+  cfg.duration_s = -1.0;
+  expect_rejected(cfg, "duration_s");
+  cfg = small_cfg();
+  cfg.popularity = 1.5;
+  expect_rejected(cfg, "popularity");
+  cfg = small_cfg();
+  cfg.file_scale = 0.0;
+  expect_rejected(cfg, "file_scale");
+  cfg = small_cfg();
+  cfg.temporal_locality = -0.1;
+  expect_rejected(cfg, "temporal_locality");
+  cfg = small_cfg();
+  cfg.write_fraction = 2.0;
+  expect_rejected(cfg, "write_fraction");
+}
+
+TEST(SynthesizerConfigTest, GeneratorRejectsInvalidConfig) {
+  auto cfg = small_cfg();
+  cfg.byte_rate = 0.0;
+  EXPECT_THROW(TraceGenerator{cfg}, std::invalid_argument);
+  EXPECT_THROW(synthesize(cfg), std::invalid_argument);
 }
 
 TEST(SynthesizerTest, TimesNondecreasingAndBounded) {

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
+#include <string>
 
 #include "jpm/util/check.h"
 #include "jpm/workload/synthesizer.h"
@@ -68,6 +71,72 @@ TEST(TraceIoTest, RejectsTruncatedBinary) {
   data.resize(data.size() - 10);
   std::stringstream truncated(data);
   EXPECT_THROW(read_binary_trace(truncated), CheckError);
+}
+
+TEST(TraceIoTest, RejectsCorruptHeaderCountBeforeAllocating) {
+  // Declare an absurd record count over a tiny body: the reader must reject
+  // it from the header bounds check (naming both counts), not attempt a
+  // multi-gigabyte reserve or a long truncation loop.
+  std::stringstream ss;
+  write_binary_trace(ss, sample_trace());
+  std::string data = ss.str();
+  const std::uint64_t huge = 1ull << 60;
+  std::memcpy(data.data() + 8, &huge, sizeof huge);  // count field at byte 8
+  std::stringstream corrupt(data);
+  try {
+    read_binary_trace(corrupt);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("corrupt trace header"), std::string::npos);
+    EXPECT_NE(what.find(std::to_string(huge)), std::string::npos);
+    EXPECT_NE(what.find("only 4 fit"), std::string::npos);
+  }
+}
+
+// Streams that cannot seek (pipes, sockets) skip the header bounds
+// pre-check and rely on the per-record truncation error instead.
+struct NonSeekableBuf : std::stringbuf {
+  explicit NonSeekableBuf(const std::string& s)
+      : std::stringbuf(s, std::ios::in) {}
+
+ protected:
+  pos_type seekoff(off_type, std::ios_base::seekdir,
+                   std::ios_base::openmode) override {
+    return pos_type(off_type(-1));
+  }
+};
+
+TEST(TraceIoTest, TruncationErrorNamesRecordAndByteOffset) {
+  std::stringstream ss;
+  write_binary_trace(ss, sample_trace());
+  std::string data = ss.str();
+  data.resize(16 + 2 * 24 + 5);  // header + 2 whole records + a partial third
+  NonSeekableBuf buf(data);
+  std::istream truncated(&buf);
+  try {
+    read_binary_trace(truncated);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("record 2 of 4"), std::string::npos);
+    EXPECT_NE(what.find("byte offset 64"), std::string::npos);  // 16 + 2*24
+  }
+}
+
+TEST(TraceIoTest, RejectsUnsupportedVersionNamingIt) {
+  std::stringstream ss;
+  write_binary_trace(ss, sample_trace());
+  std::string data = ss.str();
+  const std::uint32_t bogus = 99;
+  std::memcpy(data.data() + 4, &bogus, sizeof bogus);  // version at byte 4
+  std::stringstream wrong(data);
+  try {
+    read_binary_trace(wrong);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("99"), std::string::npos);
+  }
 }
 
 TEST(TraceIoTest, RejectsMalformedCsv) {
