@@ -27,8 +27,8 @@ void report_row(Table& t, const std::string& label,
 
 }  // namespace
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const auto workload = bench::paper_workload(gib(16), 25e6, 0.1);
   const auto base_engine = bench::paper_engine();
   const auto baseline =

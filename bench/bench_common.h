@@ -14,15 +14,24 @@
 //                     across N workers; 1 = the exact serial path, default =
 //                     hardware concurrency). Tables on stdout are
 //                     byte-identical for every N; only wall-clock changes.
+//   --telemetry=<base> (or JPM_TELEMETRY=<base>) starts a telemetry session
+//                     and writes <base>.report.json, <base>.trace.json, and
+//                     <base>.periods.csv at exit. JPM_TELEMETRY_CATEGORIES
+//                     narrows the runtime categories ("engine,disk,...").
+//                     Telemetry never touches stdout: tables stay
+//                     byte-identical whether it is on or off.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "jpm/sim/runner.h"
+#include "jpm/telemetry/export.h"
+#include "jpm/telemetry/telemetry.h"
 #include "jpm/util/parallel.h"
 #include "jpm/util/table.h"
 
@@ -43,6 +52,41 @@ inline double warm_up_s() { return fast_mode() ? 600.0 : 1200.0; }
 inline void print_run_banner() {
   std::cerr << "jpm-bench: threads=" << util::default_thread_count()
             << (fast_mode() ? ", fast mode (JPM_BENCH_FAST=1)" : "") << "\n";
+}
+
+// Harness entry point: prints the banner and, when --telemetry=<base> or
+// JPM_TELEMETRY=<base> is given, starts a telemetry session whose artifacts
+// are exported at normal process exit. Everything goes to stderr / files;
+// stdout tables are unaffected. Unknown arguments are ignored so harnesses
+// stay forgiving about how they are invoked.
+inline void init(int argc, char** argv) {
+  print_run_banner();
+  std::string base;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--telemetry=", 12) == 0) base = a + 12;
+  }
+  if (base.empty()) {
+    if (const char* env = std::getenv("JPM_TELEMETRY")) base = env;
+  }
+  if (base.empty()) return;
+
+  telemetry::Options options;
+  if (const char* cats = std::getenv("JPM_TELEMETRY_CATEGORIES")) {
+    options.categories = telemetry::category_mask_from_string(cats);
+  }
+  telemetry::start(options);
+  std::cerr << "jpm-bench: telemetry -> " << base
+            << ".{report.json,trace.json,periods.csv}\n";
+  static std::string exit_base;  // owned past main() for the atexit hook
+  exit_base = base;
+  std::atexit([] {
+    std::string error;
+    if (!telemetry::export_files(exit_base, &error)) {
+      std::cerr << "jpm-bench: telemetry export failed: " << error << "\n";
+    }
+    telemetry::stop();
+  });
 }
 
 inline workload::SynthesizerConfig paper_workload(std::uint64_t dataset_bytes,

@@ -15,8 +15,8 @@
 
 using namespace jpm;
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto workload = bench::paper_workload(gib(32), 60e6, 0.1);
 
   std::cout << "Joint power management across a 4-server cluster "

@@ -12,8 +12,8 @@
 
 using namespace jpm;
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const auto workload = bench::paper_workload(gib(16), 25e6, 0.1);
   std::cout << "Joint power management across device classes "
                "(16 GB data set, 25 MB/s)\n";

@@ -12,8 +12,8 @@
 
 using namespace jpm;
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const auto engine = bench::paper_engine();
   const std::vector<sim::PolicySpec> roster{
       sim::joint_policy(),

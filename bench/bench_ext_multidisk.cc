@@ -11,8 +11,8 @@
 
 using namespace jpm;
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto workload = bench::paper_workload(gib(32), 100e6, 0.1);
   const std::vector<sim::PolicySpec> roster{
       sim::joint_policy(),

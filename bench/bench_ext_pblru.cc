@@ -73,8 +73,8 @@ struct Outcome {
 
 }  // namespace
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const double duration_s = bench::warm_up_s() + bench::measured_duration_s();
   const std::uint64_t page_bytes = 256 * kKiB;
   const std::uint64_t cache_frames = gib(5) / page_bytes;

@@ -26,8 +26,8 @@ void report(Table& t, const std::string& label, const sim::RunMetrics& m,
 
 }  // namespace
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   // Modest rate so the disk has idleness worth protecting.
   auto base_workload = bench::paper_workload(gib(8), 10e6, 0.1);
   auto engine = bench::paper_engine();

@@ -20,8 +20,8 @@
 
 using namespace jpm;
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
 
   {
     // Sparse requests over a cold 4-disk array with a short break-even

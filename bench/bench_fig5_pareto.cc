@@ -9,8 +9,8 @@
 
 using namespace jpm;
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   // alpha1 > alpha2, beta1 < beta2: the paper's two illustrative curves.
   const pareto::ParetoDistribution d1(2.5, 0.5);
   const pareto::ParetoDistribution d2(1.2, 2.0);

@@ -16,8 +16,8 @@
 
 using namespace jpm;
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const auto engine = bench::paper_engine();
   const auto roster = sim::paper_policies();
 

@@ -12,8 +12,8 @@
 
 using namespace jpm;
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   // The popularity crossover hinges on small-file random IO throttling the
   // disk (~1.3 MB/s effective at 16 kB transfers): at 5 MB/s offered load
   // the trace is short enough to afford spec-faithful SPECWeb99 file sizes

@@ -37,8 +37,8 @@ void print_timeline(const char* label, const sim::RunMetrics& m) {
 
 }  // namespace
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   // Longer run than the other benches: the timeline itself is the result.
   auto workload = bench::paper_workload(gib(32), 100e6, 0.1);
   workload.duration_s = bench::fast_mode() ? 3600.0 : 4.0 * 3600.0;

@@ -10,6 +10,8 @@
 #include "jpm/pareto/pareto.h"
 #include "jpm/sim/engine.h"
 #include "jpm/sim/policies.h"
+#include "jpm/telemetry/registry.h"
+#include "jpm/telemetry/telemetry.h"
 #include "jpm/util/rng.h"
 #include "jpm/workload/synthesizer.h"
 
@@ -115,6 +117,39 @@ void BM_EngineReplay(benchmark::State& state) {
       state.iterations() * static_cast<std::int64_t>(trace.events.size()));
 }
 BENCHMARK(BM_EngineReplay)->Arg(0)->Arg(1);
+
+// The disabled-tracer fast path: no session, so TELEM_EVENT is one relaxed
+// atomic load and a not-taken branch. ns/event here is the whole overhead
+// instrumented hot loops pay when telemetry is off.
+void BM_TelemetryEventDisabled(benchmark::State& state) {
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    TELEM_EVENT(kEngine, "bench_event", t, {"value", t});
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryEventDisabled);
+
+// The enabled path: session active, event copied into the per-thread ring.
+// items/s is the sustained event rate one thread can absorb.
+void BM_TelemetryEventEnabled(benchmark::State& state) {
+  telemetry::start({});
+  telemetry::RunRecorder* rec = telemetry::begin_run("bench_micro");
+  {
+    const telemetry::ScopedRun scope(rec);
+    double t = 0.0;
+    for (auto _ : state) {
+      t += 1.0;
+      TELEM_EVENT(kEngine, "bench_event", t, {"value", t});
+      benchmark::DoNotOptimize(t);
+    }
+  }
+  telemetry::stop();  // leaves no session behind for later benchmarks
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryEventEnabled);
 
 }  // namespace
 }  // namespace jpm

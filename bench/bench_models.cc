@@ -9,8 +9,8 @@
 
 using namespace jpm;
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const mem::RdramParams m;
   const disk::DiskParams d;
 

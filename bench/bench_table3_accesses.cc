@@ -7,8 +7,8 @@
 
 using namespace jpm;
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const auto engine = bench::paper_engine();
   std::vector<sim::PolicySpec> roster{sim::joint_policy()};
   for (std::uint64_t g : {8, 16, 32, 64, 128}) {

@@ -8,8 +8,8 @@
 
 using namespace jpm;
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto workload = bench::paper_workload(gib(16), 100e6, 0.1);
   // Long horizon so even 30-minute periods get several adaptations, and no
   // rate modulation: the sensitivity to T must be measured ceteris paribus

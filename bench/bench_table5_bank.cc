@@ -8,8 +8,8 @@
 
 using namespace jpm;
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const auto workload = bench::paper_workload(gib(16), 100e6, 0.1);
   std::cout << "Table V — joint method vs bank (resize-unit) size "
                "(16 GB, 100 MB/s)\n";

@@ -15,8 +15,8 @@
 
 using namespace jpm;
 
-int main() {
-  bench::print_run_banner();
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const auto disk = disk::DiskParams{}.timeout_params();
   std::cout << "Timeout policies vs offline oracle (p_d-band energy per "
                "10,000 idle intervals, kJ)\n";

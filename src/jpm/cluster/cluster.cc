@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "jpm/telemetry/registry.h"
+#include "jpm/telemetry/telemetry.h"
 #include "jpm/util/check.h"
 #include "jpm/util/parallel.h"
 
@@ -304,12 +306,33 @@ ClusterMetrics ClusterEngine::run() {
   ClusterMetrics out;
   out.duration_s = workload_.duration_s - config_.engine.warm_up_s;
   out.servers.resize(config_.server_count);
+  // Per-server telemetry streams, registered serially in server order so
+  // the report is independent of how the fan-out below is scheduled.
+  std::vector<telemetry::RunRecorder*> recorders;
+  if (telemetry::session_active()) {
+    recorders.resize(config_.server_count, nullptr);
+    for (std::uint32_t s = 0; s < config_.server_count; ++s) {
+      recorders[s] = telemetry::begin_run("server" + std::to_string(s));
+    }
+  }
   // Per-server pipelines replay disjoint sub-traces and share nothing
   // mutable, so they fan out across the pool (JPM_THREADS workers); each
   // task writes only its own ServerOutcome slot.
   util::parallel_for(config_.server_count, [&](std::size_t s) {
     ServerOutcome& server = out.servers[s];
     server.requests = request_counts[s];
+    const telemetry::ScopedRun scope(
+        recorders.empty() ? nullptr : recorders[s]);
+    const telemetry::SpanTimer span("server_pipeline",
+                                    "server" + std::to_string(s));
+    if (!recorders.empty() && recorders[s] != nullptr) {
+      recorders[s]->counter("requests").add(request_counts[s]);
+      for (const auto& window : outages[s]) {
+        TELEM_EVENT(kCluster, "server_crash", window.first,
+                    {"server", static_cast<double>(s)},
+                    {"restart_s", window.second});
+      }
+    }
 
     // Decorrelate per-server disk-fault streams: without this every
     // server's spindle 0 would replay the same failure sequence.
@@ -350,7 +373,15 @@ ClusterMetrics ClusterEngine::run() {
     server.chassis_energy_j =
         config_.chassis_on_w * usage.on_s +
         config_.chassis_off_w * (workload_.duration_s - usage.on_s);
+    if (!recorders.empty() && recorders[s] != nullptr) {
+      recorders[s]->gauge("chassis_on_s").set(usage.on_s);
+      recorders[s]->counter("power_cycles").add(usage.power_cycles);
+    }
   });
+  TELEM_EVENT(kCluster, "cluster_done", workload_.duration_s,
+              {"servers", static_cast<double>(config_.server_count)},
+              {"crashes", static_cast<double>(crash_count)},
+              {"failed_over", static_cast<double>(failed_over)});
 
   for (const auto& s : out.servers) {
     out.reliability.merge(s.metrics.reliability);

@@ -5,6 +5,7 @@
 
 #include "jpm/pareto/pareto.h"
 #include "jpm/pareto/timeout_math.h"
+#include "jpm/telemetry/telemetry.h"
 #include "jpm/util/check.h"
 
 namespace jpm::core {
@@ -161,7 +162,33 @@ SearchResult search_candidates(const PeriodStats& stats,
   }
   JPM_CHECK(best != nullptr);
   result.chosen = *best;
+
+  TELEM_EVENT(kManager, "search_done", stats.end_s,
+              {"candidates", static_cast<double>(result.candidates.size())},
+              {"any_feasible", result.any_feasible ? 1.0 : 0.0},
+              {"chosen_units", static_cast<double>(result.chosen.memory_units)},
+              {"predicted_j", result.chosen.predicted_energy_j});
   return result;
+}
+
+const Candidate* runner_up(const SearchResult& result) {
+  if (result.candidates.size() < 2) return nullptr;
+  const auto is_other = [&](const Candidate& c) {
+    return c.memory_units != result.chosen.memory_units ||
+           c.timeout_s != result.chosen.timeout_s;
+  };
+  const Candidate* best = nullptr;
+  for (int feasible_pass = 1; feasible_pass >= 0; --feasible_pass) {
+    for (const auto& c : result.candidates) {
+      if (!is_other(c)) continue;
+      if (c.feasible != (feasible_pass == 1)) continue;
+      if (best == nullptr || c.predicted_energy_j < best->predicted_energy_j) {
+        best = &c;
+      }
+    }
+    if (best != nullptr) break;  // prefer feasible runners-up
+  }
+  return best;
 }
 
 }  // namespace jpm::core

@@ -84,4 +84,10 @@ SearchResult search_candidates(const PeriodStats& stats,
                                const JointConfig& config,
                                double fallback_service_s);
 
+// The best candidate that was NOT chosen: lowest predicted energy among the
+// other feasible candidates, or among all others when none is feasible.
+// Returns nullptr when the search evaluated fewer than two sizes. Used by
+// telemetry to report how close the decision was.
+const Candidate* runner_up(const SearchResult& result);
+
 }  // namespace jpm::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "jpm/telemetry/registry.h"
+#include "jpm/telemetry/telemetry.h"
 #include "jpm/util/check.h"
 
 namespace jpm::core {
@@ -62,6 +64,7 @@ void JointPowerManager::apply_fallback(JointDecision& d) {
 
 const JointDecision& JointPowerManager::on_period_end(
     const PeriodStats& stats) {
+  const std::uint64_t fallbacks_before = reliability_.manager_fallbacks;
   JointDecision d;
   d.at_s = stats.end_s;
   if (!stats_usable(stats)) {
@@ -102,6 +105,8 @@ const JointDecision& JointPowerManager::on_period_end(
         guard_scale_ =
             std::min(guard_scale_ * guard_.backoff_factor, guard_.max_scale);
         ++reliability_.guard_backoffs;
+        TELEM_EVENT(kManager, "guard_backoff", stats.end_s,
+                    {"scale", guard_scale_});
       }
     } else {
       guard_scale_ = std::max(1.0, guard_scale_ / guard_.relax_factor);
@@ -114,8 +119,40 @@ const JointDecision& JointPowerManager::on_period_end(
     }
   }
 
+  record_decision_telemetry(d, fallbacks_before);
   decisions_.push_back(std::move(d));
   return decisions_.back();
+}
+
+// Per-period decision log: chosen candidate's predicted energy next to the
+// runner-up's, so a report shows how close each decision was; realized
+// energy lives in the engine's "periods" table (same period index).
+void JointPowerManager::record_decision_telemetry(
+    const JointDecision& d, std::uint64_t fallbacks_before) const {
+  if (!telemetry::enabled()) return;
+  telemetry::RunRecorder* rec = telemetry::current_run();
+  if (rec == nullptr) return;
+  const bool fell_back = reliability_.manager_fallbacks != fallbacks_before;
+  const Candidate* ru = runner_up(d.detail);
+  rec->table("decisions",
+             {"at_s", "memory_units", "timeout_s", "predicted_j", "alpha",
+              "predicted_util", "predicted_delay_ratio", "candidates",
+              "any_feasible", "fallback", "runner_up_units",
+              "runner_up_timeout_s", "runner_up_predicted_j"})
+      .add_row({d.at_s, static_cast<double>(d.memory_units), d.timeout_s,
+                d.detail.chosen.predicted_energy_j, d.detail.chosen.alpha,
+                d.detail.chosen.predicted_util,
+                d.detail.chosen.predicted_delay_ratio,
+                static_cast<double>(d.detail.candidates.size()),
+                d.detail.any_feasible ? 1.0 : 0.0, fell_back ? 1.0 : 0.0,
+                ru == nullptr ? -1.0 : static_cast<double>(ru->memory_units),
+                ru == nullptr ? -1.0 : ru->timeout_s,
+                ru == nullptr ? -1.0 : ru->predicted_energy_j});
+  if (fell_back) {
+    TELEM_EVENT(kManager, "manager_fallback", d.at_s,
+                {"memory_units", static_cast<double>(d.memory_units)},
+                {"timeout_s", d.timeout_s});
+  }
 }
 
 }  // namespace jpm::core

@@ -61,6 +61,8 @@ class JointPowerManager {
   bool stats_usable(const PeriodStats& stats) const;
   bool decision_usable(const JointDecision& d) const;
   void apply_fallback(JointDecision& d);
+  void record_decision_telemetry(const JointDecision& d,
+                                 std::uint64_t fallbacks_before) const;
 
   JointConfig config_;
   double fallback_service_s_;

@@ -1,5 +1,7 @@
 #include "jpm/disk/disk_array.h"
 
+#include "jpm/telemetry/registry.h"
+#include "jpm/telemetry/telemetry.h"
 #include "jpm/util/check.h"
 
 namespace jpm::disk {
@@ -62,6 +64,9 @@ DiskRequestResult DiskArray::read(double t, std::uint64_t page,
       const std::uint32_t candidate =
           static_cast<std::uint32_t>((i + step) % disks_.size());
       if (!disks_[candidate]->degraded()) {
+        TELEM_EVENT(kDisk, "reroute", t,
+                    {"from", static_cast<double>(i)},
+                    {"to", static_cast<double>(candidate)});
         i = candidate;
         ++rerouted_requests_;
         break;
@@ -69,6 +74,15 @@ DiskRequestResult DiskArray::read(double t, std::uint64_t page,
     }
   }
   ++requests_[i];
+  // Per-spindle load-balance gauge: how far the hottest spindle has pulled
+  // ahead of the arriving request's home. Cheap enough to sample per read
+  // (one relaxed load when telemetry is off).
+  if (telemetry::category_enabled(telemetry::Category::kDisk)) {
+    if (telemetry::RunRecorder* rec = telemetry::current_run()) {
+      rec->gauge("array_spindle_backlog_s")
+          .set(std::max(0.0, disks_[i]->free_at() - t));
+    }
+  }
   // Present the disk with its stripe-local page index so striping does not
   // break sequential-run detection within a stripe.
   const std::uint64_t stripe = page / pages_per_stripe_;

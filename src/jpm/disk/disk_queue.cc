@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "jpm/telemetry/telemetry.h"
 #include "jpm/util/check.h"
 
 namespace jpm::disk {
@@ -30,7 +31,10 @@ void Disk::advance(double now) {
   const double timeout = policy_->timeout_s();
   if (std::isinf(timeout)) return;
   const double expiry = free_at_ + timeout;
-  if (expiry <= now) meter_.spin_down(expiry);
+  if (expiry <= now) {
+    meter_.spin_down(expiry);
+    TELEM_EVENT(kDisk, "spin_down", expiry, {"timeout_s", timeout});
+  }
 }
 
 DiskRequestResult Disk::read(double t, std::uint64_t page,
@@ -67,10 +71,15 @@ DiskRequestResult Disk::read(double t, std::uint64_t page,
             service_.params().spin_up_s + fault_.backoff_s(failed);
         reliability_.retry_delay_s += wasted;
         spin_delay += wasted;
+        TELEM_EVENT(kFault, "spinup_retry", t,
+                    {"attempt", static_cast<double>(failed)},
+                    {"wasted_s", wasted});
         if (failed >= fault_.plan().spinup_degrade_after) {
           degraded_ = true;
           degraded_since_ = t;
           ++reliability_.degraded_spindles;
+          TELEM_EVENT(kFault, "spindle_degraded", t,
+                      {"after_retries", static_cast<double>(failed)});
           break;
         }
       }
@@ -78,6 +87,8 @@ DiskRequestResult Disk::read(double t, std::uint64_t page,
     available_at_ = t + spin_delay;
     policy_->on_spin_up(idle_before, available_at_ - t);
     res.triggered_spin_up = true;
+    TELEM_EVENT(kDisk, "spin_up", t, {"idle_before_s", idle_before},
+                {"wait_s", spin_delay});
   }
   if (meter_.state() == DiskState::kSpinningUp) {
     earliest = std::max(earliest, available_at_);

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "jpm/telemetry/telemetry.h"
+
 namespace jpm::fault {
 namespace {
 
@@ -107,6 +109,11 @@ std::vector<std::pair<double, double>> crash_windows(
     // The next failure clock starts after the restart.
     t = end + rng.exponential(plan.server_mtbf_s);
   }
+  // Setup-time annotation (usually an orphan event — drawn before any run
+  // stream is bound): how much outage the plan injected into this server.
+  TELEM_EVENT(kFault, "crash_windows_drawn", 0.0,
+              {"server", static_cast<double>(server_index)},
+              {"windows", static_cast<double>(windows.size())});
   return windows;
 }
 

@@ -13,6 +13,8 @@
 #include "jpm/disk/storage.h"
 #include "jpm/disk/timeout_policy.h"
 #include "jpm/mem/bank_set.h"
+#include "jpm/telemetry/registry.h"
+#include "jpm/telemetry/telemetry.h"
 #include "jpm/util/check.h"
 
 namespace jpm::sim {
@@ -45,6 +47,15 @@ struct Engine::Impl {
   std::uint64_t current_units = 0;
 
   RunMetrics metrics;
+
+  // Telemetry stream bound to this thread when the run starts; all pointers
+  // stay null when no session is active, so the hot path costs one branch.
+  telemetry::RunRecorder* telem = nullptr;
+  telemetry::TableRecorder* telem_periods = nullptr;
+  BucketHistogram* telem_idle = nullptr;
+  BucketHistogram* telem_latency = nullptr;
+  BucketHistogram* telem_spinup = nullptr;
+  double telem_prev_energy_j = 0.0;
 
   double next_flush = 0.0;  // next background writeback tick (0 = disabled)
 
@@ -371,7 +382,40 @@ struct Engine::Impl {
 
   // ---- period bookkeeping -------------------------------------------------
 
+  // Cumulative realized energy through t (memory + disk + banks). Only
+  // called with telemetry enabled: the extra mid-run integrations can move
+  // the final energy sums by an ulp, which is invisible in reported output
+  // but would break the disabled-mode byte-identical guarantee.
+  double telem_energy_through(double t) {
+    meter.finalize(t);
+    double j = meter.breakdown().total_j() + disk->energy_through(t).total_j();
+    if (banks) {
+      banks->finalize(t);
+      j += banks->static_energy_j();
+    }
+    return j;
+  }
+
   void close_period(double boundary) {
+    if (telem_periods != nullptr) {
+      const double realized_j =
+          telem_energy_through(boundary) - telem_prev_energy_j;
+      telem_prev_energy_j += realized_j;
+      const double mean_idle =
+          period_gap_count == 0
+              ? 0.0
+              : period_gap_sum / static_cast<double>(period_gap_count);
+      telem_periods->add_row(
+          {period_start, boundary,
+           static_cast<double>(period_cache_accesses),
+           static_cast<double>(period_disk_accesses), mean_idle,
+           static_cast<double>(current_units), timeout_policy->timeout_s(),
+           disk->busy_time_s() - period_busy_start_s,
+           static_cast<double>(period_delayed_requests), realized_j});
+      TELEM_EVENT(kEngine, "period_close", boundary,
+                  {"disk_accesses", static_cast<double>(period_disk_accesses)},
+                  {"realized_j", realized_j});
+    }
     if (config.record_periods) {
       PeriodRecord rec;
       rec.start_s = period_start;
@@ -410,6 +454,13 @@ struct Engine::Impl {
       meter.set_size(d.memory_bytes, boundary);
       dynamic_timeout->set_timeout(d.timeout_s);
       current_units = d.memory_units;
+      TELEM_EVENT(kManager, "decision_applied", boundary,
+                  {"memory_units", static_cast<double>(d.memory_units)},
+                  {"timeout_s", d.timeout_s});
+      if (telem != nullptr) {
+        telem->gauge("memory_units")
+            .set(static_cast<double>(d.memory_units));
+      }
     }
     close_period(boundary);
   }
@@ -428,6 +479,24 @@ struct Engine::Impl {
     ran = true;
     const auto& jc = config.joint;
     const std::uint64_t page_bytes = jc.page_bytes;
+
+    telem = telemetry::current_run();
+    if (telem != nullptr) {
+      telem_periods = &telem->table(
+          "periods",
+          {"start_s", "end_s", "cache_accesses", "disk_accesses",
+           "mean_idle_s", "memory_units", "timeout_s", "busy_s",
+           "delayed_requests", "realized_j"});
+      telem_idle =
+          &telem->histogram("idle_interval_s", telemetry::buckets::idle_seconds());
+      telem_latency = &telem->histogram("read_latency_s",
+                                        telemetry::buckets::latency_seconds());
+      telem_spinup = &telem->histogram("spinup_wait_s",
+                                       telemetry::buckets::spinup_seconds());
+      TELEM_EVENT(kEngine, "run_begin", 0.0, {"duration_s", duration_s},
+                  {"warm_up_s", config.warm_up_s},
+                  {"disk_count", static_cast<double>(config.disk_count)});
+    }
 
     while (auto event = next_event()) {
       const double t = event->time_s;
@@ -488,12 +557,17 @@ struct Engine::Impl {
       if (res.latency_s > config.long_latency_threshold_s) {
         ++metrics.long_latency_count;
       }
+      if (telem != nullptr) {
+        telem_latency->add(res.latency_s);
+        if (res.triggered_spin_up) telem_spinup->add(res.latency_s);
+      }
       if (collector) {
         collector->on_disk_access(res.finish_s - res.start_s,
                                   /*delayed=*/res.triggered_spin_up);
       }
 
       const double gap = t - last_disk_finish;
+      if (telem != nullptr && gap > 0.0) telem_idle->add(gap);
       if (gap >= jc.window_s) {
         period_gap_sum += gap;
         ++period_gap_count;
@@ -571,6 +645,20 @@ struct Engine::Impl {
     metrics.long_latency_count -= snapshot.long_latency;
     metrics.spin_ups -= snapshot.spin_ups;
     metrics.total_latency_s -= snapshot.latency_s;
+
+    if (telem != nullptr) {
+      // Measured-window totals, after warm-up subtraction.
+      telem->counter("cache_accesses").add(metrics.cache_accesses);
+      telem->counter("disk_accesses").add(metrics.disk_accesses);
+      telem->counter("disk_writes").add(metrics.disk_writes);
+      telem->counter("spin_ups").add(metrics.spin_ups);
+      telem->counter("disk_shutdowns").add(metrics.disk_shutdowns);
+      telem->counter("long_latency").add(metrics.long_latency_count);
+      TELEM_EVENT(kEngine, "run_end", end,
+                  {"mem_j", metrics.mem_energy.total_j()},
+                  {"disk_j", metrics.disk_energy.total_j()},
+                  {"total_latency_s", metrics.total_latency_s});
+    }
     return metrics;
   }
 };

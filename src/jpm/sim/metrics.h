@@ -41,7 +41,11 @@ struct RunMetrics {
   double disk_busy_s = 0.0;
   std::uint32_t spindle_count = 1;  // disks in the storage backend
 
-  double total_latency_s = 0.0;       // summed over disk accesses (hits ~ 0)
+  // Sum of request latencies across ALL disk-cache accesses. Only read
+  // misses contribute nonzero terms (cache hits are ~0 and add nothing),
+  // but the sum semantically covers every access — which is why
+  // mean_latency_s() divides by cache_accesses, not disk_accesses.
+  double total_latency_s = 0.0;
   std::uint64_t long_latency_count = 0;  // latency > threshold (0.5 s)
 
   // Fault-injection outcome (all-zero on a fault-free run).
@@ -52,7 +56,10 @@ struct RunMetrics {
   double total_j() const {
     return mem_energy.total_j() + disk_energy.total_j();
   }
-  // Average latency over all disk-cache accesses (paper Fig. 7d).
+  // Average latency over ALL disk-cache accesses, hits included (paper
+  // Fig. 7d plots exactly this: misses are diluted by the hit count, so a
+  // policy with a 99% hit ratio reports ~1% of its miss latency here). For
+  // per-miss latency divide total_latency_s by disk_accesses instead.
   double mean_latency_s() const {
     return cache_accesses == 0
                ? 0.0

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "jpm/telemetry/telemetry.h"
 #include "jpm/util/check.h"
 #include "jpm/util/parallel.h"
 
@@ -45,8 +46,12 @@ std::vector<SweepPoint> run_sweep(
   // replays it read-only. All randomness lives in the synthesizer, whose
   // stream derives solely from the point's seed, so neither sharing nor
   // scheduling can change any metric.
+  TELEM_EVENT(kSweep, "sweep_begin", 0.0,
+              {"points", static_cast<double>(n_points)},
+              {"policies", static_cast<double>(n_policies)});
   std::vector<workload::Trace> traces(n_points);
   util::parallel_for(n_points, [&](std::size_t i) {
+    const telemetry::SpanTimer span("synthesize", workloads[i].first);
     traces[i] = workload::synthesize_trace(workloads[i].second);
   });
 
@@ -73,10 +78,27 @@ std::vector<SweepPoint> run_sweep(
       if (j != baseline_index) jobs.emplace_back(i, j);
     }
   }
+  // Telemetry streams registered serially in structural order (point-major,
+  // roster order) BEFORE the fan-out: stream ids — and therefore the report
+  // — depend only on the sweep's shape, never on scheduling or JPM_THREADS.
+  std::vector<telemetry::RunRecorder*> recorders;
+  if (telemetry::session_active()) {
+    recorders.resize(n_points * n_policies, nullptr);
+    for (std::size_t i = 0; i < n_points; ++i) {
+      for (std::size_t j = 0; j < n_policies; ++j) {
+        recorders[i * n_policies + j] =
+            telemetry::begin_run(points[i].label + "/" + roster[j].name);
+      }
+    }
+  }
   std::mutex progress_mu;
   util::parallel_for(jobs.size(), [&](std::size_t t) {
     const auto [i, j] = jobs[t];
     RunOutcome& outcome = points[i].outcomes[j];
+    const telemetry::ScopedRun scope(
+        recorders.empty() ? nullptr : recorders[i * n_policies + j]);
+    const telemetry::SpanTimer span(
+        "policy_run", points[i].label + "/" + roster[j].name);
     outcome.metrics = run_simulation(traces[i], roster[j], config);
     if (progress) {  // only pay for formatting when a sink is attached
       std::ostringstream os;
@@ -95,6 +117,8 @@ std::vector<SweepPoint> run_sweep(
       outcome.normalized = normalize_energy(outcome.metrics, point.baseline);
     }
   }
+  TELEM_EVENT(kSweep, "sweep_end", 0.0,
+              {"runs", static_cast<double>(jobs.size())});
   return points;
 }
 

@@ -1,0 +1,42 @@
+// Shared internals between the telemetry session (telemetry.cc) and the
+// exporters (export.cc). Not part of the public surface — include
+// telemetry.h / registry.h / export.h instead.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "jpm/telemetry/registry.h"
+
+namespace jpm::telemetry {
+
+// Wall-clock span for the Chrome trace exporter.
+struct Span {
+  std::string name;
+  std::string label;
+  std::uint32_t tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+struct SessionState {
+  Options options;
+  std::uint64_t epoch = 0;
+  std::chrono::steady_clock::time_point t0;
+
+  std::mutex mu;
+  std::vector<std::unique_ptr<RunRecorder>> runs;  // registration order
+  std::vector<Event> orphans;                      // events outside any run
+  std::vector<Span> spans;
+  std::uint32_t next_tid = 0;
+};
+
+// The active session, or nullptr. Exporters must only be called when no
+// emitter is running concurrently (after parallel fan-outs joined).
+SessionState* session_state_for_export();
+
+}  // namespace jpm::telemetry

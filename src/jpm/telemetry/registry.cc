@@ -1,0 +1,19 @@
+#include "jpm/telemetry/registry.h"
+
+namespace jpm::telemetry::buckets {
+
+std::vector<double> idle_seconds() {
+  return log_bucket_bounds(1e-3, 1e4, 4);
+}
+
+std::vector<double> latency_seconds() {
+  return log_bucket_bounds(1e-4, 1e2, 4);
+}
+
+std::vector<double> spinup_seconds() {
+  // Spin-up waits cluster around t_tr (10 s); fault-injected retry storms
+  // stretch past 60 s into the overflow bucket.
+  return {0.5, 1.0, 2.0, 4.0, 8.0, 10.0, 12.0, 16.0, 24.0, 32.0, 48.0, 60.0};
+}
+
+}  // namespace jpm::telemetry::buckets

@@ -91,6 +91,85 @@ double Histogram::quantile(double q) const {
   return hi_;
 }
 
+BucketHistogram::BucketHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size(), 0) {
+  JPM_CHECK_MSG(!bounds_.empty(), "BucketHistogram needs at least one bucket");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    JPM_CHECK_MSG(bounds_[i] > bounds_[i - 1],
+                  "bucket bounds must be strictly increasing");
+  }
+}
+
+void BucketHistogram::add(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  if (it == bounds_.end()) {
+    ++overflow_;
+  } else {
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  }
+  ++count_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void BucketHistogram::merge(const BucketHistogram& other) {
+  JPM_CHECK_MSG(bounds_ == other.bounds_,
+                "cannot merge histograms with different bucket bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double BucketHistogram::upper_bound(std::size_t i) const {
+  JPM_CHECK(i < bounds_.size());
+  return bounds_[i];
+}
+
+std::uint64_t BucketHistogram::count_in_bucket(std::size_t i) const {
+  JPM_CHECK(i < counts_.size());
+  return counts_[i];
+}
+
+double BucketHistogram::quantile(double q) const {
+  JPM_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double lo = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo + frac * (bounds_[i] - lo);
+    }
+    cum = next;
+  }
+  // The quantile lands in the overflow bucket: the best bounded answer is
+  // the largest sample seen.
+  return max();
+}
+
+std::vector<double> log_bucket_bounds(double lo, double hi, int per_decade) {
+  JPM_CHECK_MSG(lo > 0.0 && hi > lo, "log buckets need 0 < lo < hi");
+  JPM_CHECK(per_decade > 0);
+  std::vector<double> bounds;
+  const double step = std::pow(10.0, 1.0 / static_cast<double>(per_decade));
+  // Generate each bound directly from its integer index so the sequence is
+  // identical regardless of accumulated rounding at call sites.
+  for (int k = 0;; ++k) {
+    const double b = lo * std::pow(step, static_cast<double>(k));
+    bounds.push_back(b);
+    if (b >= hi) break;
+  }
+  return bounds;
+}
+
 double percentile(std::vector<double> values, double pct) {
   JPM_CHECK(!values.empty());
   JPM_CHECK(pct >= 0.0 && pct <= 100.0);

@@ -55,6 +55,58 @@ class Histogram {
   std::uint64_t total_ = 0;
 };
 
+// Streaming histogram over explicit, strictly increasing bucket upper
+// bounds, with a dedicated overflow bucket. A sample x lands in the first
+// bucket whose upper bound satisfies x <= bound; samples above the last
+// bound land in the overflow bucket. Counting is O(log buckets) and the
+// state is a fixed vector of integers, so two histograms built from the same
+// bounds over the same sample sequence are bit-identical — the property the
+// telemetry registries' determinism guarantee rests on.
+class BucketHistogram {
+ public:
+  explicit BucketHistogram(std::vector<double> upper_bounds);
+
+  void add(double x);
+  void merge(const BucketHistogram& other);  // bounds must match exactly
+
+  std::size_t bucket_count() const { return bounds_.size(); }
+  double upper_bound(std::size_t i) const;
+  std::uint64_t count_in_bucket(std::size_t i) const;
+  std::uint64_t overflow_count() const { return overflow_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+
+  // Value below which fraction q of the samples fall, interpolated linearly
+  // inside the winning bucket (the first bucket's lower edge is 0 for
+  // nonnegative bounds, otherwise the bound itself). Returns 0 when empty;
+  // quantiles that land in the overflow bucket return max().
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// `per_decade` logarithmically spaced bucket bounds covering [lo, hi]
+// (inclusive of a final bound >= hi). lo must be positive. The generation is
+// closed-form from (lo, hi, per_decade), so call sites across threads build
+// bit-identical bucket layouts.
+std::vector<double> log_bucket_bounds(double lo, double hi, int per_decade);
+
 // Exact percentile of a sample vector (copies + sorts; for tests/reports).
 double percentile(std::vector<double> values, double pct);
 

@@ -33,6 +33,23 @@ TEST(MetricsTest, DerivedQuantities) {
   EXPECT_DOUBLE_EQ(m.hit_ratio(), 0.9);
 }
 
+// Fig. 7d semantics: mean latency averages over ALL disk-cache accesses
+// (hits dilute the average), NOT over disk accesses only. The sample has
+// 1000 accesses of which 100 are misses carrying 2 s of total latency:
+// 2 ms per access, 20 ms per miss — the method must report the former.
+TEST(MetricsTest, MeanLatencyAveragesOverAllAccessesNotMisses) {
+  const auto m = sample();
+  EXPECT_DOUBLE_EQ(m.mean_latency_s(),
+                   m.total_latency_s / static_cast<double>(m.cache_accesses));
+  EXPECT_NE(m.mean_latency_s(),
+            m.total_latency_s / static_cast<double>(m.disk_accesses));
+  // Hits-only run: no misses, zero latency sum, well-defined zero mean.
+  auto hits_only = sample();
+  hits_only.disk_accesses = 0;
+  hits_only.total_latency_s = 0.0;
+  EXPECT_EQ(hits_only.mean_latency_s(), 0.0);
+}
+
 TEST(MetricsTest, ZeroDenominatorsAreSafe) {
   RunMetrics m;
   EXPECT_EQ(m.mean_latency_s(), 0.0);

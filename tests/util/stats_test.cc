@@ -96,5 +96,97 @@ TEST(PercentileTest, RejectsEmpty) {
   EXPECT_THROW(percentile({}, 50), CheckError);
 }
 
+TEST(BucketHistogramTest, EmptyIsAllZero) {
+  const BucketHistogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.overflow_count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(BucketHistogramTest, SingleSample) {
+  BucketHistogram h({1.0, 2.0, 4.0});
+  h.add(1.5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.count_in_bucket(0), 0u);
+  EXPECT_EQ(h.count_in_bucket(1), 1u);
+  EXPECT_EQ(h.overflow_count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.5);
+  // Every quantile interpolates inside the single occupied bucket (1, 2].
+  EXPECT_GT(h.p50(), 1.0);
+  EXPECT_LE(h.p99(), 2.0);
+}
+
+TEST(BucketHistogramTest, BoundaryLandsInLowerBucket) {
+  BucketHistogram h({1.0, 2.0});
+  h.add(1.0);  // x <= bound: the 1.0 bound owns this sample
+  EXPECT_EQ(h.count_in_bucket(0), 1u);
+  EXPECT_EQ(h.count_in_bucket(1), 0u);
+}
+
+TEST(BucketHistogramTest, OverflowBucketAndQuantile) {
+  BucketHistogram h({1.0, 2.0});
+  h.add(0.5);
+  h.add(100.0);
+  h.add(200.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.count_in_bucket(0), 1u);
+  EXPECT_EQ(h.overflow_count(), 2u);
+  // Quantiles landing in the overflow bucket report the largest sample.
+  EXPECT_DOUBLE_EQ(h.p99(), 200.0);
+  EXPECT_DOUBLE_EQ(h.max(), 200.0);
+}
+
+TEST(BucketHistogramTest, MergeMatchesCombinedStream) {
+  const std::vector<double> bounds{0.5, 1.0, 2.0, 4.0};
+  BucketHistogram a(bounds), b(bounds), all(bounds);
+  for (int i = 0; i < 40; ++i) {
+    const double x = 0.11 * i;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.overflow_count(), all.overflow_count());
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    EXPECT_EQ(a.count_in_bucket(i), all.count_in_bucket(i));
+  }
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.p95(), all.p95());
+}
+
+TEST(BucketHistogramTest, MergeRejectsMismatchedBounds) {
+  BucketHistogram a({1.0, 2.0});
+  const BucketHistogram b({1.0, 3.0});
+  EXPECT_THROW(a.merge(b), CheckError);
+}
+
+TEST(BucketHistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(BucketHistogram({}), CheckError);
+  EXPECT_THROW(BucketHistogram({1.0, 1.0}), CheckError);
+  EXPECT_THROW(BucketHistogram({2.0, 1.0}), CheckError);
+}
+
+TEST(LogBucketBoundsTest, ClosedFormAndCoverage) {
+  const auto bounds = log_bucket_bounds(1e-3, 1e4, 4);
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-3);
+  EXPECT_GE(bounds.back(), 1e4);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+  // Closed-form generation: two independent calls are bit-identical.
+  EXPECT_EQ(bounds, log_bucket_bounds(1e-3, 1e4, 4));
+  EXPECT_THROW(log_bucket_bounds(0.0, 1.0, 4), CheckError);
+  EXPECT_THROW(log_bucket_bounds(1.0, 1.0, 4), CheckError);
+}
+
 }  // namespace
 }  // namespace jpm
