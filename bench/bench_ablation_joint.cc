@@ -6,8 +6,10 @@
 //     opportunities;
 //  3. the delayed-request limit D — tightening it forces longer timeouts and
 //     trades energy for latency.
-// Workload: 16 GB data set at 25 MB/s, popularity 0.1 — busy enough that the
-// constraints bind, idle enough that spin-down matters.
+// Workload (16 GB data set at 25 MB/s, popularity 0.1 — busy enough that
+// the constraints bind, idle enough that spin-down matters), the paper
+// engine, and the method pair come from scenarios/ablation_joint.json; each
+// section then overrides the knob under study.
 #include "bench_common.h"
 
 using namespace jpm;
@@ -29,23 +31,24 @@ void report_row(Table& t, const std::string& label,
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
-  const auto workload = bench::paper_workload(gib(16), 25e6, 0.1);
-  const auto base_engine = bench::paper_engine();
+  const auto sc = bench::load_scenario("ablation_joint");
+  const auto& workload = sc.workloads.front().workload;
+  const auto& joint_spec = sc.roster[0];
   const auto baseline =
-      sim::run_simulation(workload, sim::always_on_policy(), base_engine);
-  std::cout << "Joint-method ablations (16 GB data set, 25 MB/s)\n";
+      sim::run_simulation(workload, sc.roster[1], sc.engine);
+  std::cout << spec::expand_header(sc) << "\n";
 
   {
     Table t({"constraints", "total energy %", "utilization",
              "long-latency req/s", "mean latency ms"});
-    auto engine = bench::paper_engine();
+    auto engine = sc.engine;
     report_row(t, "U=10%, D=0.001 (paper)",
-               sim::run_simulation(workload, sim::joint_policy(), engine),
+               sim::run_simulation(workload, joint_spec, engine),
                baseline);
     engine.joint.util_limit = 1e9;
     engine.joint.delay_limit = 1e9;
     report_row(t, "constraints disabled",
-               sim::run_simulation(workload, sim::joint_policy(), engine),
+               sim::run_simulation(workload, joint_spec, engine),
                baseline);
     std::cout << "\n== (1) performance constraints ==\n" << t.to_string();
   }
@@ -54,10 +57,10 @@ int main(int argc, char** argv) {
     Table t({"window w", "total energy %", "utilization",
              "long-latency req/s", "mean latency ms"});
     for (double w : {0.01, 0.1, 1.0, 10.0}) {
-      auto engine = bench::paper_engine();
+      auto engine = sc.engine;
       engine.joint.window_s = w;
       report_row(t, bench::num(w, 2) + " s",
-                 sim::run_simulation(workload, sim::joint_policy(), engine),
+                 sim::run_simulation(workload, joint_spec, engine),
                  baseline);
       bench::progress_line("w=" + bench::num(w, 2) + "s done");
     }
@@ -68,10 +71,10 @@ int main(int argc, char** argv) {
     Table t({"delay limit D", "total energy %", "utilization",
              "long-latency req/s", "mean latency ms"});
     for (double d_lim : {1e-4, 1e-3, 1e-2}) {
-      auto engine = bench::paper_engine();
+      auto engine = sc.engine;
       engine.joint.delay_limit = d_lim;
       report_row(t, bench::num(d_lim, 4),
-                 sim::run_simulation(workload, sim::joint_policy(), engine),
+                 sim::run_simulation(workload, joint_spec, engine),
                  baseline);
       bench::progress_line("D=" + bench::num(d_lim, 4) + " done");
     }
@@ -87,10 +90,10 @@ int main(int argc, char** argv) {
         {"2-competitive t_be", core::TimeoutRule::kTwoCompetitive},
     };
     for (const auto& [label, rule] : rules) {
-      auto engine = bench::paper_engine();
+      auto engine = sc.engine;
       engine.joint.timeout_rule = rule;
       report_row(t, label,
-                 sim::run_simulation(workload, sim::joint_policy(), engine),
+                 sim::run_simulation(workload, joint_spec, engine),
                  baseline);
       bench::progress_line(std::string(label) + " done");
     }
@@ -105,10 +108,10 @@ int main(int argc, char** argv) {
         {"maximum likelihood", core::AlphaEstimator::kMle},
     };
     for (const auto& [label, est] : estimators) {
-      auto engine = bench::paper_engine();
+      auto engine = sc.engine;
       engine.joint.alpha_estimator = est;
       report_row(t, label,
-                 sim::run_simulation(workload, sim::joint_policy(), engine),
+                 sim::run_simulation(workload, joint_spec, engine),
                  baseline);
       bench::progress_line(std::string(label) + " done");
     }

@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "jpm/sim/runner.h"
+#include "jpm/spec/run.h"
+#include "jpm/spec/spec.h"
 #include "jpm/telemetry/export.h"
 #include "jpm/telemetry/telemetry.h"
 #include "jpm/util/parallel.h"
@@ -37,9 +39,17 @@
 
 namespace jpm::bench {
 
-inline bool fast_mode() {
-  const char* v = std::getenv("JPM_BENCH_FAST");
-  return v != nullptr && v[0] == '1';
+inline bool fast_mode() { return spec::fast_mode(); }
+
+// Loads the harness's checked-in scenario (scenarios/<name>.json, or
+// $JPM_SCENARIO_DIR/<name>.json), validates it, applies the fast-mode
+// schedule when JPM_BENCH_FAST=1, and publishes it to telemetry provenance.
+// The migrated harnesses draw workloads/roster/engine/cluster from the
+// returned Scenario instead of hand-assembling configs.
+inline spec::Scenario load_scenario(const std::string& name) {
+  spec::Scenario sc = spec::load_for_run(spec::scenario_path(name));
+  spec::publish_provenance(sc);
+  return sc;
 }
 
 // One hour measured after a 20-minute warm-up (quarter scale in fast mode).
@@ -137,22 +147,12 @@ void print_metric_table(const std::string& title,
   std::cout << "\n== " << title << " ==\n" << t.to_string();
 }
 
-inline std::string pct(double fraction) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
-  return buf;
-}
-
-inline std::string ms(double seconds) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.2f", seconds * 1e3);
-  return buf;
-}
-
+// Formatting delegates to the spec layer so the tables a migrated harness
+// prints match `jpm run` on the same scenario byte for byte.
+inline std::string pct(double fraction) { return spec::pct(fraction); }
+inline std::string ms(double seconds) { return spec::ms(seconds); }
 inline std::string num(double v, int precision = 2) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
-  return buf;
+  return spec::num(v, precision);
 }
 
 inline void progress_line(const std::string& line) {

@@ -1,7 +1,9 @@
 // Extension (paper Section VI): the joint method inside a server cluster,
 // crossed with the request-distribution schemes of the related work
 // (Section II-B). Four servers, each with the paper's 128 GB/one-disk
-// configuration plus a 150 W chassis; the data set is cluster-scale.
+// configuration plus a 150 W chassis; the data set is cluster-scale. The
+// workload, per-server engine, cluster geometry, and the joint policy come
+// from scenarios/ext_cluster.json; the distribution sweep stays here.
 //
 // Expected shapes:
 //   * unbalanced distribution concentrates load, powers idle servers off,
@@ -17,10 +19,10 @@ using namespace jpm;
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
-  auto workload = bench::paper_workload(gib(32), 60e6, 0.1);
+  const auto sc = bench::load_scenario("ext_cluster");
+  const auto& workload = sc.workloads.front().workload;
 
-  std::cout << "Joint power management across a 4-server cluster "
-               "(32 GB data set, 60 MB/s, 150 W chassis per server)\n";
+  std::cout << spec::expand_header(sc) << "\n";
   Table t({"distribution", "pipeline energy (kJ)", "chassis energy (kJ)",
            "total (kJ)", "balance index", "mean latency ms",
            "long-latency req/s", "power cycles"});
@@ -31,16 +33,10 @@ int main(int argc, char** argv) {
       {"unbalanced", cluster::DistributionPolicy::kUnbalanced},
   };
   for (const auto& [label, distribution] : policies) {
-    cluster::ClusterConfig cfg;
-    cfg.server_count = 4;
+    cluster::ClusterConfig cfg = spec::cluster_config(sc);
     cfg.distribution = distribution;
-    cfg.engine = bench::paper_engine();
-    cfg.partition_pages = 64 * kMiB / workload.page_bytes;
-    cfg.chassis_on_w = 150.0;
-    cfg.rate_cap_rps = 200.0;
-    cfg.server_off_idle_s = 600.0;
 
-    cluster::ClusterEngine engine(cfg, workload, sim::joint_policy());
+    cluster::ClusterEngine engine(cfg, workload, sc.roster[0]);
     const auto m = engine.run();
     std::uint64_t cycles = 0;
     for (const auto& s : m.servers) cycles += s.power_cycles;

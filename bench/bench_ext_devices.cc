@@ -8,15 +8,17 @@
 //   * SSD-like — static power ~0: there is nothing left for the disk knob
 //     to save, and the method's value collapses onto memory sizing (the
 //     calibration note's "spin-down largely obsolete" made quantitative).
+// Workload, engine, and the three-method roster come from
+// scenarios/ext_devices.json; the device presets are the experiment.
 #include "bench_common.h"
 
 using namespace jpm;
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
-  const auto workload = bench::paper_workload(gib(16), 25e6, 0.1);
-  std::cout << "Joint power management across device classes "
-               "(16 GB data set, 25 MB/s)\n";
+  const auto sc = bench::load_scenario("ext_devices");
+  const auto& workload = sc.workloads.front().workload;
+  std::cout << spec::expand_header(sc) << "\n";
 
   Table t({"device", "method", "total energy (kJ)", "disk energy (kJ)",
            "memory energy (kJ)", "t_be (s)", "spin-downs",
@@ -27,23 +29,20 @@ int main(int argc, char** argv) {
       {"SSD-like", disk::presets::ssd_like()},
   };
   for (const auto& [label, params] : devices) {
-    auto engine = bench::paper_engine();
+    auto engine = sc.engine;
     engine.joint.disk = params;
-    for (const auto& spec :
-         {sim::joint_policy(),
-          sim::fixed_policy(sim::DiskPolicyKind::kTwoCompetitive, gib(16)),
-          sim::always_on_policy()}) {
-      const auto m = sim::run_simulation(workload, spec, engine);
+    for (const auto& policy : sc.roster) {
+      const auto m = sim::run_simulation(workload, policy, engine);
       t.row()
           .cell(label)
-          .cell(spec.name)
+          .cell(policy.name)
           .cell(bench::num(m.total_j() / 1e3, 1))
           .cell(bench::num(m.disk_energy.total_j() / 1e3, 2))
           .cell(bench::num(m.mem_energy.total_j() / 1e3, 1))
           .cell(bench::num(params.break_even_s(), 1))
           .cell(m.disk_shutdowns)
           .cell(bench::num(m.long_latency_per_s()));
-      bench::progress_line(std::string(label) + " " + spec.name + " done");
+      bench::progress_line(std::string(label) + " " + policy.name + " done");
     }
   }
   std::cout << t.to_string();

@@ -2,7 +2,8 @@
 // the spin-down disk, both with fixed memory and under joint memory
 // management. The paper argues spin-down policies suffer when idle intervals
 // are short (frequent accesses) because of the spin-up cliff; DRPM trades a
-// power floor for the absence of that cliff.
+// power floor for the absence of that cliff. The rate sweep, the five-method
+// roster, and the engine come from scenarios/ext_drpm.json.
 //
 // Expected shape: at low rates (long idleness) the spin-down disk wins on
 // energy; as the rate grows and idle intervals shrink below the break-even
@@ -14,28 +15,19 @@ using namespace jpm;
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
-  const auto engine = bench::paper_engine();
-  const std::vector<sim::PolicySpec> roster{
-      sim::joint_policy(),
-      sim::drpm_joint_policy(),
-      sim::fixed_policy(sim::DiskPolicyKind::kTwoCompetitive, gib(8)),
-      sim::drpm_fixed_policy(gib(8)),
-      sim::always_on_policy(),
-  };
+  const auto sc = bench::load_scenario("ext_drpm");
 
-  std::cout << "Multi-speed (DRPM) disk vs spin-down (16 GB data set, "
-               "popularity 0.1)\n";
+  std::cout << spec::expand_header(sc) << "\n";
   Table t({"rate", "method", "total energy %", "disk energy (kJ)",
            "mean latency ms", "long-latency req/s", "shifts/spin-downs"});
-  for (int mbps : {5, 25, 100}) {
+  for (const auto& point : sc.workloads) {
     std::vector<std::pair<std::string, workload::SynthesizerConfig>> wl{
-        {std::to_string(mbps) + "MB/s",
-         bench::paper_workload(gib(16), mbps * 1e6, 0.1)}};
-    const auto points = sim::run_sweep(wl, roster, engine,
+        {point.label, point.workload}};
+    const auto points = sim::run_sweep(wl, sc.roster, sc.engine,
                                        bench::progress_line);
     for (const auto& o : points[0].outcomes) {
       t.row()
-          .cell(wl[0].first)
+          .cell(point.label)
           .cell(o.spec.name)
           .cell(bench::pct(o.normalized.total))
           .cell(bench::num(o.metrics.disk_energy.total_j() / 1e3, 1))

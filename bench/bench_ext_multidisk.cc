@@ -1,7 +1,9 @@
 // Extension (paper Section VI future work): the joint method over a striped
 // multi-disk array. One joint decision sets the memory size and a shared
 // timeout for every spindle; each spindle still spins down independently
-// when its own stripe set goes quiet.
+// when its own stripe set goes quiet. Workload, roster, and the 64 MiB-
+// stripe engine come from scenarios/ext_multidisk.json; the spindle-count
+// sweep stays here.
 //
 // Expected shape: adding spindles multiplies the disk's standby/static floor,
 // so always-on disk energy grows with the array while the joint method keeps
@@ -13,33 +15,26 @@ using namespace jpm;
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
-  auto workload = bench::paper_workload(gib(32), 100e6, 0.1);
-  const std::vector<sim::PolicySpec> roster{
-      sim::joint_policy(),
-      sim::fixed_policy(sim::DiskPolicyKind::kTwoCompetitive, gib(16)),
-      sim::fixed_policy(sim::DiskPolicyKind::kAdaptive, gib(32)),
-      sim::always_on_policy(),
-  };
+  const auto sc = bench::load_scenario("ext_multidisk");
+  const auto& workload = sc.workloads.front().workload;
 
-  std::cout << "Joint power management over striped disk arrays "
-               "(32 GB data set, 100 MB/s)\n";
+  std::cout << spec::expand_header(sc) << "\n";
   Table t({"disks", "method", "total energy (kJ)", "disk energy (kJ)",
            "per-spindle util", "long-latency req/s", "spin-downs"});
   for (std::uint32_t disks : {1u, 2u, 4u}) {
-    auto engine = bench::paper_engine();
+    auto engine = sc.engine;
     engine.disk_count = disks;
-    engine.stripe_bytes = 64 * kMiB;
-    for (const auto& spec : roster) {
-      const auto m = sim::run_simulation(workload, spec, engine);
+    for (const auto& policy : sc.roster) {
+      const auto m = sim::run_simulation(workload, policy, engine);
       t.row()
           .cell(std::to_string(disks))
-          .cell(spec.name)
+          .cell(policy.name)
           .cell(bench::num(m.total_j() / 1e3, 1))
           .cell(bench::num(m.disk_energy.total_j() / 1e3, 1))
           .cell(bench::pct(m.utilization()))
           .cell(bench::num(m.long_latency_per_s()))
           .cell(m.disk_shutdowns);
-      bench::progress_line(std::to_string(disks) + " disks: " + spec.name +
+      bench::progress_line(std::to_string(disks) + " disks: " + policy.name +
                            " done");
     }
   }

@@ -12,7 +12,8 @@
 // awake anyway) hot-class misses. At this trace scale even the reduced
 // archive trickle stays above the ~0.09/s per-disk rate that would let a
 // spindle sleep, so the redistribution — not the final joules — is the
-// result to look at.
+// result to look at. The two workload classes and the warm-up cutoff come
+// from scenarios/ext_pblru.json ("hot" and "archive" points).
 #include <map>
 
 #include "bench_common.h"
@@ -30,18 +31,13 @@ struct MergedEvent {
   std::uint32_t klass;    // 0 = hot, 1 = archive
 };
 
-std::vector<MergedEvent> build_trace(double duration_s) {
-  auto make = [&](std::uint64_t bytes, double rate, double pop,
-                  std::uint64_t seed) {
-    auto w = bench::paper_workload(bytes, rate, pop, seed);
-    w.duration_s = duration_s;
-    return workload::synthesize(w);
-  };
+std::vector<MergedEvent> build_trace(const spec::Scenario& sc) {
   // Hot class: skewed 8 GB set. Archive: near-uniform 3 GB set whose reuse
   // distance is the whole set — cacheable outright, or not at all.
-  const auto hot = make(gib(8), 40e6, 0.1, 1);
-  const auto archive = make(gib(3), 2e6, 0.9, 2);
-  const std::uint64_t offset = gib(8) / (256 * kKiB) + 64;
+  const auto hot = workload::synthesize(sc.workloads[0].workload);
+  const auto archive = workload::synthesize(sc.workloads[1].workload);
+  const std::uint64_t offset =
+      sc.workloads[0].workload.dataset_bytes / (256 * kKiB) + 64;
 
   std::vector<MergedEvent> merged;
   merged.reserve(hot.size() + archive.size());
@@ -75,12 +71,14 @@ struct Outcome {
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
-  const double duration_s = bench::warm_up_s() + bench::measured_duration_s();
+  const auto sc = bench::load_scenario("ext_pblru");
+  const double duration_s = sc.workloads[0].workload.duration_s;
+  const double warm_up_s = sc.engine.warm_up_s;
   const std::uint64_t page_bytes = 256 * kKiB;
   const std::uint64_t cache_frames = gib(5) / page_bytes;
   const std::uint64_t unit_frames = mib(256) / page_bytes;
   const double epoch_s = 600.0;
-  const auto trace = build_trace(duration_s);
+  const auto trace = build_trace(sc);
 
   disk::DiskArrayConfig array_cfg;
   array_cfg.disk_count = 4;
@@ -148,7 +146,7 @@ int main(int argc, char** argv) {
       if (!hit) {
         disks.read(e.time_s, e.page, page_bytes);
         ++epoch_misses[e.disk];
-        if (e.time_s >= bench::warm_up_s()) {
+        if (e.time_s >= warm_up_s) {
           if (e.klass == 0) {
             ++out.misses_hot;
           } else {
@@ -157,16 +155,14 @@ int main(int argc, char** argv) {
         }
       }
     }
-    const auto warm = disks.energy_through(bench::warm_up_s());
+    const auto warm = disks.energy_through(warm_up_s);
     disks.finalize(duration_s);
     out.disk_energy_kj = (disks.energy().total_j() - warm.total_j()) / 1e3;
     out.spin_downs = disks.shutdowns();
     return out;
   };
 
-  std::cout << "PB-LRU energy-aware partitioning vs global LRU\n"
-               "(4 disks: 2 hot [8 GB @ 40 MB/s] + 2 archive [3 GB uniform "
-               "@ 2 MB/s]; 5 GB cache)\n";
+  std::cout << spec::expand_header(sc) << "\n";
   Table t({"cache policy", "disk energy (kJ)", "hot-class misses",
            "archive misses", "spin-downs"});
   for (bool partitioned : {false, true}) {

@@ -7,6 +7,8 @@
 //   (b) stretching the flush interval at a fixed write fraction —
 // longer intervals coalesce more writes per burst and leave longer idle
 // stretches between bursts, recovering most of the spin-down savings.
+// The base workload (modest rate so the disk has idleness worth protecting),
+// engine, and method pair come from scenarios/ext_writes.json.
 #include "bench_common.h"
 
 using namespace jpm;
@@ -28,13 +30,12 @@ void report(Table& t, const std::string& label, const sim::RunMetrics& m,
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
-  // Modest rate so the disk has idleness worth protecting.
-  auto base_workload = bench::paper_workload(gib(8), 10e6, 0.1);
-  auto engine = bench::paper_engine();
-  const auto baseline = sim::run_simulation(base_workload,
-                                            sim::always_on_policy(), engine);
-  std::cout << "Write traffic vs disk power management (8 GB data set, "
-               "10 MB/s, joint method)\n";
+  const auto sc = bench::load_scenario("ext_writes");
+  const auto& base_workload = sc.workloads.front().workload;
+  const auto& joint_spec = sc.roster[0];
+  const auto baseline =
+      sim::run_simulation(base_workload, sc.roster[1], sc.engine);
+  std::cout << spec::expand_header(sc) << "\n";
 
   {
     Table t({"write fraction", "total energy %", "disk energy (kJ)",
@@ -42,7 +43,7 @@ int main(int argc, char** argv) {
     for (double wf : {0.0, 0.1, 0.3, 0.5}) {
       auto w = base_workload;
       w.write_fraction = wf;
-      const auto m = sim::run_simulation(w, sim::joint_policy(), engine);
+      const auto m = sim::run_simulation(w, joint_spec, sc.engine);
       report(t, bench::num(wf, 1), m, baseline);
       bench::progress_line("write fraction " + bench::num(wf, 1) + " done");
     }
@@ -56,9 +57,9 @@ int main(int argc, char** argv) {
     Table t({"flush interval", "total energy %", "disk energy (kJ)",
              "disk writes", "spin-downs", "long-latency req/s"});
     for (double interval : {5.0, 30.0, 120.0, 600.0}) {
-      auto e = engine;
+      auto e = sc.engine;
       e.flush_interval_s = interval;
-      const auto m = sim::run_simulation(w, sim::joint_policy(), e);
+      const auto m = sim::run_simulation(w, joint_spec, e);
       report(t, bench::num(interval, 0) + " s", m, baseline);
       bench::progress_line("flush " + bench::num(interval, 0) + "s done");
     }

@@ -1,4 +1,7 @@
-// Robustness extension: the joint method under injected faults.
+// Robustness extension: the joint method under injected faults. The two
+// workload classes ("spinup", "cluster"), the base engine, and the cluster
+// geometry come from scenarios/faults.json; the fault plans and the
+// section-specific engine overrides are the experiment and stay here.
 //
 // Section 1 sweeps the spin-up failure probability on the paper's server
 // configuration widened to a 4-disk striped array: failed spin-up attempts
@@ -22,20 +25,20 @@ using namespace jpm;
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
+  const auto sc = bench::load_scenario("faults");
+  const auto& joint_spec = sc.roster[0];
 
   {
     // Sparse requests over a cold 4-disk array with a short break-even
     // (transition_j = 7.75 J -> ~1.2 s), so the disks spin-cycle constantly
     // and injected spin-up failures actually fire.
-    auto workload = bench::paper_workload(gib(2), 0.5e6, 0.1);
-    std::cout << "Spin-up fault injection, joint policy on a 4-disk array "
-                 "(2 GB data set, 0.5 MB/s; degrade after 3 failed "
-                 "attempts)\n";
+    const auto& workload = sc.workloads[0].workload;
+    std::cout << spec::expand_header(sc) << "\n";
     Table t({"p(spinup fail)", "total energy (kJ)", "mean latency ms",
              "spin-up retries", "retry delay s", "degraded spindles",
              "rerouted req", "violated periods", "guard backoffs"});
     for (const double p : {0.0, 0.05, 0.2, 0.5}) {
-      auto engine = bench::paper_engine();
+      auto engine = sc.engine;
       engine.joint.physical_bytes = gib(1);
       engine.joint.disk.transition_j = 7.75;
       engine.disk_count = 4;
@@ -48,7 +51,7 @@ int main(int argc, char** argv) {
         engine.fault.p_spinup_fail = p;
         engine.fault.guard.enabled = true;
       }
-      const auto m = sim::run_simulation(workload, sim::joint_policy(), engine);
+      const auto m = sim::run_simulation(workload, joint_spec, engine);
       const auto& r = m.reliability;
       t.row()
           .cell(bench::num(p, 2))
@@ -66,7 +69,7 @@ int main(int argc, char** argv) {
   }
 
   {
-    auto workload = bench::paper_workload(gib(8), 40e6, 0.1);
+    const auto& workload = sc.workloads[1].workload;
     std::cout << "\nServer crash injection, 4-server partitioned cluster "
                  "(8 GB data set, 40 MB/s, 150 W chassis, 2-minute outages)\n";
     Table t({"server MTBF", "crashes", "failed-over req", "power cycles",
@@ -77,19 +80,14 @@ int main(int argc, char** argv) {
         {"30 min", 1800.0},
     };
     for (const auto& [label, mtbf] : mtbfs) {
-      cluster::ClusterConfig cfg;
-      cfg.server_count = 4;
-      cfg.distribution = cluster::DistributionPolicy::kPartitioned;
-      cfg.engine = bench::paper_engine();
-      cfg.partition_pages = 64 * kMiB / workload.page_bytes;
-      cfg.chassis_on_w = 150.0;
+      cluster::ClusterConfig cfg = spec::cluster_config(sc);
       if (mtbf > 0.0) {
         cfg.engine.fault.enabled = true;
         cfg.engine.fault.seed = 11;
         cfg.engine.fault.server_mtbf_s = mtbf;
         cfg.engine.fault.server_outage_s = 120.0;
       }
-      cluster::ClusterEngine engine(cfg, workload, sim::joint_policy());
+      cluster::ClusterEngine engine(cfg, workload, joint_spec);
       const auto m = engine.run();
       std::uint64_t cycles = 0;
       for (const auto& s : m.servers) cycles += s.power_cycles;

@@ -3,6 +3,7 @@
 // tailed (small alpha, larger beta) — and the timeout guidance each implies:
 // the energy-optimal timeout t_o = alpha * t_be (eq. 5) shrinks as the tail
 // gets heavier, while the performance-constrained lower bound (eq. 6) grows.
+// The disk's timeout parameters come from scenarios/fig5_pareto.json.
 #include "bench_common.h"
 #include "jpm/pareto/pareto.h"
 #include "jpm/pareto/timeout_math.h"
@@ -11,12 +12,14 @@ using namespace jpm;
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
+  const auto sc = bench::load_scenario("fig5_pareto");
   // alpha1 > alpha2, beta1 < beta2: the paper's two illustrative curves.
   const pareto::ParetoDistribution d1(2.5, 0.5);
   const pareto::ParetoDistribution d2(1.2, 2.0);
-  const pareto::DiskTimeoutParams disk = disk::DiskParams{}.timeout_params();
+  const pareto::DiskTimeoutParams disk =
+      sc.engine.joint.disk.timeout_params();
 
-  std::cout << "Fig. 5 — Pareto CDFs of idle-interval length\n";
+  std::cout << spec::expand_header(sc) << "\n";
   Table t({"idle length (s)", "CDF (a=2.5, b=0.5)", "CDF (a=1.2, b=2.0)"});
   for (double l : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0}) {
     t.row()

@@ -3,6 +3,10 @@
 // Workload: 100 MB/s, popularity 0.1 (hottest 10% of bytes get 90% of
 // requests). Energy is normalized to the always-on method, as in the paper.
 //
+// The whole experiment — workloads, roster, engine, and result tables — is
+// declared in scenarios/fig7_dataset.json; `jpm run` on that file prints the
+// same tables.
+//
 // Expected shapes (paper Section V-B.1):
 //  * the joint method sits at or near the minimum total energy at every size
 //    while keeping utilization < 10% and few long-latency requests;
@@ -18,41 +22,9 @@ using namespace jpm;
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
-  const auto engine = bench::paper_engine();
-  const auto roster = sim::paper_policies();
-
-  std::vector<std::pair<std::string, workload::SynthesizerConfig>> workloads;
-  for (std::uint64_t g : {4, 8, 16, 32, 64}) {
-    workloads.emplace_back(std::to_string(g) + "GB",
-                           bench::paper_workload(gib(g), 100e6, 0.1));
-  }
-
-  std::cout << "Fig. 7 — data-set size sweep (100 MB/s, popularity 0.1, "
-            << bench::measured_duration_s() / 60.0 << " min measured)\n";
-  const auto points =
-      sim::run_sweep(workloads, roster, engine, bench::progress_line);
-
-  bench::print_metric_table(
-      "(a) total energy, % of always-on", points,
-      [](const sim::RunOutcome& o) { return bench::pct(o.normalized.total); });
-  bench::print_metric_table(
-      "(b) disk energy, % of always-on disk", points,
-      [](const sim::RunOutcome& o) { return bench::pct(o.normalized.disk); });
-  bench::print_metric_table(
-      "(c) memory energy, % of always-on memory", points,
-      [](const sim::RunOutcome& o) { return bench::pct(o.normalized.memory); });
-  bench::print_metric_table(
-      "(d) mean request latency, ms", points, [](const sim::RunOutcome& o) {
-        return bench::ms(o.metrics.mean_latency_s());
-      });
-  bench::print_metric_table(
-      "(e) disk bandwidth utilization", points, [](const sim::RunOutcome& o) {
-        return bench::pct(o.metrics.utilization());
-      });
-  bench::print_metric_table(
-      "(f) requests with >0.5 s latency, per second", points,
-      [](const sim::RunOutcome& o) {
-        return bench::num(o.metrics.long_latency_per_s());
-      });
+  const auto sc = bench::load_scenario("fig7_dataset");
+  spec::RunOptions options;
+  options.progress = bench::progress_line;
+  spec::run_scenario(sc, options);
   return 0;
 }

@@ -1,7 +1,14 @@
 // Reproduces paper Fig. 8(c)-(d): energy and long-latency requests as data
 // popularity varies from 0.05 (dense: 5% of bytes get 90% of requests) to
 // 0.6 (sparse) on a 16 GB data set at 5 MB/s — the low rate keeps the disk
-// idle enough that popularity, not bandwidth, decides the outcome.
+// idle enough that popularity, not bandwidth, decides the outcome. The
+// experiment is declared in scenarios/fig8_popularity.json.
+//
+// The popularity crossover hinges on small-file random IO throttling the
+// disk (~1.3 MB/s effective at 16 kB transfers): at 5 MB/s offered load the
+// trace is short enough to afford spec-faithful SPECWeb99 file sizes and
+// fine pages instead of the coarse granularity the high-rate sweeps use
+// (the scenario's 16 kB pages, file_scale 4, temporal_locality 0.85).
 //
 // Expected shapes (paper Section V-B.3): the joint method wins at dense
 // popularity (0.05-0.2) by caching only the hot set and sleeping the disk,
@@ -14,38 +21,9 @@ using namespace jpm;
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
-  // The popularity crossover hinges on small-file random IO throttling the
-  // disk (~1.3 MB/s effective at 16 kB transfers): at 5 MB/s offered load
-  // the trace is short enough to afford spec-faithful SPECWeb99 file sizes
-  // and fine pages instead of the coarse granularity the high-rate sweeps
-  // use. Short-term reuse (temporal_locality) mirrors the captured trace's
-  // behaviour — without it, every access outside the hot set is a
-  // compulsory miss and no method could honor U <= 10% with a small memory.
-  auto engine = bench::paper_engine();
-  engine.joint.page_bytes = 16 * kKiB;
-  const auto roster = sim::paper_policies();
-
-  std::vector<std::pair<std::string, workload::SynthesizerConfig>> workloads;
-  for (double pop : {0.05, 0.1, 0.2, 0.4, 0.6}) {
-    auto w = bench::paper_workload(gib(16), 5e6, pop);
-    w.page_bytes = 16 * kKiB;
-    w.file_scale = 4.0;
-    w.temporal_locality = 0.85;
-    w.locality_window = 16384;
-    workloads.emplace_back(bench::num(pop, 2), w);
-  }
-
-  std::cout << "Fig. 8(c,d) — popularity sweep (16 GB data set, 5 MB/s)\n";
-  const auto points =
-      sim::run_sweep(workloads, roster, engine, bench::progress_line);
-
-  bench::print_metric_table(
-      "(c) total energy, % of always-on", points,
-      [](const sim::RunOutcome& o) { return bench::pct(o.normalized.total); });
-  bench::print_metric_table(
-      "(d) requests with >0.5 s latency, per second", points,
-      [](const sim::RunOutcome& o) {
-        return bench::num(o.metrics.long_latency_per_s());
-      });
+  const auto sc = bench::load_scenario("fig8_popularity");
+  spec::RunOptions options;
+  options.progress = bench::progress_line;
+  spec::run_scenario(sc, options);
   return 0;
 }

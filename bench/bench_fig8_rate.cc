@@ -1,5 +1,6 @@
 // Reproduces paper Fig. 8(a)-(b): energy and long-latency requests as the
 // data rate varies from 5 to 200 MB/s on a 16 GB data set (popularity 0.1).
+// The experiment is declared in scenarios/fig8_rate.json.
 //
 // Expected shapes (paper Section V-B.2): methods with memory >= 32 GB hold
 // constant, expensive energy at every rate; 2TFM/ADFM-8GB match the joint
@@ -12,27 +13,9 @@ using namespace jpm;
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
-  const auto engine = bench::paper_engine();
-  const auto roster = sim::paper_policies();
-
-  std::vector<std::pair<std::string, workload::SynthesizerConfig>> workloads;
-  for (int mbps : {5, 50, 100, 150, 200}) {
-    workloads.emplace_back(std::to_string(mbps) + "MB/s",
-                           bench::paper_workload(gib(16), mbps * 1e6, 0.1));
-  }
-
-  std::cout << "Fig. 8(a,b) — data-rate sweep (16 GB data set, popularity "
-               "0.1)\n";
-  const auto points =
-      sim::run_sweep(workloads, roster, engine, bench::progress_line);
-
-  bench::print_metric_table(
-      "(a) total energy, % of always-on", points,
-      [](const sim::RunOutcome& o) { return bench::pct(o.normalized.total); });
-  bench::print_metric_table(
-      "(b) requests with >0.5 s latency, per second", points,
-      [](const sim::RunOutcome& o) {
-        return bench::num(o.metrics.long_latency_per_s());
-      });
+  const auto sc = bench::load_scenario("fig8_rate");
+  spec::RunOptions options;
+  options.progress = bench::progress_line;
+  spec::run_scenario(sc, options);
   return 0;
 }

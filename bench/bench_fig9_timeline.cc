@@ -2,7 +2,9 @@
 // interval lengths over time at constant memory sizes of 8 and 16 GB (32 GB
 // data set). The paper uses this series to justify last-period -> next-period
 // prediction: consecutive-period variation is usually below 5%, with
-// occasional 15-25% spikes.
+// occasional 15-25% spikes. The long-horizon workload, the zero warm-up
+// engine (the paper plots every period, transient included), and the two
+// fixed-memory methods come from scenarios/fig9_timeline.json.
 #include <cmath>
 
 #include "bench_common.h"
@@ -11,7 +13,7 @@ using namespace jpm;
 
 namespace {
 
-void print_timeline(const char* label, const sim::RunMetrics& m) {
+void print_timeline(const std::string& label, const sim::RunMetrics& m) {
   Table t({"period", "disk accesses", "mean idle (ms)", "Δ vs prev"});
   std::uint64_t prev = 0;
   bool have_prev = false;
@@ -39,21 +41,15 @@ void print_timeline(const char* label, const sim::RunMetrics& m) {
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
-  // Longer run than the other benches: the timeline itself is the result.
-  auto workload = bench::paper_workload(gib(32), 100e6, 0.1);
-  workload.duration_s = bench::fast_mode() ? 3600.0 : 4.0 * 3600.0;
-  auto engine = bench::paper_engine();
-  engine.warm_up_s = 0.0;  // the paper plots every period, transient included
-
-  std::cout << "Fig. 9 — disk requests and idleness across time "
-               "(32 GB data set, 100 MB/s)\n";
-  for (std::uint64_t g : {8, 16}) {
-    const auto m = sim::run_simulation(
-        workload, sim::fixed_policy(sim::DiskPolicyKind::kTwoCompetitive,
-                                    gib(g)),
-        engine);
-    print_timeline((std::to_string(g) + "GB memory").c_str(), m);
-    bench::progress_line(std::to_string(g) + "GB run done");
+  const auto sc = bench::load_scenario("fig9_timeline");
+  const auto& workload = sc.workloads.front().workload;
+  std::cout << spec::expand_header(sc) << "\n";
+  for (const auto& policy : sc.roster) {
+    const auto m = sim::run_simulation(workload, policy, sc.engine);
+    const std::string gb =
+        std::to_string(policy.fixed_bytes / kGiB) + "GB";
+    print_timeline(gb + " memory", m);
+    bench::progress_line(gb + " run done");
   }
   return 0;
 }

@@ -1,8 +1,13 @@
 // Google-benchmark microbenches for the simulator's hot kernels: LRU cache
 // operations, the Fenwick stack-distance tracker, the idle-interval sweep,
-// Pareto fitting, trace synthesis throughput, and single-policy engine
-// replay — the perf baseline for the sweep hot loop.
+// Pareto fitting, trace synthesis throughput, single-policy engine replay —
+// the perf baseline for the sweep hot loop — and scenario-file parse/
+// serialize throughput for the jpm::spec layer.
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "jpm/cache/idle_sweep.h"
 #include "jpm/cache/lru_cache.h"
@@ -10,6 +15,8 @@
 #include "jpm/pareto/pareto.h"
 #include "jpm/sim/engine.h"
 #include "jpm/sim/policies.h"
+#include "jpm/spec/run.h"
+#include "jpm/spec/spec.h"
 #include "jpm/telemetry/registry.h"
 #include "jpm/telemetry/telemetry.h"
 #include "jpm/util/rng.h"
@@ -117,6 +124,40 @@ void BM_EngineReplay(benchmark::State& state) {
       state.iterations() * static_cast<std::int64_t>(trace.events.size()));
 }
 BENCHMARK(BM_EngineReplay)->Arg(0)->Arg(1);
+
+// The spec layer's cost of admission: parsing a checked-in scenario file
+// (the 21 scenarios are all within ~4x of micro.json's size) and emitting
+// its canonical serialization. bytes/s is what `jpm validate scenarios/*`
+// and every bench startup pay.
+std::string micro_scenario_text() {
+  std::ifstream in(spec::scenario_path("micro"), std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void BM_ScenarioParse(benchmark::State& state) {
+  const std::string text = micro_scenario_text();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec::parse_scenario(text));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_ScenarioParse);
+
+void BM_ScenarioSerialize(benchmark::State& state) {
+  const auto sc = spec::parse_scenario(micro_scenario_text());
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string out = spec::serialize_scenario(sc);
+    bytes = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ScenarioSerialize);
 
 // The disabled-tracer fast path: no session, so TELEM_EVENT is one relaxed
 // atomic load and a not-taken branch. ns/event here is the whole overhead

@@ -1,6 +1,7 @@
 // Prints the power models of paper Fig. 1 (RDRAM chip and Seagate IDE disk)
 // together with every derived constant of Table II, and replays the paper's
-// Fig. 3 extended-LRU worked example.
+// Fig. 3 extended-LRU worked example. The model parameters are read from
+// scenarios/models.json (whose engine carries the paper defaults).
 #include "bench_common.h"
 #include "jpm/cache/miss_curve.h"
 #include "jpm/cache/stack_distance.h"
@@ -11,10 +12,11 @@ using namespace jpm;
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
-  const mem::RdramParams m;
-  const disk::DiskParams d;
+  const auto sc = bench::load_scenario("models");
+  const mem::RdramParams m = sc.engine.joint.mem;
+  const disk::DiskParams d = sc.engine.joint.disk;
 
-  std::cout << "Fig. 1 / Table II — power models and derived constants\n";
+  std::cout << spec::expand_header(sc) << "\n";
   Table mt({"memory parameter", "value"});
   mt.row().cell("bank size").cell(bench::num(to_mib(m.bank_bytes), 0) + " MB");
   mt.row().cell("nap (static) power").cell(

@@ -2,41 +2,19 @@
 // cache) accesses per data-set size, for the joint method, the 2TFM ladder,
 // 2TPD, 2TDS, and the always-on baseline. Methods sharing a memory policy
 // report identical disk-access counts regardless of the disk timeout — the
-// paper makes the same observation about 2T vs AD.
+// paper makes the same observation about 2T vs AD. The sweep and the first
+// table are declared in scenarios/table3_accesses.json; the memory-access
+// column is computed here from the sweep's baseline runs.
 #include "bench_common.h"
 
 using namespace jpm;
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
-  const auto engine = bench::paper_engine();
-  std::vector<sim::PolicySpec> roster{sim::joint_policy()};
-  for (std::uint64_t g : {8, 16, 32, 64, 128}) {
-    roster.push_back(
-        sim::fixed_policy(sim::DiskPolicyKind::kTwoCompetitive, gib(g)));
-  }
-  roster.push_back(
-      sim::powerdown_policy(sim::DiskPolicyKind::kTwoCompetitive, 128 * kGiB));
-  roster.push_back(
-      sim::disable_policy(sim::DiskPolicyKind::kTwoCompetitive, 128 * kGiB));
-  roster.push_back(sim::always_on_policy());
-
-  std::vector<std::pair<std::string, workload::SynthesizerConfig>> workloads;
-  for (std::uint64_t g : {4, 8, 16, 32, 64}) {
-    workloads.emplace_back(std::to_string(g) + "GB",
-                           bench::paper_workload(gib(g), 100e6, 0.1));
-  }
-
-  std::cout << "Table III — disk and memory accesses under different data "
-               "sets (100 MB/s, popularity 0.1)\n";
-  const auto points =
-      sim::run_sweep(workloads, roster, engine, bench::progress_line);
-
-  bench::print_metric_table(
-      "disk accesses (millions)", points, [](const sim::RunOutcome& o) {
-        return bench::num(static_cast<double>(o.metrics.disk_accesses) / 1e6,
-                          3);
-      });
+  const auto sc = bench::load_scenario("table3_accesses");
+  spec::RunOptions options;
+  options.progress = bench::progress_line;
+  const auto points = spec::run_scenario(sc, options);
 
   // Memory accesses depend only on the workload (same for every method).
   Table t({"data set", "memory accesses (millions)"});

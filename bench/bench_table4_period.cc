@@ -1,7 +1,9 @@
 // Reproduces paper Table IV: the joint method's sensitivity to the period
 // length T (5/10/20/30 minutes; 16 GB data set at 100 MB/s). The paper finds
 // energy and long-latency counts vary only slightly because the extended LRU
-// list is never reset between periods.
+// list is never reset between periods. Workload, engine, and the method pair
+// come from scenarios/table4_period.json; the per-row period overrides stay
+// here because they are the experiment.
 #include <algorithm>
 
 #include "bench_common.h"
@@ -10,18 +12,16 @@ using namespace jpm;
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
-  auto workload = bench::paper_workload(gib(16), 100e6, 0.1);
-  // Long horizon so even 30-minute periods get several adaptations, and no
-  // rate modulation: the sensitivity to T must be measured ceteris paribus
-  // (with load swings, long periods also sample the swings differently).
-  workload.duration_s = bench::warm_up_s() + 2.0 * bench::measured_duration_s();
-  workload.rate_modulation = 0.0;
-  std::cout << "Table IV — joint method vs period length (16 GB, 100 MB/s)\n";
+  const auto sc = bench::load_scenario("table4_period");
+  const auto& workload = sc.workloads.front().workload;
+  const auto& joint_spec = sc.roster[0];
+  const auto& always_on_spec = sc.roster[1];
+  std::cout << spec::expand_header(sc) << "\n";
 
-  auto base_engine = bench::paper_engine();
+  auto base_engine = sc.engine;
   base_engine.joint.period_s = 1800.0;  // warm-up stays period-aligned below
   const auto baseline =
-      sim::run_simulation(workload, sim::always_on_policy(), base_engine);
+      sim::run_simulation(workload, always_on_spec, base_engine);
 
   // Energy compared as average power: warm-up scales with the period (the
   // joint method starts at full memory, and that startup posture must not
@@ -40,11 +40,11 @@ int main(int argc, char** argv) {
   Table t({"period", "total energy %", "disk energy %", "memory energy %",
            "long-latency req/s"});
   for (double minutes : {5.0, 10.0, 20.0, 30.0}) {
-    auto engine = bench::paper_engine();
+    auto engine = sc.engine;
     engine.joint.period_s = minutes * 60.0;
     engine.warm_up_s =
-        std::max(bench::warm_up_s(), 2.0 * engine.joint.period_s);
-    const auto m = sim::run_simulation(workload, sim::joint_policy(), engine);
+        std::max(sc.engine.warm_up_s, 2.0 * engine.joint.period_s);
+    const auto m = sim::run_simulation(workload, joint_spec, engine);
     t.row()
         .cell(bench::num(minutes, 0) + " min")
         .cell(bench::pct(power(m) / power(baseline)))

@@ -3,28 +3,28 @@
 // and 1024 MB banks (16 GB data set, 100 MB/s). The paper finds total energy
 // and long-latency counts nearly constant, with slightly more memory energy
 // and slightly less disk energy at coarser banks (more memory stays on, the
-// disk sleeps more).
+// disk sleeps more). Workload, engine, and the method pair come from
+// scenarios/table5_bank.json; the bank-size overrides stay here.
 #include "bench_common.h"
 
 using namespace jpm;
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
-  const auto workload = bench::paper_workload(gib(16), 100e6, 0.1);
-  std::cout << "Table V — joint method vs bank (resize-unit) size "
-               "(16 GB, 100 MB/s)\n";
+  const auto sc = bench::load_scenario("table5_bank");
+  const auto& workload = sc.workloads.front().workload;
+  std::cout << spec::expand_header(sc) << "\n";
 
-  auto base_engine = bench::paper_engine();
   const auto baseline =
-      sim::run_simulation(workload, sim::always_on_policy(), base_engine);
+      sim::run_simulation(workload, sc.roster[1], sc.engine);
 
   Table t({"bank size", "total energy %", "disk energy %", "memory energy %",
            "long-latency req/s"});
   for (std::uint64_t mb : {16, 64, 256, 1024}) {
-    auto engine = bench::paper_engine();
+    auto engine = sc.engine;
     engine.joint.unit_bytes = mib(mb);
     engine.joint.mem.bank_bytes = mib(mb);
-    const auto m = sim::run_simulation(workload, sim::joint_policy(), engine);
+    const auto m = sim::run_simulation(workload, sc.roster[0], engine);
     const auto n = sim::normalize_energy(m, baseline);
     t.row()
         .cell(std::to_string(mb) + " MB")

@@ -4,7 +4,8 @@
 // p_d-band energy of: the offline oracle, the 2-competitive timeout, the
 // Douglis adaptive timeout, the Pareto-optimal timeout of eq. 5 (fitted from
 // the sample mean, i.e. what the joint manager would pick), and never
-// spinning down.
+// spinning down. The disk's timeout parameters come from
+// scenarios/timeout_policies.json.
 //
 // Expected shape: every policy sits between the oracle and "never"; the 2T
 // policy stays below 2x oracle everywhere; the eq. 5 timeout tracks or beats
@@ -17,9 +18,9 @@ using namespace jpm;
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
-  const auto disk = disk::DiskParams{}.timeout_params();
-  std::cout << "Timeout policies vs offline oracle (p_d-band energy per "
-               "10,000 idle intervals, kJ)\n";
+  const auto sc = bench::load_scenario("timeout_policies");
+  const auto disk = sc.engine.joint.disk.timeout_params();
+  std::cout << spec::expand_header(sc) << "\n";
 
   Table t({"gap distribution", "oracle", "2T (t_be)", "randomized",
            "adaptive", "predictive", "Pareto eq.5", "never off",

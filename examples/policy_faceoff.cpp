@@ -1,5 +1,7 @@
 // Policy face-off: run the paper's full 16-method roster on one workload and
-// print the complete ledger, sorted by total energy.
+// print the complete ledger, sorted by total energy. The default workload,
+// engine, and roster are declared in scenarios/policy_faceoff.json; argv
+// overrides the workload knobs.
 //
 //   ./examples/policy_faceoff [dataset_gib] [rate_mb_s] [popularity]
 #include <algorithm>
@@ -8,6 +10,8 @@
 #include <iostream>
 
 #include "jpm/sim/runner.h"
+#include "jpm/spec/run.h"
+#include "jpm/spec/spec.h"
 #include "jpm/util/parallel.h"
 #include "jpm/util/table.h"
 
@@ -16,22 +20,18 @@ using namespace jpm;
 int main(int argc, char** argv) {
   std::fprintf(stderr, "threads=%u (set JPM_THREADS to override)\n",
                util::default_thread_count());
-  const std::uint64_t dataset_gib =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16;
-  const double rate_mb = argc > 2 ? std::atof(argv[2]) : 100.0;
-  const double popularity = argc > 3 ? std::atof(argv[3]) : 0.1;
+  const spec::Scenario sc =
+      spec::load_for_run(spec::scenario_path("policy_faceoff"));
+  auto workload = sc.workloads.front().workload;
 
-  workload::SynthesizerConfig workload;
+  const std::uint64_t dataset_gib =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+               : workload.dataset_bytes / kGiB;
+  const double rate_mb = argc > 2 ? std::atof(argv[2]) : workload.byte_rate / 1e6;
+  const double popularity = argc > 3 ? std::atof(argv[3]) : workload.popularity;
   workload.dataset_bytes = gib(dataset_gib);
   workload.byte_rate = rate_mb * 1e6;
   workload.popularity = popularity;
-  workload.duration_s = 3000.0;
-  workload.page_bytes = 256 * kKiB;
-  workload.seed = 11;
-
-  sim::EngineConfig engine;
-  engine.prefill_cache = true;
-  engine.warm_up_s = 600.0;
 
   std::printf("16-method face-off: %llu GiB data set, %.0f MB/s, popularity "
               "%.2f (simulating...)\n",
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, workload::SynthesizerConfig>> workloads{
       {"workload", workload}};
   const auto points =
-      sim::run_sweep(workloads, sim::paper_policies(), engine,
+      sim::run_sweep(workloads, sc.roster, sc.engine,
                      [](const std::string& line) {
                        std::fprintf(stderr, "  %s\n", line.c_str());
                      });

@@ -3,12 +3,16 @@
 //
 //   ./examples/quickstart
 //
-// The example builds a 16 GB data set served at 100 MB/s, lets the joint
-// method resize the disk cache and re-derive the disk timeout every 10
-// minutes, and prints the energy/performance ledger for both methods.
+// The experiment — a 16 GB data set served at 100 MB/s against the paper's
+// 128 GB machine — is declared in scenarios/quickstart.json; this example
+// shows how to load a scenario file, run the methods it names, and read the
+// resulting ledger. Edit the JSON (or point JPM_SCENARIO_DIR at a copy) to
+// try different workloads without recompiling.
 #include <cstdio>
 
 #include "jpm/sim/runner.h"
+#include "jpm/spec/run.h"
+#include "jpm/spec/spec.h"
 
 using namespace jpm;
 
@@ -27,32 +31,21 @@ void print_run(const sim::RunMetrics& m) {
 }  // namespace
 
 int main() {
-  // 1. Describe the workload: data-set size, offered byte rate, popularity
-  //    (fraction of bytes receiving 90% of requests), and duration.
-  workload::SynthesizerConfig workload;
-  workload.dataset_bytes = gib(16);
-  workload.byte_rate = 100e6;
-  workload.popularity = 0.1;
-  workload.duration_s = 3600.0;
-  workload.page_bytes = 256 * kKiB;
-  workload.seed = 42;
+  // 1. Load the declarative scenario: workload (data-set size, offered byte
+  //    rate, popularity, duration), machine (128 GB of bank-managed RDRAM
+  //    over one IDE disk, the paper's period and performance constraints),
+  //    and the two methods to compare.
+  const spec::Scenario sc =
+      spec::load_for_run(spec::scenario_path("quickstart"));
+  const auto& workload = sc.workloads.front().workload;
+  const auto& always_on_spec = sc.roster[0];
+  const auto& joint_spec = sc.roster[1];
 
-  // 2. Describe the machine: 128 GB of bank-managed RDRAM over one IDE disk,
-  //    with the paper's period, window, and performance constraints.
-  sim::EngineConfig engine;
-  engine.joint.physical_bytes = 128 * kGiB;
-  engine.joint.unit_bytes = 16 * kMiB;
-  engine.joint.period_s = 600.0;
-  engine.joint.util_limit = 0.10;
-  engine.joint.delay_limit = 1e-3;
-  engine.prefill_cache = true;  // start from a warm server
-  engine.warm_up_s = 600.0;     // exclude the first period from metrics
-
-  // 3. Run the joint method and the always-on baseline on the same trace.
+  // 2. Run the joint method and the always-on baseline on the same trace.
   std::puts("simulating (two runs over ~2.2M disk-cache accesses)...\n");
-  const auto joint = sim::run_simulation(workload, sim::joint_policy(), engine);
+  const auto joint = sim::run_simulation(workload, joint_spec, sc.engine);
   const auto always_on =
-      sim::run_simulation(workload, sim::always_on_policy(), engine);
+      sim::run_simulation(workload, always_on_spec, sc.engine);
 
   print_run(always_on);
   print_run(joint);
@@ -62,7 +55,7 @@ int main() {
               "(memory %.1f%%, disk %.1f%%)\n",
               n.total * 100.0, n.memory * 100.0, n.disk * 100.0);
 
-  // 4. Inspect the per-period trail the manager left behind.
+  // 3. Inspect the per-period trail the manager left behind.
   std::puts("\nper-period decisions (memory size, disk timeout):");
   for (const auto& p : joint.periods) {
     std::printf("  t=%5.0f..%5.0f s  memory %6.1f GB  timeout %s  "

@@ -1,0 +1,167 @@
+// The unified `jpm` CLI: executes, validates, and canonicalizes declarative
+// scenario files (see src/jpm/spec/spec.h and scenarios/).
+//
+//   jpm run <scenario.json> [--telemetry=<base>]
+//       Executes the scenario's sweep and prints its result tables —
+//       byte-identical to the bench harness the scenario was extracted
+//       from. JPM_BENCH_FAST=1 applies the smoke-run schedule, JPM_THREADS
+//       controls the fan-out (tables are identical for any value).
+//       --telemetry exports <base>.{report.json,trace.json,periods.csv}
+//       with the resolved scenario + content hash embedded in the report.
+//   jpm validate <scenario.json>...
+//       Parses and semantically validates each file; prints one line per
+//       file ("ok <file> sha=<hash>") or the path-named error.
+//   jpm print <scenario.json> [--resolved]
+//       Prints the canonical, fully resolved serialization (defaults filled
+//       in, preset rosters and sweep axes expanded). A checked-in scenario
+//       is canonical iff `jpm print` reproduces it byte-for-byte.
+//   jpm hash <scenario.json>
+//       Prints the scenario's provenance hash (FNV-1a 64, 16 hex digits).
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "jpm/spec/run.h"
+#include "jpm/spec/spec.h"
+#include "jpm/telemetry/export.h"
+#include "jpm/telemetry/telemetry.h"
+#include "jpm/util/parallel.h"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: jpm <command> [args]\n"
+        "  jpm run <scenario.json> [--telemetry=<base>]   execute the sweep\n"
+        "  jpm validate <scenario.json>...                parse + validate\n"
+        "  jpm print <scenario.json> [--resolved]         canonical form\n"
+        "  jpm hash <scenario.json>                       provenance hash\n"
+        "environment: JPM_BENCH_FAST=1 (smoke schedule), JPM_THREADS=N,\n"
+        "             JPM_SCENARIO_DIR (default scenario directory)\n";
+  return code;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  std::string file;
+  std::string telemetry_base;
+  for (const auto& a : args) {
+    if (a.rfind("--telemetry=", 0) == 0) {
+      telemetry_base = a.substr(std::strlen("--telemetry="));
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "jpm run: unknown option " << a << "\n";
+      return 2;
+    } else if (file.empty()) {
+      file = a;
+    } else {
+      std::cerr << "jpm run: expected one scenario file\n";
+      return 2;
+    }
+  }
+  if (file.empty()) {
+    std::cerr << "jpm run: missing scenario file\n";
+    return 2;
+  }
+
+  const auto sc = jpm::spec::load_for_run(file);
+  std::cerr << "jpm: threads=" << jpm::util::default_thread_count()
+            << (jpm::spec::fast_mode() ? ", fast mode (JPM_BENCH_FAST=1)" : "")
+            << "\n";
+  if (!telemetry_base.empty()) {
+    jpm::telemetry::start();
+    std::cerr << "jpm: telemetry -> " << telemetry_base
+              << ".{report.json,trace.json,periods.csv}\n";
+  }
+
+  jpm::spec::RunOptions options;
+  options.progress = [](const std::string& line) {
+    std::cerr << "  " << line << "\n";
+  };
+  jpm::spec::run_scenario(sc, options);
+
+  if (!telemetry_base.empty()) {
+    std::string error;
+    if (!jpm::telemetry::export_files(telemetry_base, &error)) {
+      std::cerr << "jpm: telemetry export failed: " << error << "\n";
+      jpm::telemetry::stop();
+      return 1;
+    }
+    jpm::telemetry::stop();
+  }
+  return 0;
+}
+
+int cmd_validate(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "jpm validate: missing scenario file\n";
+    return 2;
+  }
+  int failures = 0;
+  for (const auto& file : args) {
+    try {
+      const auto sc = jpm::spec::load_scenario_file(file);
+      jpm::spec::validate_scenario(sc);
+      std::cout << "ok " << file << " sha=" << jpm::spec::scenario_hash(sc)
+                << "\n";
+    } catch (const jpm::spec::SpecError& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_print(const std::vector<std::string>& args) {
+  std::string file;
+  for (const auto& a : args) {
+    if (a == "--resolved") continue;  // printing is always fully resolved
+    if (!a.empty() && a[0] == '-') {
+      std::cerr << "jpm print: unknown option " << a << "\n";
+      return 2;
+    }
+    if (!file.empty()) {
+      std::cerr << "jpm print: expected one scenario file\n";
+      return 2;
+    }
+    file = a;
+  }
+  if (file.empty()) {
+    std::cerr << "jpm print: missing scenario file\n";
+    return 2;
+  }
+  const auto sc = jpm::spec::load_scenario_file(file);
+  jpm::spec::validate_scenario(sc);
+  std::cout << jpm::spec::serialize_scenario(sc);
+  return 0;
+}
+
+int cmd_hash(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    std::cerr << "jpm hash: expected one scenario file\n";
+    return 2;
+  }
+  const auto sc = jpm::spec::load_scenario_file(args[0]);
+  std::cout << jpm::spec::scenario_hash(sc) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "run") return cmd_run(args);
+    if (command == "validate") return cmd_validate(args);
+    if (command == "print") return cmd_print(args);
+    if (command == "hash") return cmd_hash(args);
+    if (command == "help" || command == "--help" || command == "-h") {
+      return usage(std::cout, 0);
+    }
+  } catch (const jpm::spec::SpecError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "jpm: unknown command \"" << command << "\"\n";
+  return usage(std::cerr, 2);
+}

@@ -298,9 +298,10 @@ struct Engine::Impl {
         break;
     }
 
-    if (policy.is_joint()) {
-      JPM_CHECK_MSG(policy.mem == MemPolicyKind::kJoint,
-                    "joint disk policy requires joint memory policy");
+    if (policy.joint_disk() || policy.joint_memory()) {
+      JPM_CHECK_MSG(policy.joint_disk() && policy.joint_memory(),
+                    "joint disk and joint memory policies must be used "
+                    "together");
       tracker = std::make_unique<cache::StackDistanceTracker>();
       // The closed-loop guard only engages through an enabled fault plan;
       // otherwise the manager keeps the paper's open-loop behavior.

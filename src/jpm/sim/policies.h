@@ -36,7 +36,14 @@ struct PolicySpec {
   // disk timeout policy is then inert (speed control is internal).
   bool multi_speed = false;
 
-  bool is_joint() const { return disk == DiskPolicyKind::kJoint; }
+  // The two halves of the joint method. They are only meaningful together
+  // (the manager sets the memory size AND the disk timeout each period), so
+  // the engine requires joint_disk() == joint_memory(); querying them
+  // separately exists so that mismatch can be detected rather than one half
+  // silently running without the manager.
+  bool joint_disk() const { return disk == DiskPolicyKind::kJoint; }
+  bool joint_memory() const { return mem == MemPolicyKind::kJoint; }
+  bool is_joint() const { return joint_disk() && joint_memory(); }
 };
 
 PolicySpec joint_policy();

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "jpm/telemetry/internal.h"
+#include "jpm/util/check.h"
 #include "jpm/util/json.h"
 
 namespace jpm::telemetry {
@@ -125,6 +126,19 @@ std::string report_json() {
   root["categories"] = Value{static_cast<std::uint64_t>(s->options.categories)};
   root["ring_capacity"] =
       Value{static_cast<std::uint64_t>(s->options.ring_capacity)};
+
+  // Provenance: when a resolved scenario has been published (jpm::spec /
+  // the bench harnesses), embed it plus its content hash so the report can
+  // be re-run from its own spec.
+  const std::string scenario = scenario_json();
+  if (!scenario.empty()) {
+    Value sv;
+    std::string parse_error;
+    JPM_CHECK_MSG(util::json::parse(scenario, &sv, &parse_error),
+                  "published scenario provenance is not valid JSON");
+    root["scenario"] = std::move(sv);
+    root["scenario_hash"] = Value{scenario_hash_hex()};
+  }
 
   Array runs;
   for (const auto& run : s->runs) {

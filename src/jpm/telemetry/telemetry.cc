@@ -133,6 +133,38 @@ std::uint64_t now_ns(SessionState* s) {
 
 }  // namespace
 
+namespace {
+// Provenance lives outside SessionState: the scenario is a property of the
+// process invocation, not of one telemetry session, and must survive
+// start()/stop() cycles so an atexit export still sees it.
+std::mutex g_scenario_mu;
+std::string g_scenario_json;
+std::string g_scenario_hash;
+}  // namespace
+
+void set_scenario(const std::string& resolved_json,
+                  const std::string& hash_hex) {
+  const std::lock_guard<std::mutex> lock(g_scenario_mu);
+  g_scenario_json = resolved_json;
+  g_scenario_hash = hash_hex;
+}
+
+void clear_scenario() {
+  const std::lock_guard<std::mutex> lock(g_scenario_mu);
+  g_scenario_json.clear();
+  g_scenario_hash.clear();
+}
+
+std::string scenario_json() {
+  const std::lock_guard<std::mutex> lock(g_scenario_mu);
+  return g_scenario_json;
+}
+
+std::string scenario_hash_hex() {
+  const std::lock_guard<std::mutex> lock(g_scenario_mu);
+  return g_scenario_hash;
+}
+
 void start(const Options& options) {
   const std::lock_guard<std::mutex> lock(g_lifecycle_mu);
   JPM_CHECK_MSG(g_session == nullptr,

@@ -108,6 +108,20 @@ inline bool enabled() {
   return detail::g_runtime_mask.load(std::memory_order_relaxed) != 0;
 }
 
+// ---- provenance -------------------------------------------------------------
+// The resolved scenario this process is running (serialized by jpm::spec)
+// plus its content hash (16 hex digits, FNV-1a 64 of the serialization).
+// Stored independently of the session lifecycle — harnesses publish whenever
+// the scenario is loaded, before or after start() — and embedded by
+// report_json() as "scenario" / "scenario_hash" so any report can be re-run
+// from its own spec. `resolved_json` must be a JSON object document.
+void set_scenario(const std::string& resolved_json,
+                  const std::string& hash_hex);
+void clear_scenario();
+// Empty strings when no scenario has been published.
+std::string scenario_json();
+std::string scenario_hash_hex();
+
 // Starts the global session. Restarting an active session is an error
 // (JPM_CHECK); stop() first. Thread-compatible: call with no concurrent
 // emitters.

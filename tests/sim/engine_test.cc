@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "jpm/sim/runner.h"
+#include "jpm/util/check.h"
 
 namespace jpm::sim {
 namespace {
@@ -157,6 +158,21 @@ TEST(EngineTest, JointBeatsAlwaysOnAndMeetsConstraints) {
           : static_cast<double>(joint.long_latency_count) /
                 static_cast<double>(joint.cache_accesses);
   EXPECT_LE(delayed_ratio, 10 * e.joint.delay_limit);
+}
+
+// Regression: a spec pairing joint memory with a non-joint disk policy used
+// to slip past the manager gate (is_joint() keyed only on the disk half) and
+// silently ran with memory pinned at full size. Both mismatches must now be
+// rejected loudly.
+TEST(EngineTest, RejectsMismatchedJointHalves) {
+  PolicySpec mem_only{"mem-only-joint", DiskPolicyKind::kTwoCompetitive,
+                      MemPolicyKind::kJoint, 0};
+  EXPECT_THROW(run_simulation(small_workload(), mem_only, small_engine()),
+               CheckError);
+  PolicySpec disk_only{"disk-only-joint", DiskPolicyKind::kJoint,
+                       MemPolicyKind::kNapAll, 0};
+  EXPECT_THROW(run_simulation(small_workload(), disk_only, small_engine()),
+               CheckError);
 }
 
 TEST(EngineTest, PeriodRecordsCoverRun) {

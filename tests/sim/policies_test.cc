@@ -50,6 +50,34 @@ TEST(PoliciesTest, JointSpecIsSelfConsistent) {
   EXPECT_EQ(s.mem, MemPolicyKind::kJoint);
 }
 
+// Regression: is_joint() used to key only on the disk half, so a spec with
+// joint memory but a non-joint disk policy bypassed the engine's joint-
+// manager gate and silently ran with memory pinned at full size. The halves
+// are now queryable separately and is_joint() means both.
+TEST(PoliciesTest, JointHalvesAreTrackedSeparately) {
+  PolicySpec mem_only;
+  mem_only.mem = MemPolicyKind::kJoint;  // disk stays kAlwaysOn
+  EXPECT_FALSE(mem_only.joint_disk());
+  EXPECT_TRUE(mem_only.joint_memory());
+  EXPECT_FALSE(mem_only.is_joint());
+
+  PolicySpec disk_only;
+  disk_only.disk = DiskPolicyKind::kJoint;  // mem stays kNapAll
+  EXPECT_TRUE(disk_only.joint_disk());
+  EXPECT_FALSE(disk_only.joint_memory());
+  EXPECT_FALSE(disk_only.is_joint());
+}
+
+// drpm_joint_policy() (inert disk timeout, multi-speed disk) must still be
+// recognized as joint on both halves so it reaches the manager gate.
+TEST(PoliciesTest, DrpmJointIsJointOnBothHalves) {
+  const auto s = drpm_joint_policy();
+  EXPECT_TRUE(s.joint_disk());
+  EXPECT_TRUE(s.joint_memory());
+  EXPECT_TRUE(s.is_joint());
+  EXPECT_TRUE(s.multi_speed);
+}
+
 TEST(PoliciesTest, CustomRosterSizes) {
   const auto roster = paper_policies(gib(64), {4, 64});
   // joint + 2*(2 FM + PD + DS) + always-on = 10

@@ -183,6 +183,55 @@ TEST(ReportSchemaTest, PopulatedInProcessReportValidates) {
                               << " more)";
 }
 
+// Scenario provenance: when a resolved scenario has been published, the
+// report embeds it verbatim plus its content hash; when cleared, both fields
+// disappear. Either shape must validate against the schema.
+TEST(ReportSchemaTest, ScenarioProvenanceAppearsInReport) {
+  const std::string scenario =
+      R"({"version": 1, "name": "prov", "description": "",
+          "workloads": [], "roster": [], "engine": {},
+          "output": {"header": "", "tables": []}})";
+  set_scenario(scenario, "00000000deadbeef");
+  start({});
+  sim::run_sweep({{"64MB", [] {
+                     workload::SynthesizerConfig w;
+                     w.dataset_bytes = mib(64);
+                     w.byte_rate = 20e6;
+                     w.duration_s = 300.0;
+                     w.page_bytes = 64 * kKiB;
+                     return w;
+                   }()}},
+                 {sim::always_on_policy()}, [] {
+                   sim::EngineConfig e;
+                   e.joint.physical_bytes = gib(1);
+                   e.joint.unit_bytes = 16 * kMiB;
+                   e.joint.page_bytes = 64 * kKiB;
+                   return e;
+                 }());
+  const std::string with_provenance = report_json();
+  clear_scenario();
+  const std::string without_provenance = report_json();
+  stop();
+
+  EXPECT_TRUE(validate_report(with_provenance).empty());
+  EXPECT_TRUE(validate_report(without_provenance).empty());
+
+  Value report;
+  std::string error;
+  ASSERT_TRUE(util::json::parse(with_provenance, &report, &error)) << error;
+  const Value* embedded = report.as_object().find("scenario");
+  ASSERT_NE(embedded, nullptr);
+  EXPECT_EQ(embedded->as_object().find("name")->as_string(), "prov");
+  const Value* hash = report.as_object().find("scenario_hash");
+  ASSERT_NE(hash, nullptr);
+  EXPECT_EQ(hash->as_string(), "00000000deadbeef");
+
+  ASSERT_TRUE(
+      util::json::parse(without_provenance, &report, &error)) << error;
+  EXPECT_EQ(report.as_object().find("scenario"), nullptr);
+  EXPECT_EQ(report.as_object().find("scenario_hash"), nullptr);
+}
+
 // The zero-to-artifact path a user actually takes: run a bench harness with
 // --telemetry and validate what lands on disk. Also checks the "telemetry
 // never touches stdout" contract by diffing against a telemetry-off run.
@@ -200,9 +249,25 @@ TEST(ReportSchemaTest, BenchHarnessSubprocessReportValidates) {
   ASSERT_EQ(std::system(run_with.c_str()), 0) << run_with;
   ASSERT_EQ(std::system(run_without.c_str()), 0) << run_without;
 
-  const auto errors = validate_report(read_file(base + ".report.json"));
+  const std::string report_text = read_file(base + ".report.json");
+  const auto errors = validate_report(report_text);
   EXPECT_TRUE(errors.empty()) << errors.front() << " (+" << errors.size() - 1
                               << " more)";
+
+  // The harness loads its scenario through bench::load_scenario, so the
+  // report must carry the resolved scenario and its content hash.
+  {
+    Value report;
+    std::string parse_error;
+    ASSERT_TRUE(util::json::parse(report_text, &report, &parse_error))
+        << parse_error;
+    const Value* scenario = report.as_object().find("scenario");
+    ASSERT_NE(scenario, nullptr) << "report lacks scenario provenance";
+    EXPECT_EQ(scenario->as_object().find("name")->as_string(), "models");
+    const Value* hash = report.as_object().find("scenario_hash");
+    ASSERT_NE(hash, nullptr);
+    EXPECT_EQ(hash->as_string().size(), 16u);
+  }
 
   // trace.json must parse; periods.csv exists (possibly empty for harnesses
   // that run no simulation).
