@@ -1,17 +1,31 @@
-// Google-benchmark microbenches for the simulator's hot kernels: LRU cache
+// Google-benchmark microbenches for the simulator's hot kernels: page-table
+// probes (util::FlatMap vs the std::unordered_map it replaced), LRU cache
 // operations, the Fenwick stack-distance tracker, the idle-interval sweep,
 // Pareto fitting, trace synthesis throughput, single-policy engine replay —
 // the perf baseline for the sweep hot loop — and scenario-file parse/
 // serialize throughput for the jpm::spec layer.
+//
+// Beyond the stock google-benchmark flags, the custom main() accepts
+//   --snapshot=<file>   write a machine-readable BENCH_micro.json
+//   --compare=<file>    exit non-zero if any benchmark's items/s fell below
+//                       baseline/tolerance (the CI perf-smoke gate)
+//   --tolerance=<x>     slack factor for --compare (default 2.0)
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "jpm/cache/idle_sweep.h"
 #include "jpm/cache/lru_cache.h"
 #include "jpm/cache/stack_distance.h"
+#include "jpm/util/flat_map.h"
+#include "jpm/util/json.h"
 #include "jpm/pareto/pareto.h"
 #include "jpm/sim/engine.h"
 #include "jpm/sim/policies.h"
@@ -24,6 +38,132 @@
 
 namespace jpm {
 namespace {
+
+// Distinct keys (odd multiplier is injective mod 2^64), inserted in
+// generation order but *visited* in an unrelated shuffled order. The
+// decorrelation matters: visiting in insertion order would let a node-based
+// map serve its nodes from the hardware prefetcher (they were allocated
+// sequentially), which no real page-access pattern provides.
+std::vector<std::uint64_t> map_bench_keys(std::size_t n) {
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = i * 0x2545f4914f6cdd1dull + 1;
+  }
+  return keys;
+}
+
+std::vector<std::uint32_t> map_bench_visit_order(std::size_t n) {
+  std::vector<std::uint32_t> visit(n);
+  for (std::size_t i = 0; i < n; ++i) visit[i] = static_cast<std::uint32_t>(i);
+  Rng rng(7);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(visit[i - 1], visit[rng.uniform_index(i)]);
+  }
+  return visit;
+}
+
+// Point lookups at steady state: every probe hits. This is the page-table
+// operation the engine pays once per trace event.
+void BM_FlatMapLookup(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto keys = map_bench_keys(n);
+  const auto visit = map_bench_visit_order(n);
+  util::FlatMap<std::uint32_t> map;
+  for (std::size_t i = 0; i < n; ++i) {
+    *map.find_or_insert(keys[i]) = static_cast<std::uint32_t>(i);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(keys[visit[i]]));
+    if (++i == n) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatMapLookup)->Arg(1 << 20);
+
+void BM_UnorderedMapLookup(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto keys = map_bench_keys(n);
+  const auto visit = map_bench_visit_order(n);
+  std::unordered_map<std::uint64_t, std::uint32_t> map;
+  map.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    map[keys[i]] = static_cast<std::uint32_t>(i);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(keys[visit[i]]));
+    if (++i == n) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnorderedMapLookup)->Arg(1 << 20);
+
+// Insert+erase churn at full occupancy: a sliding window over the key
+// universe, the pattern a standalone (non-joint) cache's table sees when
+// every miss inserts a page and evicts another.
+void BM_FlatMapChurn(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::FlatMap<std::uint32_t> map;
+  map.reserve(n);
+  std::uint64_t head = 0;
+  for (; head < n; ++head) {
+    *map.find_or_insert(head * 0x2545f4914f6cdd1dull + 1) = 0;
+  }
+  std::uint64_t tail = 0;
+  for (auto _ : state) {
+    *map.find_or_insert(head * 0x2545f4914f6cdd1dull + 1) = 0;
+    map.erase(tail * 0x2545f4914f6cdd1dull + 1);
+    ++head;
+    ++tail;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatMapChurn)->Arg(1 << 20);
+
+void BM_UnorderedMapChurn(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::unordered_map<std::uint64_t, std::uint32_t> map;
+  map.reserve(n);
+  std::uint64_t head = 0;
+  for (; head < n; ++head) {
+    map[head * 0x2545f4914f6cdd1dull + 1] = 0;
+  }
+  std::uint64_t tail = 0;
+  for (auto _ : state) {
+    map[head * 0x2545f4914f6cdd1dull + 1] = 0;
+    map.erase(tail * 0x2545f4914f6cdd1dull + 1);
+    ++head;
+    ++tail;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnorderedMapChurn)->Arg(1 << 20);
+
+// LRU single-operation baselines bracketing BM_LruCacheAccess's mix: a pure
+// resident-page hit (one probe + list splice) and a pure miss at capacity
+// (probe + evict + insert).
+void BM_LruLookupHit(benchmark::State& state) {
+  cache::LruCache cache(cache::LruCacheOptions{1 << 16, 64, 1 << 14});
+  for (std::uint64_t p = 0; p < (1 << 14); ++p) cache.insert(p);
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(rng.uniform_index(1 << 14)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruLookupHit);
+
+void BM_LruInsertEvict(benchmark::State& state) {
+  cache::LruCache cache(cache::LruCacheOptions{1 << 16, 64, 1 << 14});
+  std::uint64_t next = 0;
+  for (; next < (1 << 14); ++next) cache.insert(next);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.insert(next++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruInsertEvict);
 
 void BM_LruCacheAccess(benchmark::State& state) {
   cache::LruCache cache(cache::LruCacheOptions{1 << 16, 64, 1 << 14});
@@ -193,6 +333,169 @@ void BM_TelemetryEventEnabled(benchmark::State& state) {
 BENCHMARK(BM_TelemetryEventEnabled);
 
 }  // namespace
+
+// One benchmark's distilled result: what the snapshot stores and the
+// compare gate checks. items/s is the stable cross-run metric (real time
+// per iteration scales with machine load far more).
+struct BenchResult {
+  std::string name;
+  double items_per_second = 0.0;
+  double real_time_per_iter_ns = 0.0;
+};
+
+// Forwards everything to the normal console reporter while collecting the
+// per-iteration runs for the snapshot/compare paths.
+class SnapshotReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit SnapshotReporter(benchmark::BenchmarkReporter* inner)
+      : inner_(inner) {}
+
+  bool ReportContext(const Context& context) override {
+    return inner_->ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      BenchResult r;
+      r.name = run.benchmark_name();
+      if (run.iterations > 0) {
+        r.real_time_per_iter_ns =
+            run.real_accumulated_time / static_cast<double>(run.iterations) *
+            1e9;
+      }
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) r.items_per_second = it->second;
+      results_.push_back(std::move(r));
+    }
+    inner_->ReportRuns(report);
+  }
+
+  void Finalize() override { inner_->Finalize(); }
+
+  const std::vector<BenchResult>& results() const { return results_; }
+
+ private:
+  benchmark::BenchmarkReporter* inner_;
+  std::vector<BenchResult> results_;
+};
+
+bool write_snapshot(const std::string& path,
+                    const std::vector<BenchResult>& results) {
+  util::json::Object root;
+  root["schema"] = "jpm-bench-micro/1";
+  util::json::Array benches;
+  for (const BenchResult& r : results) {
+    util::json::Object b;
+    b["name"] = r.name;
+    b["items_per_second"] = r.items_per_second;
+    b["real_time_per_iter_ns"] = r.real_time_per_iter_ns;
+    benches.push_back(util::json::Value(std::move(b)));
+  }
+  root["benchmarks"] = util::json::Value(std::move(benches));
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "bench_micro: cannot write snapshot to " << path << "\n";
+    return false;
+  }
+  out << util::json::dump(util::json::Value(std::move(root)), 2) << "\n";
+  return out.good();
+}
+
+// Returns true when every benchmark present in both the baseline and this
+// run kept items/s >= baseline/tolerance. Benchmarks missing on either side
+// are reported but never fail the gate (the suite may grow or shrink).
+bool compare_to_baseline(const std::string& path, double tolerance,
+                         const std::vector<BenchResult>& results) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "bench_micro: cannot read baseline " << path << "\n";
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  util::json::Value root;
+  std::string error;
+  if (!util::json::parse(text.str(), &root, &error) || !root.is_object()) {
+    std::cerr << "bench_micro: bad baseline JSON: " << error << "\n";
+    return false;
+  }
+  const util::json::Value* benches = root.as_object().find("benchmarks");
+  if (benches == nullptr || !benches->is_array()) {
+    std::cerr << "bench_micro: baseline has no benchmarks array\n";
+    return false;
+  }
+  bool ok = true;
+  for (const util::json::Value& b : benches->as_array()) {
+    if (!b.is_object()) continue;
+    const util::json::Value* name = b.as_object().find("name");
+    const util::json::Value* ips = b.as_object().find("items_per_second");
+    if (name == nullptr || !name->is_string() || ips == nullptr ||
+        !ips->is_number() || ips->as_number() <= 0.0) {
+      continue;  // rate-less benchmarks carry no stable metric to gate on
+    }
+    const BenchResult* current = nullptr;
+    for (const BenchResult& r : results) {
+      if (r.name == name->as_string()) {
+        current = &r;
+        break;
+      }
+    }
+    if (current == nullptr) {
+      std::cerr << "perf-smoke: " << name->as_string()
+                << " missing from this run (skipped)\n";
+      continue;
+    }
+    const double floor = ips->as_number() / tolerance;
+    const char* verdict = current->items_per_second >= floor ? "ok" : "SLOW";
+    std::cerr << "perf-smoke: " << name->as_string() << " "
+              << current->items_per_second << " items/s vs baseline "
+              << ips->as_number() << " (floor " << floor << "): " << verdict
+              << "\n";
+    if (current->items_per_second < floor) ok = false;
+  }
+  return ok;
+}
+
 }  // namespace jpm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string snapshot_path;
+  std::string baseline_path;
+  double tolerance = 2.0;
+  // Consume our flags before google-benchmark sees (and rejects) them.
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--snapshot=", 11) == 0) {
+      snapshot_path = arg + 11;
+    } else if (std::strncmp(arg, "--compare=", 10) == 0) {
+      baseline_path = arg + 10;
+    } else if (std::strncmp(arg, "--tolerance=", 12) == 0) {
+      tolerance = std::stod(arg + 12);
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::unique_ptr<benchmark::BenchmarkReporter> display(
+      benchmark::CreateDefaultDisplayReporter());
+  jpm::SnapshotReporter reporter(display.get());
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  int rc = 0;
+  if (!snapshot_path.empty() &&
+      !jpm::write_snapshot(snapshot_path, reporter.results())) {
+    rc = 1;
+  }
+  if (!baseline_path.empty() &&
+      !jpm::compare_to_baseline(baseline_path, tolerance,
+                                reporter.results())) {
+    rc = 1;
+  }
+  return rc;
+}

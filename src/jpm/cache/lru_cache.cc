@@ -4,7 +4,7 @@
 
 namespace jpm::cache {
 
-LruCache::LruCache(const LruCacheOptions& options)
+LruCache::LruCache(const LruCacheOptions& options, PageTable* shared)
     : frames_per_bank_(options.frames_per_bank),
       capacity_(options.capacity_frames) {
   JPM_CHECK(options.total_frames > 0);
@@ -21,26 +21,28 @@ LruCache::LruCache(const LruCacheOptions& options)
   for (std::uint64_t b = banks; b > 0; --b) {
     cold_banks_.push_back(static_cast<BankIndex>(b - 1));
   }
-  map_.reserve(options.capacity_frames);
+  if (shared != nullptr) {
+    table_ = shared;
+  } else {
+    owned_table_ = std::make_unique<PageTable>();
+    table_ = owned_table_.get();
+  }
+  table_->reserve(options.capacity_frames);
 }
 
 std::optional<AccessOutcome> LruCache::lookup(PageId page) {
-  const auto it = map_.find(page);
-  if (it == map_.end()) return std::nullopt;
-  const FrameIndex f = it->second;
-  if (f != head_) {
-    unlink(f);
-    push_front(f);
-  }
-  return AccessOutcome{true, bank_of(f)};
+  const PageEntry* e = table_->find(page);
+  if (e == nullptr || e->frame == kNoFrame) return std::nullopt;
+  return touch(e->frame);
 }
 
 InsertOutcome LruCache::insert(PageId page) {
-  JPM_DCHECK(!map_.contains(page));
   JPM_CHECK_MSG(capacity_ > 0, "insert into zero-capacity cache");
   InsertOutcome out;
   if (size_ >= capacity_) {
     out.evicted = true;
+    // Evict before resolving `page`'s entry: a physical erase may relocate
+    // entries within the flat table.
     evict_lru(&out.evicted_page, &out.evicted_dirty);
   }
   const FrameIndex f = allocate_frame();
@@ -49,9 +51,12 @@ InsertOutcome LruCache::insert(PageId page) {
   n.occupied = true;
   n.dirty = false;
   push_front(f);
-  map_.emplace(page, f);
+  PageEntry* e = table_->find_or_insert(page);
+  JPM_DCHECK(e->frame == kNoFrame);
+  e->frame = f;
   ++size_;
   out.bank = bank_of(f);
+  out.frame = f;
   ++bank_population_[out.bank];
   return out;
 }
@@ -87,36 +92,41 @@ std::uint64_t LruCache::invalidate_bank(BankIndex bank,
 }
 
 void LruCache::mark_dirty(PageId page) {
-  const auto it = map_.find(page);
-  JPM_CHECK_MSG(it != map_.end(), "mark_dirty on a non-resident page");
-  Node& n = nodes_[it->second];
+  const PageEntry* e = table_->find(page);
+  JPM_CHECK_MSG(e != nullptr && e->frame != kNoFrame,
+                "mark_dirty on a non-resident page");
+  mark_dirty_frame(e->frame);
+}
+
+void LruCache::mark_dirty_frame(FrameIndex f) {
+  Node& n = nodes_[f];
+  JPM_DCHECK(n.occupied);
   if (!n.dirty) {
     n.dirty = true;
     ++dirty_count_;
-    dirty_frames_.push_back(it->second);
+    dirty_frames_.push_back(f);
   }
 }
 
 bool LruCache::is_dirty(PageId page) const {
-  const auto it = map_.find(page);
-  return it != map_.end() && nodes_[it->second].dirty;
+  const PageEntry* e = table_->find(page);
+  return e != nullptr && e->frame != kNoFrame && nodes_[e->frame].dirty;
 }
 
-std::vector<PageId> LruCache::take_dirty_pages() {
-  std::vector<PageId> pages;
-  pages.reserve(dirty_count_);
+void LruCache::take_dirty_pages(std::vector<PageId>* out) {
+  out->clear();
+  if (out->capacity() < dirty_count_) out->reserve(dirty_count_);
   for (FrameIndex f : dirty_frames_) {
     Node& n = nodes_[f];
     if (n.occupied && n.dirty) {
       n.dirty = false;
       --dirty_count_;
-      pages.push_back(n.page);
+      out->push_back(n.page);
     }
   }
   dirty_frames_.clear();
   JPM_DCHECK(dirty_count_ == 0);
-  std::sort(pages.begin(), pages.end());
-  return pages;
+  std::sort(out->begin(), out->end());
 }
 
 std::uint64_t LruCache::bank_population(BankIndex bank) const {
@@ -131,24 +141,6 @@ std::vector<PageId> LruCache::lru_order() const {
     order.push_back(nodes_[f].page);
   }
   return order;
-}
-
-void LruCache::unlink(FrameIndex f) {
-  Node& n = nodes_[f];
-  if (n.prev != kNoFrame) nodes_[n.prev].next = n.next;
-  if (n.next != kNoFrame) nodes_[n.next].prev = n.prev;
-  if (head_ == f) head_ = n.next;
-  if (tail_ == f) tail_ = n.prev;
-  n.prev = n.next = kNoFrame;
-}
-
-void LruCache::push_front(FrameIndex f) {
-  Node& n = nodes_[f];
-  n.prev = kNoFrame;
-  n.next = head_;
-  if (head_ != kNoFrame) nodes_[head_].prev = f;
-  head_ = f;
-  if (tail_ == kNoFrame) tail_ = f;
 }
 
 FrameIndex LruCache::allocate_frame() {
@@ -202,7 +194,17 @@ void LruCache::remove_frame(FrameIndex f) {
   Node& n = nodes_[f];
   JPM_DCHECK(n.occupied);
   unlink(f);
-  map_.erase(n.page);
+  PageEntry* e = table_->find(n.page);
+  JPM_DCHECK(e != nullptr && e->frame == f);
+  if (e->slot == kNoSlot) {
+    // No other half alive: drop the entry entirely (standalone caches keep
+    // the table at resident-set size this way).
+    table_->erase(n.page);
+  } else {
+    // A stack-distance slot still references this page; keep the entry and
+    // vacate only the residency half.
+    e->frame = kNoFrame;
+  }
   n.occupied = false;
   if (n.dirty) {
     n.dirty = false;

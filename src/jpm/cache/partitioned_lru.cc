@@ -83,9 +83,12 @@ PartitionedLruCache::PartitionedLruCache(const PartitionedLruOptions& options)
     const std::uint64_t u = base + (leftover > 0 ? 1 : 0);
     if (leftover > 0) --leftover;
     units_.push_back(u);
-    caches_.emplace_back(LruCacheOptions{
-        options.total_frames, options.unit_frames, u * options.unit_frames});
-    trackers_.emplace_back();
+    tables_.push_back(std::make_unique<PageTable>());
+    caches_.emplace_back(
+        LruCacheOptions{options.total_frames, options.unit_frames,
+                        u * options.unit_frames},
+        tables_.back().get());
+    trackers_.emplace_back(tables_.back().get());
     curves_.emplace_back(options.unit_frames, total_units_);
     misses_.push_back(0);
   }
@@ -93,8 +96,15 @@ PartitionedLruCache::PartitionedLruCache(const PartitionedLruOptions& options)
 
 bool PartitionedLruCache::access(std::uint32_t partition, PageId page) {
   JPM_CHECK(partition < caches_.size());
-  curves_[partition].add(trackers_[partition].access(page));
-  if (caches_[partition].lookup(page)) return true;
+  // One probe serves both the stack-distance update and the residency
+  // check; the tracker always runs first, so every entry carries a slot and
+  // evictions never physically erase (the entry pointer stays valid).
+  PageEntry* entry = tables_[partition]->find_or_insert(page);
+  curves_[partition].add(trackers_[partition].access_at(*entry));
+  if (entry->frame != kNoFrame) {
+    caches_[partition].touch(entry->frame);
+    return true;
+  }
   caches_[partition].insert(page);
   ++misses_[partition];
   return false;

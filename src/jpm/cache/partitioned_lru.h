@@ -16,10 +16,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "jpm/cache/lru_cache.h"
 #include "jpm/cache/miss_curve.h"
+#include "jpm/cache/page_table.h"
 #include "jpm/cache/stack_distance.h"
 
 namespace jpm::cache {
@@ -75,6 +77,9 @@ class PartitionedLruCache {
  private:
   PartitionedLruOptions options_;
   std::uint64_t total_units_;
+  // Each partition's cache and tracker share one page table, so access()
+  // resolves a page with a single probe (the engine's fused hot path).
+  std::vector<std::unique_ptr<PageTable>> tables_;
   std::vector<LruCache> caches_;
   std::vector<StackDistanceTracker> trackers_;
   std::vector<MissCurve> curves_;

@@ -9,52 +9,51 @@ namespace {
 constexpr std::size_t kInitialSlots = 1024;
 }
 
-StackDistanceTracker::StackDistanceTracker()
-    : fenwick_(kInitialSlots), slot_page_(kInitialSlots, 0) {}
+StackDistanceTracker::StackDistanceTracker(PageTable* shared)
+    : fenwick_(kInitialSlots) {
+  if (shared != nullptr) {
+    table_ = shared;
+  } else {
+    owned_table_ = std::make_unique<PageTable>();
+    table_ = owned_table_.get();
+  }
+}
 
 std::uint64_t StackDistanceTracker::access(std::uint64_t page) {
-  ++total_accesses_;
-  if (next_slot_ == fenwick_.size()) compact();
-
-  std::uint64_t depth = kColdAccess;
-  const auto it = last_slot_.find(page);
-  if (it != last_slot_.end()) {
-    const std::size_t prev = it->second;
-    // Marked slots strictly after prev are pages touched since; +1 for the
-    // page itself (depth 1 == immediate re-access).
-    depth = static_cast<std::uint64_t>(
-                fenwick_.range_sum(prev + 1, fenwick_.size() - 1)) +
-            1;
-    fenwick_.add(prev, -1);
-  }
-
-  const std::size_t slot = next_slot_++;
-  fenwick_.add(slot, +1);
-  slot_page_[slot] = page;
-  last_slot_[page] = slot;
-  return depth;
+  return access_at(*table_->find_or_insert(page));
 }
 
 void StackDistanceTracker::compact() {
   // Rebuild with only the live (most recent per page) slots, preserving
-  // relative order; size to 2x live so compactions are amortized O(1).
-  std::vector<std::uint64_t> live;
-  live.reserve(last_slot_.size());
-  for (std::size_t s = 0; s < next_slot_; ++s) {
-    const auto it = last_slot_.find(slot_page_[s]);
-    if (it != last_slot_.end() && it->second == s) live.push_back(slot_page_[s]);
-  }
-  JPM_CHECK(live.size() == last_slot_.size());
+  // relative order; size to 4x live so compactions are amortized O(1). The
+  // live set is read straight off the page table — every entry with a slot
+  // is live by construction. The table iterates in unspecified order, so
+  // entries are scattered into a slot-indexed array (old slots are unique
+  // in [0, next_slot_)) and walked in ascending order: deterministic and
+  // comparison-free, unlike a sort.
+  by_slot_.assign(next_slot_, nullptr);
+  std::uint64_t live = 0;
+  table_->for_each([&](PageId /*page*/, PageEntry& entry) {
+    if (entry.slot != kNoSlot) {
+      by_slot_[entry.slot] = &entry;
+      ++live;
+    }
+  });
+  JPM_CHECK(live == live_pages_);
 
+  // 4x live: each rebuild buys 3x live accesses before the next one, and
+  // compaction timing is invisible to results (depths depend only on the
+  // relative order of marked slots, which renumbering preserves).
   const std::size_t new_size =
-      std::max<std::size_t>(kInitialSlots, live.size() * 2);
-  fenwick_.reset(new_size);
-  slot_page_.assign(new_size, 0);
+      std::max<std::size_t>(kInitialSlots, static_cast<std::size_t>(live) * 4);
+  JPM_CHECK_MSG(new_size < kNoSlot, "stack-distance slot space exhausted");
+  // After renumbering, slots [0, live) are all marked — build that tree in
+  // one O(new_size) pass rather than live * O(log) adds.
+  fenwick_.reset_ones_prefix(new_size, live);
   next_slot_ = 0;
-  for (std::uint64_t page : live) {
-    fenwick_.add(next_slot_, +1);
-    slot_page_[next_slot_] = page;
-    last_slot_[page] = next_slot_;
+  for (PageEntry* entry : by_slot_) {
+    if (entry == nullptr) continue;
+    entry->slot = static_cast<std::uint32_t>(next_slot_);
     ++next_slot_;
   }
 }

@@ -10,14 +10,22 @@
 //
 // Implementation: each access occupies a time slot; a Fenwick tree marks the
 // slots that are the *most recent* access of some page. The depth of a
-// re-access equals the count of marked slots after the page's previous slot.
-// Slots are compacted when the array grows past twice the live page count.
+// re-access equals the count of marked slots after the page's previous slot,
+// which is the number of live slots minus the prefix count through it — one
+// Fenwick traversal. Slots are compacted when the array grows past twice the
+// live page count.
+//
+// The page -> slot map lives in a PageTable (the `slot` half of each
+// PageEntry). By default the tracker owns a private table; the engine
+// instead passes the table it shares with the LRU cache and resolves each
+// page once per access, calling access_at() with the entry in hand.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "jpm/cache/page_table.h"
 #include "jpm/util/fenwick.h"
 
 namespace jpm::cache {
@@ -27,23 +35,56 @@ inline constexpr std::uint64_t kColdAccess = ~std::uint64_t{0};
 
 class StackDistanceTracker {
  public:
-  StackDistanceTracker();
+  // With no argument the tracker owns its page table; a non-null `shared`
+  // table lets callers fuse the page lookup with other per-page state (the
+  // engine shares one table between this tracker and its LruCache).
+  explicit StackDistanceTracker(PageTable* shared = nullptr);
 
   // Records an access and returns the page's LRU stack depth (1 = MRU
   // re-access) or kColdAccess for a first-ever reference.
   std::uint64_t access(std::uint64_t page);
 
+  // Same, for a caller that already resolved the page's entry in the shared
+  // table — the fused hot path; no hash probe happens here. Defined inline:
+  // this plus the probe is the whole per-event cost of prediction, and the
+  // Fenwick traversals inline into the engine loop.
+  std::uint64_t access_at(PageEntry& entry) {
+    ++total_accesses_;
+    if (next_slot_ == fenwick_.size()) compact();
+
+    std::uint64_t depth = kColdAccess;
+    if (entry.slot != kNoSlot) {
+      const std::size_t prev = entry.slot;
+      // Marked slots strictly after prev are pages touched since; +1 for the
+      // page itself (depth 1 == immediate re-access). Every live page has
+      // exactly one marked slot, so the count after prev is the live total
+      // minus the prefix through prev — one Fenwick traversal.
+      depth = live_pages_ -
+              static_cast<std::uint64_t>(fenwick_.prefix_sum(prev)) + 1;
+      fenwick_.add(prev, -1);
+    } else {
+      ++live_pages_;
+    }
+
+    const std::size_t slot = next_slot_++;
+    fenwick_.add(slot, +1);
+    entry.slot = static_cast<std::uint32_t>(slot);
+    return depth;
+  }
+
   // Number of distinct pages seen so far.
-  std::uint64_t distinct_pages() const { return last_slot_.size(); }
+  std::uint64_t distinct_pages() const { return live_pages_; }
   std::uint64_t total_accesses() const { return total_accesses_; }
 
  private:
   void compact();
 
   FenwickTree fenwick_;
-  std::vector<std::uint64_t> slot_page_;               // slot -> page
-  std::unordered_map<std::uint64_t, std::size_t> last_slot_;  // page -> slot
+  std::unique_ptr<PageTable> owned_table_;  // null when sharing
+  PageTable* table_;  // page -> slot lives in each entry's `slot` half
+  std::vector<PageEntry*> by_slot_;  // compact() scratch, reused across calls
   std::size_t next_slot_ = 0;
+  std::uint64_t live_pages_ = 0;
   std::uint64_t total_accesses_ = 0;
 };
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "jpm/cache/lru_cache.h"
+#include "jpm/cache/page_table.h"
 #include "jpm/cache/stack_distance.h"
 #include "jpm/disk/disk_array.h"
 #include "jpm/disk/multispeed.h"
@@ -36,6 +37,11 @@ struct Engine::Impl {
   std::unique_ptr<disk::TimeoutPolicy> timeout_policy;
   disk::DynamicTimeout* dynamic_timeout = nullptr;  // set for joint runs
   std::unique_ptr<disk::Storage> disk;
+  // One page table shared by the LRU cache and (in joint runs) the
+  // stack-distance tracker: the hot loop resolves each event's page with a
+  // single probe and hands the entry to both. Declared before its users so
+  // it outlives them.
+  cache::PageTable page_table;
   std::unique_ptr<cache::LruCache> lru;
   mem::MemoryEnergyMeter meter;
   std::unique_ptr<mem::BankSet> banks;  // PD / DS / always-on static energy
@@ -271,8 +277,9 @@ struct Engine::Impl {
                 policy.fixed_bytes <= jc.physical_bytes);
       capacity_frames = policy.fixed_bytes / jc.page_bytes;
     }
-    lru = std::make_unique<cache::LruCache>(cache::LruCacheOptions{
-        total_frames, frames_per_bank, capacity_frames});
+    lru = std::make_unique<cache::LruCache>(
+        cache::LruCacheOptions{total_frames, frames_per_bank, capacity_frames},
+        &page_table);
 
     // Memory static-energy accounting.
     const auto bank_count =
@@ -302,7 +309,7 @@ struct Engine::Impl {
       JPM_CHECK_MSG(policy.joint_disk() && policy.joint_memory(),
                     "joint disk and joint memory policies must be used "
                     "together");
-      tracker = std::make_unique<cache::StackDistanceTracker>();
+      tracker = std::make_unique<cache::StackDistanceTracker>(&page_table);
       // The closed-loop guard only engages through an enabled fault plan;
       // otherwise the manager keeps the paper's open-loop behavior.
       const fault::ManagerGuardConfig guard =
@@ -340,7 +347,8 @@ struct Engine::Impl {
   void process_flushes_until(double t) {
     if (config.flush_interval_s <= 0.0) return;
     while (next_flush <= t) {
-      write_back(next_flush, lru->take_dirty_pages());
+      lru->take_dirty_pages(&dirty_scratch);
+      write_back(next_flush, dirty_scratch);
       next_flush += config.flush_interval_s;
     }
   }
@@ -355,8 +363,13 @@ struct Engine::Impl {
   void prefill() {
     const std::uint64_t pages = total_pages;
     for (std::uint64_t p = 0; p < pages; ++p) {
-      if (tracker) tracker->access(p);
-      if (!lru->lookup(p)) lru->insert(p);
+      cache::PageEntry* entry = page_table.find_or_insert(p);
+      if (tracker) tracker->access_at(*entry);
+      if (entry->frame != cache::kNoFrame) {
+        lru->touch(entry->frame);
+      } else {
+        lru->insert(p);
+      }
     }
   }
 
@@ -516,8 +529,14 @@ struct Engine::Impl {
       }
       disk->advance(t);
 
+      // One probe resolves the page for every consumer of this event: the
+      // stack-distance update reads/writes the entry's `slot` half and the
+      // residency check reads its `frame` half. The entry pointer is valid
+      // until the next lru->insert (which may grow or shift the table), so
+      // the miss paths below go back through the insert outcome instead.
+      cache::PageEntry* entry = page_table.find_or_insert(event->page);
       if (tracker) {
-        const std::uint64_t depth = tracker->access(event->page);
+        const std::uint64_t depth = tracker->access_at(*entry);
         // Writes never become disk reads, so they stay out of the miss
         // curve and idle prediction; they still age the LRU stack above.
         if (!event->is_write) collector->on_access(t, depth);
@@ -525,11 +544,11 @@ struct Engine::Impl {
       ++metrics.cache_accesses;
       ++period_cache_accesses;
 
-      auto outcome = lru->lookup(event->page);
-      if (outcome) {
+      if (entry->frame != cache::kNoFrame) {
+        const auto outcome = lru->touch(entry->frame);
         meter.on_transfer(page_bytes);
-        if (event->is_write) lru->mark_dirty(event->page);
-        if (banks) banks->touch(outcome->bank, t);
+        if (event->is_write) lru->mark_dirty_frame(entry->frame);
+        if (banks) banks->touch(outcome.bank, t);
         continue;
       }
 
@@ -540,7 +559,7 @@ struct Engine::Impl {
         if (placed.evicted && placed.evicted_dirty) {
           write_back_page(t, placed.evicted_page);
         }
-        lru->mark_dirty(event->page);
+        lru->mark_dirty_frame(placed.frame);
         meter.on_transfer(page_bytes);
         if (banks) banks->touch(placed.bank, t);
         continue;
@@ -610,7 +629,8 @@ struct Engine::Impl {
     process_boundaries_until(end);
     process_flushes_until(end);
     // Shutdown flush: no dirty page outlives the run.
-    write_back(end, lru->take_dirty_pages());
+    lru->take_dirty_pages(&dirty_scratch);
+    write_back(end, dirty_scratch);
     if (period_start < end) close_period(end);
     disk->finalize(end);
     meter.finalize(end);

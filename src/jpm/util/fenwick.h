@@ -22,6 +22,22 @@ class FenwickTree {
 
   void reset(std::size_t size) { tree_.assign(size + 1, 0); }
 
+  // Resets to `size` positions with positions [0, ones) holding 1 and the
+  // rest 0 — the state after `ones` consecutive add(i, +1) calls, built in
+  // O(size) instead of O(ones log size). Node k (1-indexed) covers the
+  // (k & -k) positions ending at k, so its value is the overlap of that
+  // range with the ones-prefix.
+  void reset_ones_prefix(std::size_t size, std::size_t ones) {
+    JPM_DCHECK(ones <= size);
+    tree_.resize(size + 1);
+    tree_[0] = 0;
+    for (std::size_t k = 1; k <= size; ++k) {
+      const std::size_t lo = k - (k & (~k + 1));  // range is (lo, k]
+      const std::size_t hi_ones = k < ones ? k : ones;
+      tree_[k] = lo < hi_ones ? static_cast<std::int64_t>(hi_ones - lo) : 0;
+    }
+  }
+
   // Adds delta at 0-based position i.
   void add(std::size_t i, std::int64_t delta) {
     JPM_DCHECK(i < size());

@@ -1,0 +1,214 @@
+// Open-addressing hash map for the simulator's page tables.
+//
+// The per-event hot loop pays one hash lookup per access in every page
+// table it touches; std::unordered_map's node-based buckets turn each of
+// those into a pointer chase through cold memory plus an allocation per
+// insert. FlatMap stores key/value pairs inline in one power-of-two array
+// (16 bytes per slot for the engine's PageEntry — four slots per cache
+// line), probes linearly from a Fibonacci-hashed start index, and erases
+// with backward shifting, so the table never accumulates tombstones and a
+// lookup touches exactly one contiguous run of slots.
+//
+// Keys are u64; values must be trivially copyable (slots are relocated with
+// plain assignment during growth and backward-shift erase). One key value
+// (~0) is reserved internally as the empty-slot marker and handled out of
+// line, so the full u64 key space remains usable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "jpm/util/check.h"
+
+namespace jpm::util {
+
+// Growth knobs: the map rehashes to the next power of two once
+// size() * 100 > capacity() * max_load_percent. Small tables (the common
+// case for standalone caches in tests) start at min_capacity.
+struct FlatMapGrowth {
+  unsigned max_load_percent = 75;  // in (0, 90]
+  std::size_t min_capacity = 16;   // power of two, >= 2
+};
+
+template <typename V>
+class FlatMap {
+  static_assert(std::is_trivially_copyable_v<V>,
+                "FlatMap slots are relocated with plain assignment");
+
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  explicit FlatMap(FlatMapGrowth growth = {}) : growth_(growth) {
+    JPM_CHECK(growth_.max_load_percent > 0 && growth_.max_load_percent <= 90);
+    JPM_CHECK(growth_.min_capacity >= 2 &&
+              (growth_.min_capacity & (growth_.min_capacity - 1)) == 0);
+  }
+
+  std::size_t size() const { return size_ + (sentinel_used_ ? 1 : 0); }
+  bool empty() const { return size() == 0; }
+  // Slot-array capacity (0 until the first insert or reserve).
+  std::size_t capacity() const { return slots_.size(); }
+
+  // Pre-sizes the table so `n` keys fit without rehashing.
+  void reserve(std::size_t n) {
+    std::size_t want = growth_.min_capacity;
+    while (n * 100 > want * growth_.max_load_percent) want <<= 1;
+    if (want > slots_.size()) rehash(want);
+  }
+
+  void clear() {
+    for (auto& s : slots_) s.key = kEmptyKey;
+    size_ = 0;
+    sentinel_used_ = false;
+  }
+
+  V* find(std::uint64_t key) {
+    return const_cast<V*>(std::as_const(*this).find(key));
+  }
+
+  const V* find(std::uint64_t key) const {
+    if (key == kEmptyKey) return sentinel_used_ ? &sentinel_value_ : nullptr;
+    if (slots_.empty()) return nullptr;
+    std::size_t i = home(key);
+    while (slots_[i].key != kEmptyKey) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+  // Returns the value for `key`, default-constructing it when absent.
+  // `inserted` (optional) reports whether a new entry was created. The
+  // returned pointer is valid until the next insert, erase, or rehash.
+  V* find_or_insert(std::uint64_t key, bool* inserted = nullptr) {
+    if (inserted != nullptr) *inserted = false;
+    if (key == kEmptyKey) {
+      if (!sentinel_used_) {
+        sentinel_used_ = true;
+        sentinel_value_ = V{};
+        if (inserted != nullptr) *inserted = true;
+      }
+      return &sentinel_value_;
+    }
+    if (slots_.empty()) rehash(growth_.min_capacity);
+    std::size_t i = home(key);
+    while (slots_[i].key != kEmptyKey) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    if ((size_ + 1) * 100 > slots_.size() * growth_.max_load_percent) {
+      rehash(slots_.size() * 2);
+      i = home(key);
+      while (slots_[i].key != kEmptyKey) i = (i + 1) & mask_;
+    }
+    slots_[i].key = key;
+    slots_[i].value = V{};
+    ++size_;
+    if (inserted != nullptr) *inserted = true;
+    return &slots_[i].value;
+  }
+
+  // Inserts or overwrites; returns true when the key was new.
+  bool insert(std::uint64_t key, const V& value) {
+    bool added = false;
+    *find_or_insert(key, &added) = value;
+    return added;
+  }
+
+  // Removes the key with backward-shift deletion (no tombstones): every
+  // displaced successor in the probe cluster moves one step toward its home
+  // slot, preserving the linear-probe invariant. Returns false when absent.
+  bool erase(std::uint64_t key) {
+    if (key == kEmptyKey) {
+      const bool had = sentinel_used_;
+      sentinel_used_ = false;
+      return had;
+    }
+    if (slots_.empty()) return false;
+    std::size_t i = home(key);
+    while (slots_[i].key != key) {
+      if (slots_[i].key == kEmptyKey) return false;
+      i = (i + 1) & mask_;
+    }
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask_;
+      const std::uint64_t moved = slots_[j].key;
+      if (moved == kEmptyKey) break;
+      const std::size_t h = home(moved);
+      // Shift j back into the hole at i only if its home position lies at
+      // or cyclically before i — otherwise the element is already as close
+      // to home as the probe order allows.
+      const bool movable = (j > i) ? (h <= i || h > j) : (h <= i && h > j);
+      if (movable) {
+        slots_[i] = slots_[j];
+        i = j;
+      }
+    }
+    slots_[i].key = kEmptyKey;
+    --size_;
+    return true;
+  }
+
+  // Visits every (key, value) pair in unspecified order. Callers that need
+  // determinism must sort what they collect (see
+  // StackDistanceTracker::compact).
+  template <typename F>
+  void for_each(F&& f) const {
+    if (sentinel_used_) f(kEmptyKey, sentinel_value_);
+    for (const auto& s : slots_) {
+      if (s.key != kEmptyKey) f(s.key, s.value);
+    }
+  }
+
+  template <typename F>
+  void for_each(F&& f) {
+    if (sentinel_used_) f(kEmptyKey, sentinel_value_);
+    for (auto& s : slots_) {
+      if (s.key != kEmptyKey) f(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = kEmptyKey;
+    V value;
+  };
+
+  // Fibonacci hashing: multiply by 2^64/phi and keep the top bits. Spreads
+  // the sequential page ids the simulator generates across the table far
+  // better than masking the low bits would.
+  std::size_t home(std::uint64_t key) const {
+    return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ull) >> shift_);
+  }
+
+  void rehash(std::size_t new_capacity) {
+    JPM_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    shift_ = 64;
+    for (std::size_t c = new_capacity; c > 1; c >>= 1) --shift_;
+    for (const auto& s : old) {
+      if (s.key == kEmptyKey) continue;
+      std::size_t i = home(s.key);
+      while (slots_[i].key != kEmptyKey) i = (i + 1) & mask_;
+      slots_[i] = s;
+    }
+  }
+
+  FlatMapGrowth growth_;
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  unsigned shift_ = 64;
+  std::size_t size_ = 0;  // non-sentinel entries
+  bool sentinel_used_ = false;
+  V sentinel_value_{};
+};
+
+}  // namespace jpm::util

@@ -160,11 +160,15 @@ TEST(LruCacheDirtyTest, TakeDirtyReturnsSortedAndClears) {
     c.mark_dirty(p);
   }
   c.insert(7);  // clean
-  const auto dirty = c.take_dirty_pages();
+  std::vector<PageId> dirty;
+  c.take_dirty_pages(&dirty);
   EXPECT_EQ(dirty, (std::vector<PageId>{1, 3, 5, 9}));
   EXPECT_EQ(c.dirty_count(), 0u);
   EXPECT_FALSE(c.is_dirty(5));
-  EXPECT_TRUE(c.take_dirty_pages().empty());
+  // The scratch vector is cleared before refilling, so a second drain with
+  // the same buffer comes back empty.
+  c.take_dirty_pages(&dirty);
+  EXPECT_TRUE(dirty.empty());
 }
 
 TEST(LruCacheDirtyTest, DoubleMarkCountsOnce) {
@@ -173,7 +177,9 @@ TEST(LruCacheDirtyTest, DoubleMarkCountsOnce) {
   c.mark_dirty(4);
   c.mark_dirty(4);
   EXPECT_EQ(c.dirty_count(), 1u);
-  EXPECT_EQ(c.take_dirty_pages().size(), 1u);
+  std::vector<PageId> dirty;
+  c.take_dirty_pages(&dirty);
+  EXPECT_EQ(dirty.size(), 1u);
 }
 
 TEST(LruCacheDirtyTest, EvictionReportsDirtyVictim) {
@@ -227,7 +233,9 @@ TEST(LruCacheDirtyTest, RecycledFrameDoesNotResurrectDirtyFlag) {
   c.mark_dirty(1);
   c.insert(2);  // evicts dirty 1; frame reused for clean 2
   EXPECT_FALSE(c.is_dirty(2));
-  EXPECT_TRUE(c.take_dirty_pages().empty());
+  std::vector<PageId> dirty;
+  c.take_dirty_pages(&dirty);
+  EXPECT_TRUE(dirty.empty());
 }
 
 // Property: against a naive reference LRU across random operations.

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "jpm/cache/lru_cache.h"
 #include "jpm/util/rng.h"
 
 namespace jpm::cache {
@@ -95,6 +96,66 @@ TEST(StackDistanceTest, RandomizedAgainstNaiveStack) {
                                                : rng.uniform_index(1000);
     ASSERT_EQ(fast.access(page), naive.access(page)) << "iter " << i;
   }
+}
+
+// Compaction-heavy run pinning the live-set invariant: a hot set keeps
+// next_slot_ churning (one slot per access against a small live set forces a
+// rebuild every few thousand accesses) while a drifting cold tail keeps
+// growing the live set mid-stream. Every depth must still match the naive
+// stack, and the compact() internal live-count CHECK crashes the test if a
+// rebuild ever loses or duplicates a live slot.
+TEST(StackDistanceTest, CompactionHeavyChurnMatchesNaive) {
+  StackDistanceTracker fast;
+  NaiveStack naive;
+  Rng rng(4242);
+  std::uint64_t next_cold = 1000;
+  for (int i = 0; i < 60000; ++i) {
+    std::uint64_t page;
+    if (rng.chance(0.9)) {
+      page = rng.uniform_index(32);  // hot set: high slot churn
+    } else {
+      page = next_cold++;  // always-new page: live set grows
+    }
+    ASSERT_EQ(fast.access(page), naive.access(page)) << "iter " << i;
+  }
+  EXPECT_EQ(fast.distinct_pages(), 32 + (next_cold - 1000));
+  EXPECT_EQ(fast.total_accesses(), 60000u);
+}
+
+// The engine's fused configuration: one PageTable shared between an LruCache
+// and a tracker, with constant evictions vacating the `frame` half of
+// entries whose `slot` half stays live. Depths must be unaffected by the
+// cache's churn, and compaction must keep treating evicted-but-tracked
+// pages as live.
+TEST(StackDistanceTest, SharedTableWithEvictingCacheMatchesNaive) {
+  PageTable table;
+  LruCache cache(LruCacheOptions{/*total_frames=*/64, /*frames_per_bank=*/8,
+                                 /*capacity_frames=*/16},
+                 &table);
+  StackDistanceTracker fast(&table);
+  NaiveStack naive;
+  Rng rng(99);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t page = rng.chance(0.7) ? rng.uniform_index(24)
+                                               : rng.uniform_index(2000);
+    PageEntry* entry = table.find_or_insert(page);
+    ASSERT_EQ(fast.access_at(*entry), naive.access(page)) << "iter " << i;
+    // Mirror the engine's hot loop: hit -> touch, miss -> insert (which may
+    // physically relocate entries, so re-resolve nothing afterwards).
+    if (entry->frame != kNoFrame) {
+      cache.touch(entry->frame);
+    } else {
+      cache.insert(page);
+    }
+  }
+  EXPECT_EQ(cache.size(), 16u);
+  // Every resident page's entry must carry both halves.
+  std::uint64_t resident = 0;
+  table.for_each([&](PageId /*page*/, PageEntry& entry) {
+    EXPECT_NE(entry.slot, kNoSlot);  // tracker saw every page
+    if (entry.frame != kNoFrame) ++resident;
+  });
+  EXPECT_EQ(resident, 16u);
 }
 
 TEST(StackDistanceTest, SequentialScanDepthsEqualWorkingSetSize) {

@@ -113,6 +113,16 @@ TEST(TelemetryDeterminismTest, ReportAndCsvAreThreadCountInvariant) {
   EXPECT_GT(serial.csv.size(), 100u);
 }
 
+// Back-to-back identical sweeps in one process must produce byte-identical
+// artifacts: the engine's page tables, slot compaction, and scratch buffers
+// hold no state that leaks across runs.
+TEST(TelemetryDeterminismTest, RepeatedSweepIsByteStable) {
+  const auto first = sweep_with_threads("1");
+  const auto second = sweep_with_threads("1");
+  EXPECT_EQ(first.report, second.report);
+  EXPECT_EQ(first.csv, second.csv);
+}
+
 TEST(TelemetryDeterminismTest, EnablingTelemetryDoesNotChangeMetrics) {
   const auto w = point_workload(mib(128), 7);
   const auto e = sweep_engine();

@@ -47,6 +47,35 @@ TEST(FenwickTest, ResetClearsContents) {
   EXPECT_EQ(tree.total(), 0);
 }
 
+TEST(FenwickTest, ResetOnesPrefixMatchesExplicitAdds) {
+  // The stack-distance compactor rebuilds with this; it must equal `ones`
+  // consecutive add(+1) calls for any size, including edges and
+  // non-powers-of-two.
+  for (std::size_t size : {1u, 2u, 7u, 64u, 257u, 1000u}) {
+    for (std::size_t ones : {std::size_t{0}, size / 2, size}) {
+      FenwickTree fast;
+      fast.reset_ones_prefix(size, ones);
+      FenwickTree slow(size);
+      for (std::size_t i = 0; i < ones; ++i) slow.add(i, +1);
+      ASSERT_EQ(fast.size(), size);
+      for (std::size_t q = 0; q < size; ++q) {
+        ASSERT_EQ(fast.prefix_sum(q), slow.prefix_sum(q))
+            << "size " << size << " ones " << ones << " q " << q;
+      }
+    }
+  }
+}
+
+TEST(FenwickTest, ResetOnesPrefixSupportsFurtherUpdates) {
+  FenwickTree tree;
+  tree.reset_ones_prefix(100, 40);
+  tree.add(10, -1);  // unmark
+  tree.add(90, +1);  // mark past the prefix
+  EXPECT_EQ(tree.prefix_sum(39), 39);
+  EXPECT_EQ(tree.prefix_sum(99), 40);
+  EXPECT_EQ(tree.total(), 40);
+}
+
 TEST(FenwickTest, RandomizedAgainstNaive) {
   Rng rng(42);
   const std::size_t n = 257;  // non-power-of-two

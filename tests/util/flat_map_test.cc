@@ -1,0 +1,261 @@
+#include "jpm/util/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "jpm/util/rng.h"
+
+namespace jpm::util {
+namespace {
+
+TEST(FlatMapTest, StartsEmpty) {
+  FlatMap<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.capacity(), 0u);  // no allocation until first insert
+  EXPECT_EQ(m.find(42), nullptr);
+  EXPECT_FALSE(m.contains(42));
+  EXPECT_FALSE(m.erase(42));
+}
+
+TEST(FlatMapTest, InsertFindOverwrite) {
+  FlatMap<int> m;
+  EXPECT_TRUE(m.insert(7, 70));
+  EXPECT_TRUE(m.insert(8, 80));
+  EXPECT_FALSE(m.insert(7, 71));  // overwrite, not a new key
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 71);
+  ASSERT_NE(m.find(8), nullptr);
+  EXPECT_EQ(*m.find(8), 80);
+  EXPECT_EQ(m.find(9), nullptr);
+}
+
+TEST(FlatMapTest, FindOrInsertDefaultConstructsOnce) {
+  FlatMap<int> m;
+  bool inserted = false;
+  int* v = m.find_or_insert(3, &inserted);
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*v, 0);
+  *v = 33;
+  int* again = m.find_or_insert(3, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(again, v);
+  EXPECT_EQ(*again, 33);
+}
+
+TEST(FlatMapTest, EraseRemovesAndReportsAbsence) {
+  FlatMap<int> m;
+  m.insert(1, 10);
+  m.insert(2, 20);
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.find(1), nullptr);
+  ASSERT_NE(m.find(2), nullptr);
+  EXPECT_EQ(*m.find(2), 20);
+}
+
+TEST(FlatMapTest, SentinelKeyFullyUsable) {
+  // ~0 is the internal empty-slot marker; the map must still serve it.
+  constexpr std::uint64_t k = FlatMap<int>::kEmptyKey;
+  FlatMap<int> m;
+  EXPECT_EQ(m.find(k), nullptr);
+  EXPECT_TRUE(m.insert(k, 99));
+  EXPECT_EQ(m.size(), 1u);
+  ASSERT_NE(m.find(k), nullptr);
+  EXPECT_EQ(*m.find(k), 99);
+  int visited = 0;
+  m.for_each([&](std::uint64_t key, int value) {
+    EXPECT_EQ(key, k);
+    EXPECT_EQ(value, 99);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 1);
+  EXPECT_TRUE(m.erase(k));
+  EXPECT_FALSE(m.erase(k));
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMapTest, ReserveGivesPointerStability) {
+  FlatMap<std::uint64_t> m;
+  m.reserve(1000);
+  const std::size_t cap = m.capacity();
+  EXPECT_GE(cap, 1000u);
+  std::vector<std::uint64_t*> ptrs;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ptrs.push_back(m.find_or_insert(k));
+    *ptrs.back() = k * 3;
+  }
+  EXPECT_EQ(m.capacity(), cap);  // no rehash happened
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_EQ(m.find(k), ptrs[k]);
+    EXPECT_EQ(*ptrs[k], k * 3);
+  }
+}
+
+TEST(FlatMapTest, GrowthRehashPreservesEntries) {
+  FlatMap<std::uint64_t> m;
+  const std::uint64_t n = 10000;  // forces many rehashes from min capacity
+  for (std::uint64_t k = 0; k < n; ++k) m.insert(k, ~k);
+  EXPECT_EQ(m.size(), n);
+  EXPECT_EQ((m.capacity() & (m.capacity() - 1)), 0u);  // power of two
+  for (std::uint64_t k = 0; k < n; ++k) {
+    ASSERT_NE(m.find(k), nullptr) << "key " << k;
+    EXPECT_EQ(*m.find(k), ~k);
+  }
+}
+
+TEST(FlatMapTest, ClearEmptiesButKeepsCapacity) {
+  FlatMap<int> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m.insert(k, 1);
+  m.insert(FlatMap<int>::kEmptyKey, 2);
+  const std::size_t cap = m.capacity();
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.find(5), nullptr);
+  EXPECT_EQ(m.find(FlatMap<int>::kEmptyKey), nullptr);
+  m.insert(5, 50);  // usable after clear
+  EXPECT_EQ(*m.find(5), 50);
+}
+
+TEST(FlatMapTest, ForEachVisitsEveryEntryOnce) {
+  FlatMap<std::uint64_t> m;
+  for (std::uint64_t k = 0; k < 500; ++k) m.insert(k, k + 1);
+  std::vector<bool> seen(500, false);
+  m.for_each([&](std::uint64_t key, std::uint64_t value) {
+    ASSERT_LT(key, 500u);
+    EXPECT_EQ(value, key + 1);
+    EXPECT_FALSE(seen[key]);
+    seen[key] = true;
+  });
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(FlatMapTest, MutableForEachWritesThrough) {
+  FlatMap<int> m;
+  for (std::uint64_t k = 0; k < 32; ++k) m.insert(k, 0);
+  m.for_each([](std::uint64_t, int& v) { v = 9; });
+  for (std::uint64_t k = 0; k < 32; ++k) EXPECT_EQ(*m.find(k), 9);
+}
+
+// Finds `count` keys whose home slot in a table of `capacity` equals
+// `target`, replicating the map's Fibonacci hash. Used to build probe
+// clusters deterministically.
+std::vector<std::uint64_t> colliding_keys(std::size_t capacity,
+                                          std::size_t target,
+                                          std::size_t count) {
+  unsigned shift = 64;
+  for (std::size_t c = capacity; c > 1; c >>= 1) --shift;
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 1; keys.size() < count; ++k) {
+    if (((k * 0x9e3779b97f4a7c15ull) >> shift) == target) keys.push_back(k);
+  }
+  return keys;
+}
+
+// Regression for backward-shift deletion: erasing from the middle of a
+// probe cluster must keep every displaced successor reachable.
+TEST(FlatMapTest, EraseInsideProbeClusterKeepsSuccessorsFindable) {
+  const auto keys = colliding_keys(16, 3, 8);  // 8 keys, all home slot 3
+  for (std::size_t victim = 0; victim < keys.size(); ++victim) {
+    FlatMap<std::uint64_t> m;
+    m.reserve(8);
+    ASSERT_EQ(m.capacity(), 16u);
+    for (auto k : keys) m.insert(k, k * 2);
+    ASSERT_TRUE(m.erase(keys[victim]));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (i == victim) {
+        EXPECT_EQ(m.find(keys[i]), nullptr);
+      } else {
+        ASSERT_NE(m.find(keys[i]), nullptr) << "victim " << victim;
+        EXPECT_EQ(*m.find(keys[i]), keys[i] * 2);
+      }
+    }
+  }
+}
+
+// Same, with the cluster wrapping around the end of the slot array — the
+// cyclic movability test in erase() is only exercised by wrapped clusters.
+TEST(FlatMapTest, EraseInWrappedProbeClusterKeepsSuccessorsFindable) {
+  const auto keys = colliding_keys(16, 15, 6);  // cluster wraps 15 -> 0 -> ...
+  for (std::size_t victim = 0; victim < keys.size(); ++victim) {
+    FlatMap<std::uint64_t> m;
+    m.reserve(8);
+    ASSERT_EQ(m.capacity(), 16u);
+    for (auto k : keys) m.insert(k, k + 7);
+    ASSERT_TRUE(m.erase(keys[victim]));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (i == victim) continue;
+      ASSERT_NE(m.find(keys[i]), nullptr) << "victim " << victim;
+      EXPECT_EQ(*m.find(keys[i]), keys[i] + 7);
+    }
+  }
+}
+
+TEST(FlatMapTest, RandomizedDifferentialAgainstUnorderedMap) {
+  Rng rng(0xF1A7);
+  FlatMap<std::uint64_t> flat;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  // Small key universe keeps hit/erase rates high; the sentinel key is in
+  // the universe so it goes through the out-of-line path too.
+  auto pick_key = [&]() -> std::uint64_t {
+    const auto r = rng.uniform_index(1024);
+    return r == 0 ? FlatMap<std::uint64_t>::kEmptyKey : r;
+  };
+  for (int op = 0; op < 1'000'000; ++op) {
+    const std::uint64_t key = pick_key();
+    switch (rng.uniform_index(4)) {
+      case 0: {  // insert/overwrite
+        const std::uint64_t value = rng.next();
+        const bool added = flat.insert(key, value);
+        const bool ref_added = ref.insert_or_assign(key, value).second;
+        ASSERT_EQ(added, ref_added) << "op " << op;
+        break;
+      }
+      case 1: {  // find_or_insert and mutate through the pointer
+        bool inserted = false;
+        std::uint64_t* v = flat.find_or_insert(key, &inserted);
+        auto [it, ref_inserted] = ref.try_emplace(key, 0);
+        ASSERT_EQ(inserted, ref_inserted) << "op " << op;
+        ASSERT_EQ(*v, it->second) << "op " << op;
+        *v += 1;
+        it->second += 1;
+        break;
+      }
+      case 2: {  // erase
+        ASSERT_EQ(flat.erase(key), ref.erase(key) > 0) << "op " << op;
+        break;
+      }
+      default: {  // lookup
+        const std::uint64_t* v = flat.find(key);
+        auto it = ref.find(key);
+        if (it == ref.end()) {
+          ASSERT_EQ(v, nullptr) << "op " << op;
+        } else {
+          ASSERT_NE(v, nullptr) << "op " << op;
+          ASSERT_EQ(*v, it->second) << "op " << op;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size()) << "op " << op;
+  }
+  // Full-content sweep at the end: every surviving entry matches.
+  std::size_t visited = 0;
+  flat.for_each([&](std::uint64_t key, std::uint64_t value) {
+    auto it = ref.find(key);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(value, it->second);
+    ++visited;
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+}  // namespace
+}  // namespace jpm::util
