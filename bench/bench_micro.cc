@@ -24,6 +24,7 @@
 #include "jpm/cache/idle_sweep.h"
 #include "jpm/cache/lru_cache.h"
 #include "jpm/cache/stack_distance.h"
+#include "jpm/util/arena.h"
 #include "jpm/util/flat_map.h"
 #include "jpm/util/json.h"
 #include "jpm/pareto/pareto.h"
@@ -176,6 +177,23 @@ void BM_LruCacheAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_LruCacheAccess);
 
+// Same access mix with the frame-node array placed on a bump arena (how the
+// engine now builds its cache) instead of the global heap — isolates what
+// arena placement is worth outside the full replay pipeline.
+void BM_LruCacheAccessArena(benchmark::State& state) {
+  util::Arena arena;
+  cache::LruCacheOptions opts{1 << 16, 64, 1 << 14};
+  opts.arena = &arena;
+  cache::LruCache cache(opts);
+  Rng rng(1);
+  for (auto _ : state) {
+    const std::uint64_t page = rng.uniform_index(1 << 15);
+    if (!cache.lookup(page)) cache.insert(page);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruCacheAccessArena);
+
 void BM_StackDistance(benchmark::State& state) {
   cache::StackDistanceTracker tracker;
   Rng rng(2);
@@ -238,7 +256,11 @@ BENCHMARK(BM_TraceSynthesis);
 
 // Materializes a trace once and replays it through a single policy's full
 // pipeline per iteration — exactly one unit of run_sweep's fan-out, and the
-// perf baseline for future engine hot-loop work (items = trace events).
+// perf baseline for the engine hot loop (items = trace events). Arg 0 picks
+// the policy (0 = fixed FM/2C, 1 = joint), arg 1 the replay batch size:
+// batch 1 is the classic per-event loop, 64/256 exercise the batched
+// resolve+prefetch path. Results are bit-identical across batch sizes; only
+// throughput moves.
 void BM_EngineReplay(benchmark::State& state) {
   workload::SynthesizerConfig cfg;
   cfg.dataset_bytes = mib(256);
@@ -253,6 +275,7 @@ void BM_EngineReplay(benchmark::State& state) {
   e.joint.unit_bytes = 16 * kMiB;
   e.joint.page_bytes = 64 * kKiB;
   e.joint.period_s = 300.0;
+  e.batch_size = static_cast<std::uint32_t>(state.range(1));
   const auto policy = state.range(0) == 0
                           ? sim::fixed_policy(
                                 sim::DiskPolicyKind::kTwoCompetitive, mib(128))
@@ -261,9 +284,15 @@ void BM_EngineReplay(benchmark::State& state) {
     benchmark::DoNotOptimize(sim::run_simulation(trace, policy, e));
   }
   state.SetItemsProcessed(
-      state.iterations() * static_cast<std::int64_t>(trace.events.size()));
+      state.iterations() * static_cast<std::int64_t>(trace.size()));
 }
-BENCHMARK(BM_EngineReplay)->Arg(0)->Arg(1);
+BENCHMARK(BM_EngineReplay)
+    ->Args({0, 1})
+    ->Args({0, 64})
+    ->Args({0, 256})
+    ->Args({1, 1})
+    ->Args({1, 64})
+    ->Args({1, 256});
 
 // The spec layer's cost of admission: parsing a checked-in scenario file
 // (the 21 scenarios are all within ~4x of micro.json's size) and emitting

@@ -6,44 +6,97 @@
 #include "jpm/util/check.h"
 
 namespace jpm::cache {
+namespace {
+
+// The sweep runs once per period per engine; its linked-list and bucket
+// vectors are sized by the period's access count (often 10^5+). Reusing
+// them across calls removes the dominant allocation churn of a period
+// boundary. Every element is rewritten before use, so reuse is invisible
+// in results; thread_local keeps concurrent sweep runners independent.
+struct SweepScratch {
+  std::vector<std::size_t> prev, next;
+  std::vector<double> time;
+  // by_unit flattened: nodes grouped by first-hit unit via counting sort
+  // (unit_offset[u] .. unit_offset[u+1] are unit u's node ids, ascending —
+  // the same order the nested-vector form produced).
+  std::vector<std::size_t> unit_offset;
+  std::vector<std::size_t> unit_nodes;
+  std::vector<std::size_t> unit_fill;
+};
+
+SweepScratch& scratch() {
+  thread_local SweepScratch s;
+  return s;
+}
+
+}  // namespace
 
 std::vector<IdleEstimate> sweep_idle_intervals(
-    const std::vector<IdleEvent>& events, double period_start_s,
-    double period_end_s, std::uint64_t unit_frames, double window_s,
-    const std::vector<std::uint64_t>& candidate_units) {
+    const double* times, const std::uint64_t* depths, std::size_t n,
+    double period_start_s, double period_end_s, std::uint64_t unit_frames,
+    double window_s, const std::vector<std::uint64_t>& candidate_units) {
   JPM_CHECK(unit_frames > 0);
   JPM_CHECK(window_s >= 0.0);
   JPM_CHECK(period_end_s >= period_start_s);
   JPM_CHECK(std::is_sorted(candidate_units.begin(), candidate_units.end()));
 
-  const std::size_t n = events.size();
+  SweepScratch& s = scratch();
   // Node layout: [0] start sentinel, [1..n] events, [n+1] end sentinel.
-  std::vector<std::size_t> prev(n + 2), next(n + 2);
-  std::vector<double> time(n + 2);
-  time[0] = period_start_s;
-  time[n + 1] = period_end_s;
+  s.prev.resize(n + 2);
+  s.next.resize(n + 2);
+  s.time.resize(n + 2);
+  s.time[0] = period_start_s;
+  s.time[n + 1] = period_end_s;
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& e = events[i];
-    JPM_DCHECK(e.time_s >= period_start_s && e.time_s <= period_end_s);
-    JPM_DCHECK(i == 0 || events[i - 1].time_s <= e.time_s);
-    time[i + 1] = e.time_s;
+    JPM_DCHECK(times[i] >= period_start_s && times[i] <= period_end_s);
+    JPM_DCHECK(i == 0 || times[i - 1] <= times[i]);
+    s.time[i + 1] = times[i];
   }
   for (std::size_t i = 0; i < n + 2; ++i) {
-    prev[i] = i == 0 ? 0 : i - 1;
-    next[i] = i == n + 1 ? n + 1 : i + 1;
+    s.prev[i] = i == 0 ? 0 : i - 1;
+    s.next[i] = i == n + 1 ? n + 1 : i + 1;
   }
 
   // Group removable events by the candidate unit at which they become hits:
   // an event with depth d frames hits once m >= ceil(d / unit_frames) units.
-  std::vector<std::vector<std::size_t>> by_unit;  // unit -> node ids
+  // Counting sort into one flat array, ascending node id within each unit —
+  // identical removal order to the nested-vector formulation.
   std::uint64_t live = n;
+  std::size_t unit_count = 0;
   if (!candidate_units.empty()) {
-    by_unit.resize(candidate_units.back() + 1);
+    // Power-of-two unit sizes (the common configurations) bucket by shift.
+    int unit_shift = -1;
+    if ((unit_frames & (unit_frames - 1)) == 0) {
+      unit_shift = 0;
+      while ((std::uint64_t{1} << unit_shift) < unit_frames) ++unit_shift;
+    }
+    const auto unit_of = [unit_frames, unit_shift](std::uint64_t d) {
+      return (unit_shift >= 0 ? (d - 1) >> unit_shift
+                              : (d - 1) / unit_frames) +
+             1;
+    };
+    unit_count = static_cast<std::size_t>(candidate_units.back()) + 1;
+    s.unit_offset.assign(unit_count + 1, 0);
+    std::size_t grouped = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      const std::uint64_t d = events[i].depth_frames;
+      const std::uint64_t d = depths[i];
       if (d == kColdAccess) continue;
-      const std::uint64_t unit = (d - 1) / unit_frames + 1;
-      if (unit < by_unit.size()) by_unit[unit].push_back(i + 1);
+      const std::uint64_t unit = unit_of(d);
+      if (unit < unit_count) {
+        ++s.unit_offset[unit + 1];
+        ++grouped;
+      }
+    }
+    for (std::size_t u = 0; u < unit_count; ++u) {
+      s.unit_offset[u + 1] += s.unit_offset[u];
+    }
+    s.unit_nodes.resize(grouped);
+    s.unit_fill.assign(s.unit_offset.begin(), s.unit_offset.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t d = depths[i];
+      if (d == kColdAccess) continue;
+      const std::uint64_t unit = unit_of(d);
+      if (unit < unit_count) s.unit_nodes[s.unit_fill[unit]++] = i + 1;
     }
   }
 
@@ -66,22 +119,25 @@ std::vector<IdleEstimate> sweep_idle_intervals(
       gap_log_sum -= std::log(g);
     }
   };
-  for (std::size_t i = 0; i <= n; ++i) gap_add(time[i + 1] - time[i]);
+  for (std::size_t i = 0; i <= n; ++i) gap_add(s.time[i + 1] - s.time[i]);
 
   std::vector<IdleEstimate> out;
   out.reserve(candidate_units.size());
   std::uint64_t done_unit = 0;
   for (std::uint64_t m : candidate_units) {
     // Remove every event that becomes a memory hit at size m.
-    for (std::uint64_t u = done_unit + 1; u <= m && u < by_unit.size(); ++u) {
-      for (std::size_t node : by_unit[u]) {
-        const std::size_t p = prev[node];
-        const std::size_t q = next[node];
-        gap_remove(time[node] - time[p]);
-        gap_remove(time[q] - time[node]);
-        gap_add(time[q] - time[p]);
-        next[p] = q;
-        prev[q] = p;
+    for (std::uint64_t u = done_unit + 1; u <= m && u < unit_count; ++u) {
+      const std::size_t lo = s.unit_offset[u];
+      const std::size_t hi = s.unit_offset[u + 1];
+      for (std::size_t k = lo; k < hi; ++k) {
+        const std::size_t node = s.unit_nodes[k];
+        const std::size_t p = s.prev[node];
+        const std::size_t q = s.next[node];
+        gap_remove(s.time[node] - s.time[p]);
+        gap_remove(s.time[q] - s.time[node]);
+        gap_add(s.time[q] - s.time[p]);
+        s.next[p] = q;
+        s.prev[q] = p;
         --live;
       }
     }
@@ -92,11 +148,23 @@ std::vector<IdleEstimate> sweep_idle_intervals(
     est.disk_accesses = live;
     est.idle_intervals = gap_count;
     est.idle_time_s = gap_sum;
-    est.mean_idle_s = gap_count == 0 ? 0.0 : gap_sum / static_cast<double>(gap_count);
+    est.mean_idle_s =
+        gap_count == 0 ? 0.0 : gap_sum / static_cast<double>(gap_count);
     est.log_idle_sum = gap_log_sum;
     out.push_back(est);
   }
   return out;
+}
+
+std::vector<IdleEstimate> sweep_idle_intervals(
+    const std::vector<IdleEvent>& events, double period_start_s,
+    double period_end_s, std::uint64_t unit_frames, double window_s,
+    const std::vector<std::uint64_t>& candidate_units) {
+  IdleSeries series;
+  series.reserve(events.size());
+  for (const auto& e : events) series.push_back(e);
+  return sweep_idle_intervals(series, period_start_s, period_end_s,
+                              unit_frames, window_s, candidate_units);
 }
 
 }  // namespace jpm::cache

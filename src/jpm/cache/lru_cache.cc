@@ -6,7 +6,8 @@ namespace jpm::cache {
 
 LruCache::LruCache(const LruCacheOptions& options, PageTable* shared)
     : frames_per_bank_(options.frames_per_bank),
-      capacity_(options.capacity_frames) {
+      capacity_(options.capacity_frames),
+      nodes_(util::ArenaAllocator<Node>(options.arena)) {
   JPM_CHECK(options.total_frames > 0);
   JPM_CHECK(options.frames_per_bank > 0);
   JPM_CHECK(options.capacity_frames <= options.total_frames);

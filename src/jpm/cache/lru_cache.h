@@ -25,7 +25,9 @@
 #include <vector>
 
 #include "jpm/cache/page_table.h"
+#include "jpm/util/arena.h"
 #include "jpm/util/check.h"
+#include "jpm/util/prefetch.h"
 
 namespace jpm::cache {
 
@@ -35,6 +37,10 @@ struct LruCacheOptions {
   std::uint64_t total_frames = 0;     // physical memory, in frames
   std::uint64_t frames_per_bank = 0;  // bank granularity, in frames
   std::uint64_t capacity_frames = 0;  // initial logical capacity
+  // Optional bump arena for the frame-indexed node array (util/arena.h);
+  // null keeps the nodes on the global heap. The arena must outlive the
+  // cache. Purely a layout choice — never observable in outputs.
+  util::Arena* arena = nullptr;
 };
 
 struct AccessOutcome {
@@ -71,6 +77,10 @@ class LruCache {
     }
     return AccessOutcome{true, bank_of(f)};
   }
+
+  // Hints a resolved frame's list node into cache ahead of touch().
+  // Advisory only.
+  void prefetch_frame(FrameIndex f) const { util::prefetch_write(&nodes_[f]); }
 
   // Inserts a page known to be absent, evicting the LRU page when the cache
   // is at capacity. The outcome reports the receiving bank/frame and any
@@ -154,7 +164,8 @@ class LruCache {
   std::uint64_t size_ = 0;
   FrameIndex head_ = kNoFrame;  // MRU
   FrameIndex tail_ = kNoFrame;  // LRU
-  std::vector<Node> nodes_;     // indexed by frame
+  // Indexed by frame; optionally arena-backed (LruCacheOptions::arena).
+  std::vector<Node, util::ArenaAllocator<Node>> nodes_;
   std::unique_ptr<PageTable> owned_table_;  // null when sharing
   PageTable* table_;  // page -> frame lives in each entry's `frame` half
   // Per-bank free-frame stacks plus the set of banks with both free frames

@@ -8,20 +8,9 @@ MissCurve::MissCurve(std::uint64_t unit_frames, std::uint64_t max_units)
     : unit_frames_(unit_frames), counters_(max_units, 0) {
   JPM_CHECK(unit_frames > 0);
   JPM_CHECK(max_units > 0);
-}
-
-void MissCurve::add(std::uint64_t depth_frames) {
-  ++total_;
-  if (depth_frames == kColdAccess) {
-    ++cold_;
-    return;
-  }
-  JPM_CHECK(depth_frames >= 1);
-  const std::uint64_t unit = (depth_frames - 1) / unit_frames_;
-  if (unit >= counters_.size()) {
-    ++overflow_;
-  } else {
-    ++counters_[unit];
+  if ((unit_frames & (unit_frames - 1)) == 0) {
+    unit_shift_ = 0;
+    while ((std::uint64_t{1} << unit_shift_) < unit_frames) ++unit_shift_;
   }
 }
 

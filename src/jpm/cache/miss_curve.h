@@ -22,7 +22,25 @@ class MissCurve {
   MissCurve(std::uint64_t unit_frames, std::uint64_t max_units);
 
   // Records an access with the given stack depth (frames) or kColdAccess.
-  void add(std::uint64_t depth_frames);
+  // Inline: this runs once per cache access inside the engine's hot loop,
+  // and the unit bucketing reduces to a shift for power-of-two unit sizes
+  // (the common 16 MiB-unit / 64 KiB-page configurations).
+  void add(std::uint64_t depth_frames) {
+    ++total_;
+    if (depth_frames == kColdAccess) {
+      ++cold_;
+      return;
+    }
+    JPM_CHECK(depth_frames >= 1);
+    const std::uint64_t unit = unit_shift_ >= 0
+                                   ? (depth_frames - 1) >> unit_shift_
+                                   : (depth_frames - 1) / unit_frames_;
+    if (unit >= counters_.size()) {
+      ++overflow_;
+    } else {
+      ++counters_[unit];
+    }
+  }
 
   // Predicted disk accesses with `units` enumeration units of memory.
   std::uint64_t misses_at(std::uint64_t units) const;
@@ -44,6 +62,7 @@ class MissCurve {
 
  private:
   std::uint64_t unit_frames_;
+  int unit_shift_ = -1;  // log2(unit_frames_) when a power of two, else -1
   std::vector<std::uint64_t> counters_;  // [u] = depths in unit u
   std::uint64_t overflow_ = 0;           // depths beyond physical memory
   std::uint64_t cold_ = 0;

@@ -9,8 +9,9 @@ namespace {
 constexpr std::size_t kInitialSlots = 1024;
 }
 
-StackDistanceTracker::StackDistanceTracker(PageTable* shared)
-    : fenwick_(kInitialSlots) {
+StackDistanceTracker::StackDistanceTracker(PageTable* shared,
+                                           util::Arena* arena)
+    : fenwick_(kInitialSlots, arena) {
   if (shared != nullptr) {
     table_ = shared;
   } else {

@@ -37,8 +37,12 @@ class StackDistanceTracker {
  public:
   // With no argument the tracker owns its page table; a non-null `shared`
   // table lets callers fuse the page lookup with other per-page state (the
-  // engine shares one table between this tracker and its LruCache).
-  explicit StackDistanceTracker(PageTable* shared = nullptr);
+  // engine shares one table between this tracker and its LruCache). A
+  // non-null `arena` places the Fenwick slot storage on the caller's bump
+  // arena (util/arena.h), keeping it adjacent to the rest of the hot-path
+  // working set; it must outlive the tracker.
+  explicit StackDistanceTracker(PageTable* shared = nullptr,
+                                util::Arena* arena = nullptr);
 
   // Records an access and returns the page's LRU stack depth (1 = MRU
   // re-access) or kColdAccess for a first-ever reference.
@@ -70,6 +74,15 @@ class StackDistanceTracker {
     fenwick_.add(slot, +1);
     entry.slot = static_cast<std::uint32_t>(slot);
     return depth;
+  }
+
+  // Hints the Fenwick chains a future access_at(entry) will walk:
+  // the previous-slot chains and the predicted append slot, assuming
+  // `lanes_ahead` accesses happen first. Advisory — a compaction between
+  // the hint and the access only makes the hint useless, never wrong.
+  void prefetch_access(const PageEntry& entry, std::size_t lanes_ahead) const {
+    if (entry.slot != kNoSlot) fenwick_.prefetch(entry.slot);
+    fenwick_.prefetch(next_slot_ + lanes_ahead);
   }
 
   // Number of distinct pages seen so far.

@@ -1,5 +1,7 @@
 #include "jpm/core/period_stats.h"
 
+#include <utility>
+
 #include "jpm/util/check.h"
 
 namespace jpm::core {
@@ -14,13 +16,6 @@ PeriodStatsCollector::PeriodStatsCollector(std::uint64_t unit_frames,
   current_.curve = cache::MissCurve(unit_frames, max_units);
 }
 
-void PeriodStatsCollector::on_access(double t, std::uint64_t depth_frames) {
-  current_.events.push_back(cache::IdleEvent{t, depth_frames});
-  current_.curve.add(depth_frames);
-  ++current_.cache_accesses;
-  if (depth_frames == cache::kColdAccess) ++current_.cold_accesses;
-}
-
 void PeriodStatsCollector::on_disk_access(double service_s, bool delayed) {
   ++current_.actual_disk_accesses;
   current_.disk_busy_s += service_s;
@@ -31,10 +26,22 @@ PeriodStats PeriodStatsCollector::harvest(double end_s) {
   JPM_CHECK(end_s >= current_.start_s);
   current_.end_s = end_s;
   PeriodStats out = std::move(current_);
-  current_ = PeriodStats{};
+  current_ = std::move(spare_);
+  spare_ = PeriodStats{};
+  current_.events.clear();  // keeps recycled capacity
   current_.start_s = end_s;
+  current_.end_s = 0.0;
+  current_.cache_accesses = 0;
+  current_.cold_accesses = 0;
+  current_.actual_disk_accesses = 0;
+  current_.disk_busy_s = 0.0;
+  current_.delayed_requests = 0;
   current_.curve = cache::MissCurve(unit_frames_, max_units_);
   return out;
+}
+
+void PeriodStatsCollector::recycle(PeriodStats&& used) {
+  spare_ = std::move(used);
 }
 
 }  // namespace jpm::core

@@ -18,7 +18,9 @@ namespace jpm::core {
 struct PeriodStats {
   double start_s = 0.0;
   double end_s = 0.0;
-  std::vector<cache::IdleEvent> events;  // every cache access, time-ordered
+  // Every cache access, time-ordered, in SoA layout (timestamps and depths
+  // as separate lanes — see cache::IdleSeries).
+  cache::IdleSeries events;
   cache::MissCurve curve{1, 1};
   std::uint64_t cache_accesses = 0;
   std::uint64_t cold_accesses = 0;
@@ -43,12 +45,23 @@ class PeriodStatsCollector {
   PeriodStatsCollector(std::uint64_t unit_frames, std::uint64_t max_units,
                        double start_s);
 
-  void on_access(double t, std::uint64_t depth_frames);
+  void on_access(double t, std::uint64_t depth_frames) {
+    current_.events.push_back(t, depth_frames);
+    current_.curve.add(depth_frames);
+    ++current_.cache_accesses;
+    if (depth_frames == cache::kColdAccess) ++current_.cold_accesses;
+  }
   void on_disk_access(double service_s, bool delayed = false);
 
   // Closes the period at `end_s` and returns its stats; collection restarts
   // immediately for the next period.
   PeriodStats harvest(double end_s);
+
+  // Hands a consumed PeriodStats back so its event-lane capacity seeds the
+  // next harvest instead of being freed — periods tend to have similar
+  // access counts, so this removes the per-period reallocation ramp. Values
+  // are fully reset before reuse; purely an allocation optimization.
+  void recycle(PeriodStats&& used);
 
   std::uint64_t unit_frames() const { return unit_frames_; }
   std::uint64_t max_units() const { return max_units_; }
@@ -57,6 +70,7 @@ class PeriodStatsCollector {
   std::uint64_t unit_frames_;
   std::uint64_t max_units_;
   PeriodStats current_;
+  PeriodStats spare_;  // recycled storage for the next period
 };
 
 }  // namespace jpm::core

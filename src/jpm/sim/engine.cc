@@ -16,7 +16,9 @@
 #include "jpm/mem/bank_set.h"
 #include "jpm/telemetry/registry.h"
 #include "jpm/telemetry/telemetry.h"
+#include "jpm/util/arena.h"
 #include "jpm/util/check.h"
+#include "jpm/workload/trace.h"
 
 namespace jpm::sim {
 
@@ -25,18 +27,25 @@ struct Engine::Impl {
   EngineConfig config;
 
   // Trace source: a live generator, an owned replay, or a borrowed immutable
-  // Trace. The latter two both run through the `events` view.
+  // Trace. The latter two both run through the SoA lane views below (the
+  // ReplayTrace constructor converts its AoS events into `owned_trace`).
   std::unique_ptr<workload::TraceGenerator> generator;
-  ReplayTrace replay;  // owned storage for the ReplayTrace constructor
-  const workload::TraceEvent* events = nullptr;  // owned or borrowed view
+  workload::Trace owned_trace;  // storage for the ReplayTrace constructor
+  const double* ev_times = nullptr;
+  const std::uint64_t* ev_pages = nullptr;
+  const std::uint8_t* ev_flags = nullptr;
   std::size_t event_count = 0;
-  std::size_t event_index = 0;
   double duration_s = 0.0;
   std::uint64_t total_pages = 0;
 
   std::unique_ptr<disk::TimeoutPolicy> timeout_policy;
   disk::DynamicTimeout* dynamic_timeout = nullptr;  // set for joint runs
   std::unique_ptr<disk::Storage> disk;
+  // Bump arena backing the frame-node array and the tracker's Fenwick tree:
+  // the replay hot path walks both, and arena placement keeps them in one
+  // contiguous region instead of scattered heap blocks. Declared before its
+  // users so it outlives them.
+  util::Arena arena;
   // One page table shared by the LRU cache and (in joint runs) the
   // stack-distance tracker: the hot loop resolves each event's page with a
   // single probe and hands the entry to both. Declared before its users so
@@ -110,12 +119,15 @@ struct Engine::Impl {
   }
 
   Impl(ReplayTrace trace, const PolicySpec& spec, const EngineConfig& cfg)
-      : policy(spec), config(cfg), replay(std::move(trace)),
-        meter(cfg.joint.mem, 0, 0.0), last_disk_finish(0.0) {
-    duration_s = replay.duration_s;
-    total_pages = replay.total_pages;
-    attach_events(replay.events);
-    init(replay.page_bytes);
+      : policy(spec), config(cfg), meter(cfg.joint.mem, 0, 0.0),
+        last_disk_finish(0.0) {
+    duration_s = trace.duration_s;
+    total_pages = trace.total_pages;
+    owned_trace = workload::trace_from_events(trace.events, trace.page_bytes,
+                                              trace.total_pages,
+                                              trace.duration_s);
+    attach_trace(owned_trace);
+    init(trace.page_bytes);
   }
 
   Impl(const workload::Trace& trace, const PolicySpec& spec,
@@ -124,20 +136,20 @@ struct Engine::Impl {
         last_disk_finish(0.0) {
     duration_s = trace.duration_s;
     total_pages = trace.total_pages;
-    attach_events(trace.events);
+    attach_trace(trace);
     init(trace.page_bytes);
   }
 
-  // Validates an event sequence and adopts it as the run's source. Fills
-  // duration and data-set size when the caller left them derived (0).
-  void attach_events(const std::vector<workload::TraceEvent>& evs) {
-    JPM_CHECK_MSG(!evs.empty(), "replay trace is empty");
+  // Validates a trace's event lanes and adopts them as the run's source.
+  // Fills duration and data-set size when the caller left them derived (0).
+  void attach_trace(const workload::Trace& tr) {
+    JPM_CHECK_MSG(!tr.empty(), "replay trace is empty");
     double prev = 0.0;
     std::uint64_t max_page = 0;
-    for (const auto& e : evs) {
-      JPM_CHECK_MSG(e.time_s >= prev, "replay trace must be time-sorted");
-      prev = e.time_s;
-      max_page = std::max(max_page, e.page);
+    for (std::size_t i = 0; i < tr.size(); ++i) {
+      JPM_CHECK_MSG(tr.times[i] >= prev, "replay trace must be time-sorted");
+      prev = tr.times[i];
+      max_page = std::max(max_page, tr.pages[i]);
     }
     // Events may trail slightly past the declared duration (the synthesizer
     // admits arrivals up to it and their pages follow); like the generator
@@ -146,14 +158,10 @@ struct Engine::Impl {
     if (total_pages == 0) total_pages = max_page + 1;
     JPM_CHECK_MSG(max_page < total_pages,
                   "trace pages exceed the declared data-set size");
-    events = evs.data();
-    event_count = evs.size();
-  }
-
-  std::optional<workload::TraceEvent> next_event() {
-    if (generator) return generator->next();
-    if (event_index < event_count) return events[event_index++];
-    return std::nullopt;
+    ev_times = tr.times.data();
+    ev_pages = tr.pages.data();
+    ev_flags = tr.flags.data();
+    event_count = tr.size();
   }
 
   // Rejects configurations that would silently corrupt the run. Uses
@@ -184,6 +192,9 @@ struct Engine::Impl {
     }
     if (config.long_latency_threshold_s < 0.0) {
       bad("long_latency_threshold_s must be nonnegative");
+    }
+    if (config.batch_size == 0 || config.batch_size > 65536) {
+      bad("batch_size must be in [1, 65536]");
     }
     jc.disk.validate();
     fault::validate(config.fault);
@@ -277,9 +288,10 @@ struct Engine::Impl {
                 policy.fixed_bytes <= jc.physical_bytes);
       capacity_frames = policy.fixed_bytes / jc.page_bytes;
     }
-    lru = std::make_unique<cache::LruCache>(
-        cache::LruCacheOptions{total_frames, frames_per_bank, capacity_frames},
-        &page_table);
+    cache::LruCacheOptions lru_opts{total_frames, frames_per_bank,
+                                    capacity_frames};
+    lru_opts.arena = &arena;
+    lru = std::make_unique<cache::LruCache>(lru_opts, &page_table);
 
     // Memory static-energy accounting.
     const auto bank_count =
@@ -309,7 +321,8 @@ struct Engine::Impl {
       JPM_CHECK_MSG(policy.joint_disk() && policy.joint_memory(),
                     "joint disk and joint memory policies must be used "
                     "together");
-      tracker = std::make_unique<cache::StackDistanceTracker>(&page_table);
+      tracker =
+          std::make_unique<cache::StackDistanceTracker>(&page_table, &arena);
       // The closed-loop guard only engages through an enabled fault plan;
       // otherwise the manager keeps the paper's open-loop behavior.
       const fault::ManagerGuardConfig guard =
@@ -460,6 +473,7 @@ struct Engine::Impl {
     if (manager) {
       core::PeriodStats stats = collector->harvest(boundary);
       const core::JointDecision& d = manager->on_period_end(stats);
+      collector->recycle(std::move(stats));
       const std::uint64_t frames =
           d.memory_units * config.joint.unit_frames();
       dirty_scratch.clear();
@@ -488,12 +502,222 @@ struct Engine::Impl {
 
   // ---- main loop ----------------------------------------------------------
 
+  // Applies one event's cache/disk work given its already-resolved page
+  // entry. The caller has handled period boundaries, flush ticks, bank
+  // expiries, and the warm-up snapshot for time t; the entry pointer is
+  // valid for the duration of the call.
+  void apply_access(double t, std::uint64_t page, bool is_write,
+                    cache::PageEntry* entry) {
+    // A telemetry session records spin-down markers the moment a timeout
+    // expires; keep the classic per-event advance in that mode so the event
+    // stream orders exactly as before (session-wide, not per-run: TELEM_EVENT
+    // fires even on threads outside any ScopedRun). Metrics never need it:
+    // spin-downs are stamped at their expiry time and every state read
+    // (read(), energy_through(), finalize()) advances internally first.
+    if (telemetry::enabled()) disk->advance(t);
+    const std::uint64_t page_bytes = config.joint.page_bytes;
+    if (tracker) {
+      const std::uint64_t depth = tracker->access_at(*entry);
+      // Writes never become disk reads, so they stay out of the miss
+      // curve and idle prediction; they still age the LRU stack above.
+      if (!is_write) collector->on_access(t, depth);
+    }
+    ++metrics.cache_accesses;
+    ++period_cache_accesses;
+
+    if (entry->frame != cache::kNoFrame) {
+      const auto outcome = lru->touch(entry->frame);
+      meter.on_transfer(page_bytes);
+      if (is_write) lru->mark_dirty_frame(entry->frame);
+      if (banks) banks->touch(outcome.bank, t);
+      return;
+    }
+
+    if (is_write) {
+      // Write-allocate without fetch: the whole page is overwritten, so no
+      // disk read happens now; the page becomes dirty for a later flush.
+      const auto placed = lru->insert(page);
+      if (placed.evicted && placed.evicted_dirty) {
+        write_back_page(t, placed.evicted_page);
+      }
+      lru->mark_dirty_frame(placed.frame);
+      meter.on_transfer(page_bytes);
+      if (banks) banks->touch(placed.bank, t);
+      return;
+    }
+
+    // Read miss: fetch the page from disk, then install it.
+    const auto res = disk->read(t, page, page_bytes);
+    ++metrics.disk_accesses;
+    ++period_disk_accesses;
+    if (res.triggered_spin_up) {
+      ++metrics.spin_ups;
+      ++period_delayed_requests;
+    }
+    metrics.total_latency_s += res.latency_s;
+    if (res.latency_s > config.long_latency_threshold_s) {
+      ++metrics.long_latency_count;
+    }
+    if (telem != nullptr) {
+      telem_latency->add(res.latency_s);
+      if (res.triggered_spin_up) telem_spinup->add(res.latency_s);
+    }
+    if (collector) {
+      collector->on_disk_access(res.finish_s - res.start_s,
+                                /*delayed=*/res.triggered_spin_up);
+    }
+
+    const double gap = t - last_disk_finish;
+    if (telem != nullptr && gap > 0.0) telem_idle->add(gap);
+    if (gap >= config.joint.window_s) {
+      period_gap_sum += gap;
+      ++period_gap_count;
+    }
+    last_disk_finish = res.finish_s;
+
+    const auto placed = lru->insert(page);
+    if (placed.evicted && placed.evicted_dirty) {
+      write_back_page(t, placed.evicted_page);
+    }
+    meter.on_transfer(2 * page_bytes);  // fill + serve
+    if (banks) banks->touch(placed.bank, t);
+
+    // Sequential readahead rides the same disk operation.
+    for (std::uint32_t k = 1; k <= config.readahead_pages; ++k) {
+      const std::uint64_t next_page = page + k;
+      if (next_page >= total_pages) break;
+      if (lru->contains(next_page)) break;  // run already cached
+      const auto ra = disk->read(t, next_page, page_bytes);
+      ++metrics.readahead_fetches;
+      last_disk_finish = ra.finish_s;
+      const auto ra_placed = lru->insert(next_page);
+      if (ra_placed.evicted && ra_placed.evicted_dirty) {
+        write_back_page(t, ra_placed.evicted_page);
+      }
+      meter.on_transfer(page_bytes);
+      if (banks) banks->touch(ra_placed.bank, t);
+    }
+  }
+
+  // The full per-event path: timer bookkeeping, then a single page-table
+  // probe resolves the page for every consumer of the event — the
+  // stack-distance update reads/writes the entry's `slot` half and the
+  // residency check reads its `frame` half. This is the generator path's
+  // loop body and the batched replay's fallback for events at or past a
+  // timer edge.
+  void step_event(double t, std::uint64_t page, bool is_write) {
+    if (!snapshot.taken && t >= config.warm_up_s) {
+      process_boundaries_until(config.warm_up_s);
+      take_snapshot(config.warm_up_s);
+    }
+    process_boundaries_until(t);
+    process_flushes_until(t);
+    if (banks) {
+      for (const auto& d : banks->take_due_disables(t)) {
+        dirty_scratch.clear();
+        lru->invalidate_bank(d.bank, &dirty_scratch);
+        write_back(t, dirty_scratch);
+      }
+    }
+    apply_access(t, page, is_write, page_table.find_or_insert(page));
+  }
+
+  // Batched replay: pulls events in runs of up to batch_size that provably
+  // cross no period boundary, flush tick, or warm-up edge, so per-event
+  // timer checks vanish from the hot loop. In fused joint runs the batch's
+  // page-table probes are all resolved up front (entry pointers stay valid:
+  // eviction never erases an entry whose tracker half is live, and
+  // compaction rewrites slots without touching the map) with the next
+  // lane's home slot software-prefetched ahead of each probe; otherwise the
+  // batch is a prefetch window and every event re-probes, since eviction
+  // without a tracker erases entries and relocates their neighbors.
+  // Bit-identical to the per-event loop for every batch size.
+  void run_replay() {
+    const std::size_t n = event_count;
+    const std::size_t batch = config.batch_size;
+    // Bank policies carry their own per-event timer (pending disables), so
+    // they keep the classic loop.
+    const bool batching = batch > 1 && banks == nullptr;
+    const bool ptr_mode = tracker != nullptr && config.readahead_pages == 0;
+    std::vector<cache::PageEntry*> entries;
+    if (batching && ptr_mode) entries.resize(batch);
+
+    std::size_t i = 0;
+    while (i < n) {
+      if (!batching) {
+        step_event(ev_times[i], ev_pages[i],
+                   (ev_flags[i] & workload::kTraceFlagWrite) != 0);
+        ++i;
+        continue;
+      }
+      // Next time at which per-event bookkeeping must run. Events strictly
+      // before it cannot trip a boundary (<= fires), a flush (<= fires), or
+      // the warm-up snapshot (>= fires).
+      double limit = next_boundary;
+      if (config.flush_interval_s > 0.0 && next_flush < limit) {
+        limit = next_flush;
+      }
+      if (!snapshot.taken && config.warm_up_s < limit) {
+        limit = config.warm_up_s;
+      }
+      if (ev_times[i] >= limit) {
+        step_event(ev_times[i], ev_pages[i],
+                   (ev_flags[i] & workload::kTraceFlagWrite) != 0);
+        ++i;
+        continue;
+      }
+      std::size_t end = i + 1;
+      const std::size_t cap = std::min(n, i + batch);
+      while (end < cap && ev_times[end] < limit) ++end;
+      const std::size_t m = end - i;
+
+      if (ptr_mode) {
+        // Phase A: resolve every lane's entry, prefetching the next lane's
+        // home slot ahead of each probe.
+        const std::size_t table_cap = page_table.capacity();
+        page_table.prefetch(ev_pages[i]);
+        for (std::size_t k = 0; k < m; ++k) {
+          if (k + 1 < m) page_table.prefetch(ev_pages[i + k + 1]);
+          entries[k] = page_table.find_or_insert(ev_pages[i + k]);
+        }
+        if (page_table.capacity() != table_cap) {
+          // An insert rehashed the table mid-batch; re-resolve every lane
+          // (find never mutates, so these pointers are final).
+          for (std::size_t k = 0; k < m; ++k) {
+            entries[k] = page_table.find(ev_pages[i + k]);
+          }
+        }
+        // Warm the structures the apply pass walks: each lane's Fenwick
+        // chain and, for resident pages, the LRU list node.
+        for (std::size_t k = 0; k < m; ++k) {
+          tracker->prefetch_access(*entries[k], k);
+          if (entries[k]->frame != cache::kNoFrame) {
+            lru->prefetch_frame(entries[k]->frame);
+          }
+        }
+        for (std::size_t k = 0; k < m; ++k) {
+          apply_access(ev_times[i + k], ev_pages[i + k],
+                       (ev_flags[i + k] & workload::kTraceFlagWrite) != 0,
+                       entries[k]);
+        }
+      } else {
+        for (std::size_t k = 0; k < m; ++k) {
+          page_table.prefetch(ev_pages[i + k]);
+        }
+        for (std::size_t k = 0; k < m; ++k) {
+          const std::uint64_t page = ev_pages[i + k];
+          apply_access(ev_times[i + k], page,
+                       (ev_flags[i + k] & workload::kTraceFlagWrite) != 0,
+                       page_table.find_or_insert(page));
+        }
+      }
+      i = end;
+    }
+  }
+
   RunMetrics run() {
     JPM_CHECK_MSG(!ran, "Engine::run is single-shot");
     ran = true;
-    const auto& jc = config.joint;
-    const std::uint64_t page_bytes = jc.page_bytes;
-
     telem = telemetry::current_run();
     if (telem != nullptr) {
       telem_periods = &telem->table(
@@ -512,110 +736,12 @@ struct Engine::Impl {
                   {"disk_count", static_cast<double>(config.disk_count)});
     }
 
-    while (auto event = next_event()) {
-      const double t = event->time_s;
-      if (!snapshot.taken && t >= config.warm_up_s) {
-        process_boundaries_until(config.warm_up_s);
-        take_snapshot(config.warm_up_s);
+    if (generator) {
+      while (auto event = generator->next()) {
+        step_event(event->time_s, event->page, event->is_write);
       }
-      process_boundaries_until(t);
-      process_flushes_until(t);
-      if (banks) {
-        for (const auto& d : banks->take_due_disables(t)) {
-          dirty_scratch.clear();
-          lru->invalidate_bank(d.bank, &dirty_scratch);
-          write_back(t, dirty_scratch);
-        }
-      }
-      disk->advance(t);
-
-      // One probe resolves the page for every consumer of this event: the
-      // stack-distance update reads/writes the entry's `slot` half and the
-      // residency check reads its `frame` half. The entry pointer is valid
-      // until the next lru->insert (which may grow or shift the table), so
-      // the miss paths below go back through the insert outcome instead.
-      cache::PageEntry* entry = page_table.find_or_insert(event->page);
-      if (tracker) {
-        const std::uint64_t depth = tracker->access_at(*entry);
-        // Writes never become disk reads, so they stay out of the miss
-        // curve and idle prediction; they still age the LRU stack above.
-        if (!event->is_write) collector->on_access(t, depth);
-      }
-      ++metrics.cache_accesses;
-      ++period_cache_accesses;
-
-      if (entry->frame != cache::kNoFrame) {
-        const auto outcome = lru->touch(entry->frame);
-        meter.on_transfer(page_bytes);
-        if (event->is_write) lru->mark_dirty_frame(entry->frame);
-        if (banks) banks->touch(outcome.bank, t);
-        continue;
-      }
-
-      if (event->is_write) {
-        // Write-allocate without fetch: the whole page is overwritten, so no
-        // disk read happens now; the page becomes dirty for a later flush.
-        const auto placed = lru->insert(event->page);
-        if (placed.evicted && placed.evicted_dirty) {
-          write_back_page(t, placed.evicted_page);
-        }
-        lru->mark_dirty_frame(placed.frame);
-        meter.on_transfer(page_bytes);
-        if (banks) banks->touch(placed.bank, t);
-        continue;
-      }
-
-      // Read miss: fetch the page from disk, then install it.
-      const auto res = disk->read(t, event->page, page_bytes);
-      ++metrics.disk_accesses;
-      ++period_disk_accesses;
-      if (res.triggered_spin_up) {
-        ++metrics.spin_ups;
-        ++period_delayed_requests;
-      }
-      metrics.total_latency_s += res.latency_s;
-      if (res.latency_s > config.long_latency_threshold_s) {
-        ++metrics.long_latency_count;
-      }
-      if (telem != nullptr) {
-        telem_latency->add(res.latency_s);
-        if (res.triggered_spin_up) telem_spinup->add(res.latency_s);
-      }
-      if (collector) {
-        collector->on_disk_access(res.finish_s - res.start_s,
-                                  /*delayed=*/res.triggered_spin_up);
-      }
-
-      const double gap = t - last_disk_finish;
-      if (telem != nullptr && gap > 0.0) telem_idle->add(gap);
-      if (gap >= jc.window_s) {
-        period_gap_sum += gap;
-        ++period_gap_count;
-      }
-      last_disk_finish = res.finish_s;
-
-      const auto placed = lru->insert(event->page);
-      if (placed.evicted && placed.evicted_dirty) {
-        write_back_page(t, placed.evicted_page);
-      }
-      meter.on_transfer(2 * page_bytes);  // fill + serve
-      if (banks) banks->touch(placed.bank, t);
-
-      // Sequential readahead rides the same disk operation.
-      for (std::uint32_t k = 1; k <= config.readahead_pages; ++k) {
-        const std::uint64_t next_page = event->page + k;
-        if (next_page >= total_pages) break;
-        if (lru->contains(next_page)) break;  // run already cached
-        const auto ra = disk->read(t, next_page, page_bytes);
-        ++metrics.readahead_fetches;
-        last_disk_finish = ra.finish_s;
-        const auto ra_placed = lru->insert(next_page);
-        if (ra_placed.evicted && ra_placed.evicted_dirty) {
-          write_back_page(t, ra_placed.evicted_page);
-        }
-        meter.on_transfer(page_bytes);
-        if (banks) banks->touch(ra_placed.bank, t);
-      }
+    } else {
+      run_replay();
     }
 
     // Close out the run at the configured duration.

@@ -42,6 +42,13 @@ struct EngineConfig {
   // the same disk operation (Papathanasiou & Scott's energy-aware
   // prefetching direction). 0 disables.
   std::uint32_t readahead_pages = 0;
+  // Replay batching: events are pulled from the trace in runs of up to this
+  // many that provably cross no period boundary, flush tick, or warm-up
+  // edge, letting the hot loop resolve page-table probes for the whole run
+  // with software prefetch before applying them. Purely a throughput knob:
+  // results are bit-identical for every value (1 = the classic per-event
+  // loop). Range 1..65536; generator-driven runs ignore it.
+  std::uint32_t batch_size = 1;
   // Fault injection (see fault/fault.h). Disabled by default; a disabled
   // plan leaves the run bit-identical to a config without one. Per-run
   // reliability counters surface in RunMetrics::reliability.

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "jpm/util/check.h"
+#include "jpm/util/prefetch.h"
 
 namespace jpm::util {
 
@@ -81,6 +82,13 @@ class FlatMap {
   }
 
   bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+  // Hints the key's home slot into cache ahead of a find/find_or_insert.
+  // Purely advisory: never changes observable state, safe on absent keys.
+  void prefetch(std::uint64_t key) const {
+    if (key == kEmptyKey || slots_.empty()) return;
+    prefetch_read(&slots_[home(key)]);
+  }
 
   // Returns the value for `key`, default-constructing it when absent.
   // `inserted` (optional) reports whether a new entry was created. The

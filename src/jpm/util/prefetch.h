@@ -1,0 +1,29 @@
+// Software-prefetch hint, compiled out on toolchains without the builtin.
+//
+// The batched replay loop (sim/engine.cc) resolves a batch of page-table
+// probes ahead of applying them; issuing prefetches for the upcoming slots
+// overlaps the Fibonacci-hash pointer chases that otherwise serialize the
+// per-event hot path. A hint never changes observable behavior, so callers
+// are free to prefetch speculative addresses (e.g. a predicted Fenwick slot
+// that a compaction may move).
+#pragma once
+
+namespace jpm::util {
+
+inline void prefetch_read(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
+
+inline void prefetch_write(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/1, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
+
+}  // namespace jpm::util

@@ -202,7 +202,7 @@ Trace synthesize_trace(const SynthesizerConfig& config) {
   // (not max accessed page) and the configured duration (not the last event).
   trace.total_pages = gen.total_pages();
   trace.duration_s = config.duration_s;
-  while (auto e = gen.next()) trace.events.push_back(*e);
+  while (auto e = gen.next()) trace.push_back(*e);
   return trace;
 }
 

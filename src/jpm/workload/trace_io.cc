@@ -54,6 +54,21 @@ void write_binary_trace(std::ostream& os,
   JPM_CHECK_MSG(os.good(), "trace write failed");
 }
 
+void write_binary_trace(std::ostream& os, const Trace& trace) {
+  os.write(kMagic, sizeof kMagic);
+  const std::uint32_t version = kVersion;
+  const std::uint64_t count = trace.size();
+  os.write(reinterpret_cast<const char*>(&version), sizeof version);
+  os.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto flags =
+        static_cast<std::uint8_t>(trace.flags[i] & (kFlagStart | kFlagWrite));
+    PackedEvent p{trace.times[i], trace.pages[i], flags, {}};
+    os.write(reinterpret_cast<const char*>(&p), sizeof p);
+  }
+  JPM_CHECK_MSG(os.good(), "trace write failed");
+}
+
 std::vector<TraceEvent> read_binary_trace(std::istream& is) {
   char magic[4];
   is.read(magic, sizeof magic);
@@ -101,6 +116,15 @@ std::vector<TraceEvent> read_binary_trace(std::istream& is) {
   }
   check_monotonic(trace);
   return trace;
+}
+
+void read_binary_trace(std::istream& is, Trace& out) {
+  const std::vector<TraceEvent> events = read_binary_trace(is);
+  out.times.clear();
+  out.pages.clear();
+  out.flags.clear();
+  out.reserve(events.size());
+  for (const auto& e : events) out.push_back(e);
 }
 
 void write_csv_trace(std::ostream& os, const std::vector<TraceEvent>& trace) {

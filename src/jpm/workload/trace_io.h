@@ -19,6 +19,13 @@ namespace jpm::workload {
 void write_binary_trace(std::ostream& os, const std::vector<TraceEvent>& trace);
 std::vector<TraceEvent> read_binary_trace(std::istream& is);
 
+// SoA-lane forms: stream Trace lanes to/from the same binary format without
+// materializing an AoS copy. read_binary_trace(is, out) replaces out's event
+// lanes; the derived fields (page_bytes/total_pages/duration_s) are the
+// caller's to set — the trace format does not carry them.
+void write_binary_trace(std::ostream& os, const Trace& trace);
+void read_binary_trace(std::istream& is, Trace& out);
+
 void write_csv_trace(std::ostream& os, const std::vector<TraceEvent>& trace);
 std::vector<TraceEvent> read_csv_trace(std::istream& is);
 

@@ -16,7 +16,7 @@ IdleEvent ev(double t, std::uint64_t depth) { return IdleEvent{t, depth}; }
 IdleEvent cold(double t) { return IdleEvent{t, kColdAccess}; }
 
 TEST(IdleSweepTest, EmptyPeriodIsOneBigGap) {
-  const auto out = sweep_idle_intervals({}, 0.0, 100.0, 1, 0.1, {1, 2});
+  const auto out = sweep_idle_intervals(std::vector<IdleEvent>{}, 0.0, 100.0, 1, 0.1, {1, 2});
   ASSERT_EQ(out.size(), 2u);
   for (const auto& e : out) {
     EXPECT_EQ(e.disk_accesses, 0u);
@@ -170,7 +170,7 @@ TEST(IdleSweepTest, RandomizedAgainstBruteForce) {
 
 TEST(IdleSweepTest, RejectsUnsortedCandidates) {
   EXPECT_THROW(
-      sweep_idle_intervals({}, 0, 1, 1, 0.1, {3, 1}), CheckError);
+      sweep_idle_intervals(std::vector<IdleEvent>{}, 0, 1, 1, 0.1, {3, 1}), CheckError);
 }
 
 }  // namespace

@@ -1,0 +1,176 @@
+// The replay batch size (EngineConfig::batch_size) is a pure throughput
+// knob: every batch size must produce bit-identical RunMetrics to the
+// classic per-event loop (batch 1), across every policy family, with
+// writes and flushes, with readahead (the re-probing batch mode), on
+// multi-disk arrays, and independent of JPM_THREADS.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "jpm/sim/runner.h"
+
+namespace jpm::sim {
+namespace {
+
+workload::SynthesizerConfig batch_workload(std::uint64_t seed) {
+  workload::SynthesizerConfig w;
+  w.dataset_bytes = mib(128);
+  w.byte_rate = 20e6;
+  w.popularity = 0.1;
+  w.duration_s = 900.0;
+  w.page_bytes = 64 * kKiB;
+  w.file_scale = 16.0;
+  w.write_fraction = 0.25;  // dirty pages: evict writebacks + flush bursts
+  w.seed = seed;
+  return w;
+}
+
+EngineConfig batch_engine(std::uint32_t batch) {
+  EngineConfig e;
+  e.joint.physical_bytes = gib(1);
+  e.joint.unit_bytes = 16 * kMiB;
+  e.joint.page_bytes = 64 * kKiB;
+  e.joint.period_s = 300.0;
+  e.warm_up_s = 300.0;
+  e.batch_size = batch;
+  return e;
+}
+
+std::vector<PolicySpec> six_policy_roster() {
+  return {joint_policy(),
+          fixed_policy(DiskPolicyKind::kTwoCompetitive, mib(64)),
+          fixed_policy(DiskPolicyKind::kAdaptive, mib(128)),
+          powerdown_policy(DiskPolicyKind::kTwoCompetitive, gib(1)),
+          disable_policy(DiskPolicyKind::kAdaptive, gib(1)),
+          always_on_policy()};
+}
+
+void expect_bit_identical(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.policy_name, b.policy_name);
+  EXPECT_EQ(a.duration_s, b.duration_s);
+  EXPECT_EQ(a.mem_energy.static_j, b.mem_energy.static_j);
+  EXPECT_EQ(a.mem_energy.dynamic_j, b.mem_energy.dynamic_j);
+  EXPECT_EQ(a.disk_energy.standby_base_j, b.disk_energy.standby_base_j);
+  EXPECT_EQ(a.disk_energy.static_j, b.disk_energy.static_j);
+  EXPECT_EQ(a.disk_energy.transition_j, b.disk_energy.transition_j);
+  EXPECT_EQ(a.disk_energy.dynamic_j, b.disk_energy.dynamic_j);
+  EXPECT_EQ(a.cache_accesses, b.cache_accesses);
+  EXPECT_EQ(a.disk_accesses, b.disk_accesses);
+  EXPECT_EQ(a.disk_writes, b.disk_writes);
+  EXPECT_EQ(a.readahead_fetches, b.readahead_fetches);
+  EXPECT_EQ(a.disk_shutdowns, b.disk_shutdowns);
+  EXPECT_EQ(a.spin_ups, b.spin_ups);
+  EXPECT_EQ(a.disk_busy_s, b.disk_busy_s);
+  EXPECT_EQ(a.spindle_count, b.spindle_count);
+  EXPECT_EQ(a.total_latency_s, b.total_latency_s);
+  EXPECT_EQ(a.long_latency_count, b.long_latency_count);
+  ASSERT_EQ(a.periods.size(), b.periods.size());
+  for (std::size_t p = 0; p < a.periods.size(); ++p) {
+    EXPECT_EQ(a.periods[p].start_s, b.periods[p].start_s);
+    EXPECT_EQ(a.periods[p].end_s, b.periods[p].end_s);
+    EXPECT_EQ(a.periods[p].cache_accesses, b.periods[p].cache_accesses);
+    EXPECT_EQ(a.periods[p].disk_accesses, b.periods[p].disk_accesses);
+    EXPECT_EQ(a.periods[p].mean_idle_s, b.periods[p].mean_idle_s);
+    EXPECT_EQ(a.periods[p].memory_units, b.periods[p].memory_units);
+    EXPECT_EQ(a.periods[p].timeout_s, b.periods[p].timeout_s);
+    EXPECT_EQ(a.periods[p].busy_s, b.periods[p].busy_s);
+    EXPECT_EQ(a.periods[p].delayed_requests, b.periods[p].delayed_requests);
+  }
+}
+
+// Batch sizes straddling the interesting edges: the classic loop, a batch
+// that never divides the event count evenly, the default, and one larger
+// than most boundary-to-boundary runs.
+const std::uint32_t kBatches[] = {1, 7, 64, 256};
+
+TEST(BatchInvarianceTest, SixPoliciesBitIdenticalAcrossBatchSizes) {
+  const auto trace = workload::synthesize_trace(batch_workload(7));
+  for (const auto& policy : six_policy_roster()) {
+    SCOPED_TRACE(policy.name);
+    const auto reference = run_simulation(trace, policy, batch_engine(1));
+    for (std::uint32_t batch : kBatches) {
+      SCOPED_TRACE("batch " + std::to_string(batch));
+      expect_bit_identical(reference,
+                           run_simulation(trace, policy, batch_engine(batch)));
+    }
+  }
+}
+
+TEST(BatchInvarianceTest, ReadaheadReprobingModeIsBatchInvariant) {
+  // readahead > 0 evicts without a live tracker slot, so batches re-probe
+  // per event instead of caching entry pointers — still bit-identical.
+  const auto trace = workload::synthesize_trace(batch_workload(11));
+  const auto policy = fixed_policy(DiskPolicyKind::kTwoCompetitive, mib(64));
+  auto reference_engine = batch_engine(1);
+  reference_engine.readahead_pages = 2;
+  const auto reference = run_simulation(trace, policy, reference_engine);
+  for (std::uint32_t batch : kBatches) {
+    SCOPED_TRACE("batch " + std::to_string(batch));
+    auto engine = batch_engine(batch);
+    engine.readahead_pages = 2;
+    expect_bit_identical(reference, run_simulation(trace, policy, engine));
+  }
+}
+
+TEST(BatchInvarianceTest, MultiDiskArrayIsBatchInvariant) {
+  const auto trace = workload::synthesize_trace(batch_workload(13));
+  auto reference_engine = batch_engine(1);
+  reference_engine.disk_count = 4;
+  const auto reference =
+      run_simulation(trace, joint_policy(), reference_engine);
+  for (std::uint32_t batch : kBatches) {
+    SCOPED_TRACE("batch " + std::to_string(batch));
+    auto engine = batch_engine(batch);
+    engine.disk_count = 4;
+    expect_bit_identical(reference,
+                         run_simulation(trace, joint_policy(), engine));
+  }
+}
+
+TEST(BatchInvarianceTest, ThreadCountDoesNotInteractWithBatching) {
+  const auto points = std::vector<
+      std::pair<std::string, workload::SynthesizerConfig>>{
+      {"128MB", batch_workload(7)}};
+  auto sweep_at = [&](const char* threads, std::uint32_t batch) {
+    const char* old = std::getenv("JPM_THREADS");
+    const std::string saved = old ? old : "";
+    const bool had_old = old != nullptr;
+    ::setenv("JPM_THREADS", threads, 1);
+    auto out = run_sweep(points, six_policy_roster(), batch_engine(batch));
+    if (had_old) {
+      ::setenv("JPM_THREADS", saved.c_str(), 1);
+    } else {
+      ::unsetenv("JPM_THREADS");
+    }
+    return out;
+  };
+  const auto serial_classic = sweep_at("1", 1);
+  for (const auto* threads : {"1", "8"}) {
+    const auto batched = sweep_at(threads, 256);
+    ASSERT_EQ(serial_classic.size(), batched.size());
+    for (std::size_t i = 0; i < serial_classic.size(); ++i) {
+      SCOPED_TRACE(std::string("threads ") + threads);
+      expect_bit_identical(serial_classic[i].baseline, batched[i].baseline);
+      ASSERT_EQ(serial_classic[i].outcomes.size(), batched[i].outcomes.size());
+      for (std::size_t j = 0; j < serial_classic[i].outcomes.size(); ++j) {
+        expect_bit_identical(serial_classic[i].outcomes[j].metrics,
+                             batched[i].outcomes[j].metrics);
+      }
+    }
+  }
+}
+
+TEST(BatchInvarianceTest, BatchSizeIsValidated) {
+  const auto w = batch_workload(7);
+  EXPECT_THROW(run_simulation(w, always_on_policy(), batch_engine(0)),
+               std::invalid_argument);
+  EXPECT_THROW(run_simulation(w, always_on_policy(), batch_engine(65537)),
+               std::invalid_argument);
+  EXPECT_NO_THROW(run_simulation(w, always_on_policy(), batch_engine(65536)));
+}
+
+}  // namespace
+}  // namespace jpm::sim

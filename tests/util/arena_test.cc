@@ -1,0 +1,108 @@
+// Bump arena + allocator adapter (util/arena.h): alignment, block growth,
+// release semantics, and the null-arena heap fallback the hot-path
+// containers rely on.
+#include "jpm/util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <list>
+#include <vector>
+
+namespace jpm::util {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAligned) {
+  Arena arena(128);
+  for (std::size_t align : {1ul, 2ul, 4ul, 8ul, 16ul, 64ul}) {
+    void* p = arena.allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align " << align;
+  }
+}
+
+TEST(ArenaTest, BumpsWithinOneBlockForSmallAllocations) {
+  Arena arena(1024);
+  auto* a = static_cast<std::byte*>(arena.allocate(16, 8));
+  auto* b = static_cast<std::byte*>(arena.allocate(16, 8));
+  EXPECT_EQ(b, a + 16);  // contiguous: the layout the prefetcher wants
+  EXPECT_EQ(arena.block_count(), 1u);
+  EXPECT_EQ(arena.allocated_bytes(), 32u);
+}
+
+TEST(ArenaTest, GrowsWhenBlockExhausted) {
+  Arena arena(64);
+  arena.allocate(48, 8);
+  EXPECT_EQ(arena.block_count(), 1u);
+  arena.allocate(48, 8);  // does not fit the remainder
+  EXPECT_EQ(arena.block_count(), 2u);
+  EXPECT_EQ(arena.allocated_bytes(), 96u);
+}
+
+TEST(ArenaTest, OversizedRequestGetsItsOwnBlock) {
+  Arena arena(64);
+  void* p = arena.allocate(4096, 8);
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(arena.allocated_bytes(), 4096u);
+  // The next small allocation must still work.
+  void* q = arena.allocate(8, 8);
+  EXPECT_NE(q, nullptr);
+}
+
+TEST(ArenaTest, ReleaseFreesEverything) {
+  Arena arena(64);
+  arena.allocate(1000, 8);
+  arena.allocate(8, 8);
+  EXPECT_GT(arena.block_count(), 0u);
+  arena.release();
+  EXPECT_EQ(arena.block_count(), 0u);
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  // The arena is reusable after release.
+  EXPECT_NE(arena.allocate(32, 8), nullptr);
+}
+
+TEST(ArenaAllocatorTest, NullArenaFallsBackToHeap) {
+  ArenaAllocator<int> alloc;  // default: no arena
+  EXPECT_EQ(alloc.arena(), nullptr);
+  int* p = alloc.allocate(4);
+  ASSERT_NE(p, nullptr);
+  p[0] = 7;
+  alloc.deallocate(p, 4);  // must actually free (ASan would catch a leak)
+}
+
+TEST(ArenaAllocatorTest, VectorGrowsThroughArena) {
+  Arena arena(256);
+  std::vector<std::uint64_t, ArenaAllocator<std::uint64_t>> v{
+      ArenaAllocator<std::uint64_t>(&arena)};
+  for (std::uint64_t i = 0; i < 1000; ++i) v.push_back(i);
+  for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_EQ(v[i], i);
+  EXPECT_GT(arena.allocated_bytes(), 1000u * sizeof(std::uint64_t) - 1);
+}
+
+TEST(ArenaAllocatorTest, NodeContainerStaysValidAcrossGrowth) {
+  // std::list allocates one node at a time — the shape LruCache's node
+  // storage takes. Nodes must stay stable while the arena grows blocks.
+  Arena arena(128);
+  std::list<int, ArenaAllocator<int>> l{ArenaAllocator<int>(&arena)};
+  std::vector<const int*> addrs;
+  for (int i = 0; i < 500; ++i) {
+    l.push_back(i);
+    addrs.push_back(&l.back());
+  }
+  int expected = 0;
+  for (const int& x : l) EXPECT_EQ(x, expected++);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(*addrs[i], i);
+  EXPECT_GT(arena.block_count(), 1u);
+}
+
+TEST(ArenaAllocatorTest, RebindSharesTheArena) {
+  Arena arena;
+  ArenaAllocator<int> a(&arena);
+  ArenaAllocator<double> b(a);  // converting ctor, as containers rebind
+  EXPECT_EQ(b.arena(), &arena);
+  EXPECT_TRUE((a == ArenaAllocator<int>(b)));
+  EXPECT_TRUE((a != ArenaAllocator<int>{}));
+}
+
+}  // namespace
+}  // namespace jpm::util

@@ -52,9 +52,9 @@ TEST(TraceIoTest, CsvRoundTrip) {
 
 TEST(TraceIoTest, EmptyTraceRoundTrips) {
   std::stringstream bin, csv;
-  write_binary_trace(bin, {});
+  write_binary_trace(bin, std::vector<TraceEvent>{});
   EXPECT_TRUE(read_binary_trace(bin).empty());
-  write_csv_trace(csv, {});
+  write_csv_trace(csv, std::vector<TraceEvent>{});
   EXPECT_TRUE(read_csv_trace(csv).empty());
 }
 
