@@ -17,16 +17,34 @@
 //       is canonical iff `jpm print` reproduces it byte-for-byte.
 //   jpm hash <scenario.json>
 //       Prints the scenario's provenance hash (FNV-1a 64, 16 hex digits).
+//   jpm serve <scenario.json> [--policy=<name>] [--format=auto|jsonl|binary]
+//             [--telemetry=<base>]
+//       The streaming daemon: reads live events from stdin (JSONL or
+//       length-prefixed binary; see src/jpm/stream/wire.h), pushes them
+//       through the scenario's engine with the configured overload policy,
+//       and prints a JSON run report on exit. SIGINT or EOF drains the ring,
+//       closes the final period, and always flushes the report.
+//   jpm synth <scenario.json> [--format=jsonl|binary] [--count=N]
+//       Emits the scenario's first workload point as an event stream on
+//       stdout — the producer half of a serve demo:
+//         jpm synth demo.json | jpm serve demo.json
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "jpm/spec/run.h"
 #include "jpm/spec/spec.h"
+#include "jpm/stream/stream_engine.h"
+#include "jpm/stream/wire.h"
 #include "jpm/telemetry/export.h"
 #include "jpm/telemetry/telemetry.h"
 #include "jpm/util/parallel.h"
+#include "jpm/workload/synthesizer.h"
 
 namespace {
 
@@ -36,6 +54,10 @@ int usage(std::ostream& os, int code) {
         "  jpm validate <scenario.json>...                parse + validate\n"
         "  jpm print <scenario.json> [--resolved]         canonical form\n"
         "  jpm hash <scenario.json>                       provenance hash\n"
+        "  jpm serve <scenario.json> [--policy=<name>] [--format=<fmt>]\n"
+        "            [--telemetry=<base>]     stream events from stdin\n"
+        "  jpm synth <scenario.json> [--format=<fmt>] [--count=N]\n"
+        "                                     emit an event stream on stdout\n"
         "environment: JPM_BENCH_FAST=1 (smoke schedule), JPM_THREADS=N,\n"
         "             JPM_SCENARIO_DIR (default scenario directory)\n";
   return code;
@@ -144,6 +166,283 @@ int cmd_hash(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---- serve / synth ---------------------------------------------------------
+
+// SIGINT closes stdin: the blocked producer read returns EOF, the producer
+// closes the ring, and the normal drain-and-report shutdown path runs. Only
+// async-signal-safe calls are allowed here.
+volatile std::sig_atomic_t g_interrupted = 0;
+void on_sigint(int) {
+  g_interrupted = 1;
+  close(0);
+}
+
+// The roster entry to serve: --policy=<name>, defaulting to the first.
+const jpm::sim::PolicySpec& pick_policy(const jpm::spec::Scenario& sc,
+                                        const std::string& name) {
+  if (sc.roster.empty()) {
+    throw jpm::spec::SpecError("$.roster: scenario has no policies");
+  }
+  if (name.empty()) return sc.roster.front();
+  for (const auto& p : sc.roster) {
+    if (p.name == name) return p;
+  }
+  std::string names;
+  for (const auto& p : sc.roster) {
+    names += names.empty() ? p.name : ", " + p.name;
+  }
+  throw jpm::spec::SpecError("$.roster: no policy named \"" + name +
+                             "\" (available: " + names + ")");
+}
+
+// Live-source geometry of the scenario's first workload point, matching
+// what a synthesized trace of the same point would declare.
+jpm::sim::LiveSource live_source(const jpm::spec::Scenario& sc) {
+  if (sc.workloads.empty()) {
+    throw jpm::spec::SpecError("$.workloads: scenario has no workload points");
+  }
+  const auto& w = sc.workloads.front().workload;
+  jpm::sim::LiveSource source;
+  source.page_bytes = w.page_bytes;
+  source.total_pages = jpm::workload::TraceGenerator(w).total_pages();
+  source.duration_hint_s = w.duration_s;
+  return source;
+}
+
+jpm::util::json::Value stats_json(const jpm::stream::StreamStats& s,
+                                  std::uint64_t ring_capacity) {
+  jpm::util::json::Object o;
+  o["ring_capacity"] = jpm::util::json::Value{ring_capacity};
+  o["events_offered"] = jpm::util::json::Value{s.events_offered};
+  o["events_accepted"] = jpm::util::json::Value{s.events_accepted};
+  o["events_processed"] = jpm::util::json::Value{s.events_processed};
+  o["shed_reads"] = jpm::util::json::Value{s.shed_reads};
+  o["shed_writes"] = jpm::util::json::Value{s.shed_writes};
+  o["block_waits"] = jpm::util::json::Value{s.block_waits};
+  o["block_timeouts"] = jpm::util::json::Value{s.block_timeouts};
+  o["blocked_s"] = jpm::util::json::Value{s.blocked_s};
+  o["degrade_engagements"] = jpm::util::json::Value{s.degrade_engagements};
+  o["watchdog_closes"] = jpm::util::json::Value{s.watchdog_closes};
+  o["clamped_timestamps"] = jpm::util::json::Value{s.clamped_timestamps};
+  o["max_occupancy"] = jpm::util::json::Value{s.max_occupancy};
+  return jpm::util::json::Value{std::move(o)};
+}
+
+jpm::util::json::Value metrics_json(const jpm::sim::RunMetrics& m) {
+  std::uint64_t shed_events = 0;
+  std::uint64_t degraded_periods = 0;
+  for (const auto& p : m.periods) {
+    shed_events += p.shed_events;
+    if (p.degraded) ++degraded_periods;
+  }
+  jpm::util::json::Object o;
+  o["duration_s"] = jpm::util::json::Value{m.duration_s};
+  o["total_j"] = jpm::util::json::Value{m.total_j()};
+  o["memory_j"] = jpm::util::json::Value{m.mem_energy.total_j()};
+  o["disk_j"] = jpm::util::json::Value{m.disk_energy.total_j()};
+  o["cache_accesses"] = jpm::util::json::Value{m.cache_accesses};
+  o["disk_accesses"] = jpm::util::json::Value{m.disk_accesses};
+  o["hit_pct"] = jpm::util::json::Value{m.hit_ratio() * 100.0};
+  o["mean_latency_ms"] = jpm::util::json::Value{m.mean_latency_s() * 1e3};
+  o["disk_shutdowns"] = jpm::util::json::Value{m.disk_shutdowns};
+  o["spin_ups"] = jpm::util::json::Value{m.spin_ups};
+  o["periods"] =
+      jpm::util::json::Value{static_cast<std::uint64_t>(m.periods.size())};
+  o["degraded_periods"] = jpm::util::json::Value{degraded_periods};
+  o["shed_events"] = jpm::util::json::Value{shed_events};
+  o["manager_fallbacks"] =
+      jpm::util::json::Value{m.reliability.manager_fallbacks};
+  o["forced_fallbacks"] =
+      jpm::util::json::Value{m.reliability.forced_fallbacks};
+  return jpm::util::json::Value{std::move(o)};
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  std::string file;
+  std::string policy_name;
+  std::string telemetry_base;
+  jpm::stream::WireFormat format = jpm::stream::WireFormat::kAuto;
+  for (const auto& a : args) {
+    if (a.rfind("--policy=", 0) == 0) {
+      policy_name = a.substr(std::strlen("--policy="));
+    } else if (a.rfind("--format=", 0) == 0) {
+      const std::string f = a.substr(std::strlen("--format="));
+      if (!jpm::stream::wire_format_from_name(f, &format)) {
+        std::cerr << "jpm serve: unknown format \"" << f
+                  << "\" (expected auto, jsonl, or binary)\n";
+        return 2;
+      }
+    } else if (a.rfind("--telemetry=", 0) == 0) {
+      telemetry_base = a.substr(std::strlen("--telemetry="));
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "jpm serve: unknown option " << a << "\n";
+      return 2;
+    } else if (file.empty()) {
+      file = a;
+    } else {
+      std::cerr << "jpm serve: expected one scenario file\n";
+      return 2;
+    }
+  }
+  if (file.empty()) {
+    std::cerr << "jpm serve: missing scenario file\n";
+    return 2;
+  }
+
+  const auto sc = jpm::spec::load_scenario_file(file);
+  jpm::spec::validate_scenario(sc);
+  const jpm::sim::PolicySpec& policy = pick_policy(sc, policy_name);
+  const jpm::stream::StreamConfig stream_config =
+      sc.stream.value_or(jpm::stream::StreamConfig{});
+  try {
+    jpm::stream::validate(stream_config);
+  } catch (const std::invalid_argument& e) {
+    throw jpm::spec::SpecError(file + ": $.stream: " + std::string(e.what()));
+  }
+
+  jpm::telemetry::RunRecorder* rec = nullptr;
+  if (!telemetry_base.empty()) {
+    jpm::telemetry::start();
+    jpm::spec::publish_provenance(sc);
+    rec = jpm::telemetry::begin_run(sc.name + "/" + policy.name);
+  }
+
+  jpm::stream::StreamEngine engine(live_source(sc), policy, sc.engine,
+                                   stream_config);
+  std::cerr << "jpm serve: scenario=" << sc.name << " policy=" << policy.name
+            << " overload="
+            << jpm::stream::overload_policy_name(stream_config.overload)
+            << " ring=" << stream_config.ring_capacity << "\n";
+
+  std::signal(SIGINT, on_sigint);
+
+  // Consumer thread: pump the ring into the engine until EOF drains it,
+  // then close the run. Telemetry binds here (single-writer recorder).
+  jpm::sim::RunMetrics metrics;
+  std::thread consumer([&] {
+    jpm::telemetry::ScopedRun scope(rec);
+    engine.run_until_closed();
+    metrics = engine.finish();
+  });
+
+  // Producer: this thread decodes stdin and offers into the ring.
+  jpm::stream::EventReader reader(std::cin, format);
+  std::string decode_error;
+  jpm::stream::StreamEvent event;
+  for (;;) {
+    const auto status = reader.next(&event);
+    if (status == jpm::stream::EventReader::Status::kEndOfStream) break;
+    if (status == jpm::stream::EventReader::Status::kError) {
+      // SIGINT closes stdin out from under the reader; a record truncated
+      // by that close is shutdown, not corrupt input.
+      if (g_interrupted) break;
+      decode_error = "<stdin>: " + reader.error();
+      break;
+    }
+    engine.offer(event);
+  }
+  engine.close();
+  consumer.join();
+
+  const bool interrupted = g_interrupted != 0;
+  const jpm::stream::StreamStats stats = engine.stats();
+
+  jpm::util::json::Object report;
+  report["version"] = jpm::util::json::Value{1};
+  report["kind"] = jpm::util::json::Value{"serve_report"};
+  report["scenario"] = jpm::util::json::Value{sc.name};
+  report["scenario_hash"] = jpm::util::json::Value{jpm::spec::scenario_hash(sc)};
+  report["policy"] = jpm::util::json::Value{policy.name};
+  report["overload_policy"] = jpm::util::json::Value{
+      jpm::stream::overload_policy_name(stream_config.overload)};
+  report["wire_format"] =
+      jpm::util::json::Value{jpm::stream::wire_format_name(reader.format())};
+  report["interrupted"] = jpm::util::json::Value{interrupted};
+  report["decode_error"] = jpm::util::json::Value{decode_error};
+  report["stream"] = stats_json(stats, stream_config.ring_capacity);
+  report["metrics"] = metrics_json(metrics);
+  std::cout << jpm::util::json::dump(
+                   jpm::util::json::Value{std::move(report)}, 2)
+            << "\n";
+
+  if (!telemetry_base.empty()) {
+    std::string error;
+    if (!jpm::telemetry::export_files(telemetry_base, &error)) {
+      std::cerr << "jpm serve: telemetry export failed: " << error << "\n";
+      jpm::telemetry::stop();
+      return 1;
+    }
+    jpm::telemetry::stop();
+  }
+  if (!decode_error.empty()) {
+    std::cerr << "error: " << decode_error << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_synth(const std::vector<std::string>& args) {
+  std::string file;
+  std::uint64_t count = 0;  // 0 = the whole workload
+  jpm::stream::WireFormat format = jpm::stream::WireFormat::kJsonl;
+  for (const auto& a : args) {
+    if (a.rfind("--format=", 0) == 0) {
+      const std::string f = a.substr(std::strlen("--format="));
+      if (!jpm::stream::wire_format_from_name(f, &format) ||
+          format == jpm::stream::WireFormat::kAuto) {
+        std::cerr << "jpm synth: unknown format \"" << f
+                  << "\" (expected jsonl or binary)\n";
+        return 2;
+      }
+    } else if (a.rfind("--count=", 0) == 0) {
+      try {
+        count = std::stoull(a.substr(std::strlen("--count=")));
+      } catch (const std::exception&) {
+        std::cerr << "jpm synth: bad --count value\n";
+        return 2;
+      }
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "jpm synth: unknown option " << a << "\n";
+      return 2;
+    } else if (file.empty()) {
+      file = a;
+    } else {
+      std::cerr << "jpm synth: expected one scenario file\n";
+      return 2;
+    }
+  }
+  if (file.empty()) {
+    std::cerr << "jpm synth: missing scenario file\n";
+    return 2;
+  }
+
+  const auto sc = jpm::spec::load_for_run(file);
+  if (sc.workloads.empty()) {
+    throw jpm::spec::SpecError(file +
+                               ": $.workloads: scenario has no workload points");
+  }
+  // A consumer that exits early closes the pipe; take the write failure as
+  // end of stream instead of dying on SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+  jpm::workload::TraceGenerator gen(sc.workloads.front().workload);
+  std::uint64_t emitted = 0;
+  while (auto e = gen.next()) {
+    jpm::stream::StreamEvent event;
+    event.time_s = e->time_s;
+    event.page = e->page;
+    event.flags = static_cast<std::uint8_t>(
+        (e->request_start ? jpm::workload::kTraceFlagStart : 0) |
+        (e->is_write ? jpm::workload::kTraceFlagWrite : 0));
+    jpm::stream::write_event(std::cout, event, format);
+    if (!std::cout) {
+      // Downstream pipe closed (consumer exited): a clean end of stream.
+      break;
+    }
+    if (count != 0 && ++emitted >= count) break;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,11 +454,18 @@ int main(int argc, char** argv) {
     if (command == "validate") return cmd_validate(args);
     if (command == "print") return cmd_print(args);
     if (command == "hash") return cmd_hash(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "synth") return cmd_synth(args);
     if (command == "help" || command == "--help" || command == "-h") {
       return usage(std::cout, 0);
     }
   } catch (const jpm::spec::SpecError& e) {
     std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    // No exception escapes as a crash: anything unexpected (engine checks,
+    // bad_alloc, ...) still exits with a named error and a nonzero status.
+    std::cerr << "error: " << command << ": " << e.what() << "\n";
     return 1;
   }
   std::cerr << "jpm: unknown command \"" << command << "\"\n";

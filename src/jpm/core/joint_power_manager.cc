@@ -67,6 +67,19 @@ const JointDecision& JointPowerManager::on_period_end(
   const std::uint64_t fallbacks_before = reliability_.manager_fallbacks;
   JointDecision d;
   d.at_s = stats.end_s;
+  if (forced_fallback_) {
+    // Overload posture: no search, no guard arithmetic — the stream layer
+    // owns the decision until the ring drops below its low watermark.
+    d.memory_units = config_.max_units();
+    d.memory_bytes = d.memory_units * config_.unit_bytes;
+    d.timeout_s = config_.disk.break_even_s();
+    ++reliability_.forced_fallbacks;
+    TELEM_EVENT(kManager, "forced_fallback", d.at_s,
+                {"memory_units", static_cast<double>(d.memory_units)},
+                {"timeout_s", d.timeout_s});
+    decisions_.push_back(std::move(d));
+    return decisions_.back();
+  }
   if (!stats_usable(stats)) {
     apply_fallback(d);
   } else {

@@ -49,6 +49,14 @@ class JointPowerManager {
   // (recovering within a bounded number of clean periods).
   const JointDecision& on_period_end(const PeriodStats& stats);
 
+  // Overload degradation (jpm::stream `degrade` policy): while engaged,
+  // every boundary skips the candidate search entirely and applies the
+  // conservative startup posture — all memory, 2-competitive timeout —
+  // so the manager costs O(1) per period until the ingress ring recovers.
+  // Counted separately from error fallbacks in reliability().
+  void set_forced_fallback(bool on) { forced_fallback_ = on; }
+  bool forced_fallback() const { return forced_fallback_; }
+
   const JointConfig& config() const { return config_; }
   const std::vector<JointDecision>& decisions() const { return decisions_; }
   const fault::ReliabilityMetrics& reliability() const {
@@ -65,6 +73,7 @@ class JointPowerManager {
                                  std::uint64_t fallbacks_before) const;
 
   JointConfig config_;
+  bool forced_fallback_ = false;
   double fallback_service_s_;
   fault::ManagerGuardConfig guard_;
   double guard_scale_ = 1.0;

@@ -52,6 +52,7 @@ void ReliabilityMetrics::merge(const ReliabilityMetrics& other) {
   degraded_time_s += other.degraded_time_s;
   rerouted_requests += other.rerouted_requests;
   manager_fallbacks += other.manager_fallbacks;
+  forced_fallbacks += other.forced_fallbacks;
   violated_periods += other.violated_periods;
   guard_backoffs += other.guard_backoffs;
   server_crashes += other.server_crashes;
@@ -62,7 +63,7 @@ bool ReliabilityMetrics::any() const {
   return spinup_retries != 0 || retry_delay_s != 0.0 ||
          degraded_spindles != 0 || degraded_time_s != 0.0 ||
          rerouted_requests != 0 || manager_fallbacks != 0 ||
-         violated_periods != 0 || guard_backoffs != 0 ||
+         forced_fallbacks != 0 || violated_periods != 0 || guard_backoffs != 0 ||
          server_crashes != 0 || failed_over_requests != 0;
 }
 

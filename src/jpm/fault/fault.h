@@ -92,6 +92,7 @@ struct ReliabilityMetrics {
   std::uint64_t rerouted_requests = 0; // array reads moved off degraded disks
   // Manager path.
   std::uint64_t manager_fallbacks = 0; // invalid input / failed search
+  std::uint64_t forced_fallbacks = 0;  // stream overload degrade posture
   std::uint64_t violated_periods = 0;  // observed U or D violations
   std::uint64_t guard_backoffs = 0;    // guard escalations
   // Cluster path.

@@ -89,6 +89,14 @@ struct Engine::Impl {
   std::uint64_t period_delayed_requests = 0;
   double last_disk_finish;
   bool ran = false;
+  // Push-mode state: live engines start lazily at the first push and end at
+  // finish(); forced fallback / shed counts come from the stream overload
+  // policies (see engine.h).
+  bool live = false;
+  bool started = false;
+  bool finished = false;
+  bool forced_fallback = false;
+  std::uint64_t period_shed_events = 0;
 
   // Cumulative totals at the warm-up boundary, subtracted at the end so
   // reported metrics cover only the measured window.
@@ -138,6 +146,18 @@ struct Engine::Impl {
     total_pages = trace.total_pages;
     attach_trace(trace);
     init(trace.page_bytes);
+  }
+
+  Impl(const LiveSource& source, const PolicySpec& spec,
+       const EngineConfig& cfg)
+      : policy(spec), config(cfg), meter(cfg.joint.mem, 0, 0.0),
+        last_disk_finish(0.0) {
+    JPM_CHECK_MSG(source.total_pages > 0,
+                  "a live source must declare its data-set size");
+    live = true;
+    duration_s = source.duration_hint_s;
+    total_pages = source.total_pages;
+    init(source.page_bytes);
   }
 
   // Validates a trace's event lanes and adopts them as the run's source.
@@ -457,6 +477,8 @@ struct Engine::Impl {
       rec.timeout_s = timeout_policy->timeout_s();
       rec.busy_s = disk->busy_time_s() - period_busy_start_s;
       rec.delayed_requests = period_delayed_requests;
+      rec.shed_events = period_shed_events;
+      rec.degraded = period_shed_events > 0 || forced_fallback;
       metrics.periods.push_back(rec);
     }
     period_start = boundary;
@@ -466,6 +488,7 @@ struct Engine::Impl {
     period_gap_count = 0;
     period_busy_start_s = disk->busy_time_s();
     period_delayed_requests = 0;
+    period_shed_events = 0;
   }
 
   void handle_boundary(double boundary) {
@@ -606,6 +629,14 @@ struct Engine::Impl {
   // loop body and the batched replay's fallback for events at or past a
   // timer edge.
   void step_event(double t, std::uint64_t page, bool is_write) {
+    advance_timers(t);
+    apply_access(t, page, is_write, page_table.find_or_insert(page));
+  }
+
+  // The timer half of step_event: warm-up snapshot, period boundaries,
+  // flush ticks, and bank expiries through time t. Also the watchdog's
+  // forced period close (advance_to), which runs it without an access.
+  void advance_timers(double t) {
     if (!snapshot.taken && t >= config.warm_up_s) {
       process_boundaries_until(config.warm_up_s);
       take_snapshot(config.warm_up_s);
@@ -619,21 +650,23 @@ struct Engine::Impl {
         write_back(t, dirty_scratch);
       }
     }
-    apply_access(t, page, is_write, page_table.find_or_insert(page));
   }
 
-  // Batched replay: pulls events in runs of up to batch_size that provably
-  // cross no period boundary, flush tick, or warm-up edge, so per-event
-  // timer checks vanish from the hot loop. In fused joint runs the batch's
-  // page-table probes are all resolved up front (entry pointers stay valid:
-  // eviction never erases an entry whose tracker half is live, and
-  // compaction rewrites slots without touching the map) with the next
-  // lane's home slot software-prefetched ahead of each probe; otherwise the
-  // batch is a prefetch window and every event re-probes, since eviction
-  // without a tracker erases entries and relocates their neighbors.
-  // Bit-identical to the per-event loop for every batch size.
-  void run_replay() {
-    const std::size_t n = event_count;
+  // Batched event feed — the shared core of trace replay and the streaming
+  // daemon (which pushes ring-drained SoA chunks through the same code).
+  // Pulls events in runs of up to batch_size that provably cross no period
+  // boundary, flush tick, or warm-up edge, so per-event timer checks vanish
+  // from the hot loop. In fused joint runs the batch's page-table probes are
+  // all resolved up front (entry pointers stay valid: eviction never erases
+  // an entry whose tracker half is live, and compaction rewrites slots
+  // without touching the map) with the next lane's home slot
+  // software-prefetched ahead of each probe; otherwise the batch is a
+  // prefetch window and every event re-probes, since eviction without a
+  // tracker erases entries and relocates their neighbors. Bit-identical to
+  // the per-event loop for every batch size and every chunking of the event
+  // stream into feed() calls.
+  void feed(const double* ev_times, const std::uint64_t* ev_pages,
+            const std::uint8_t* ev_flags, std::size_t n) {
     const std::size_t batch = config.batch_size;
     // Bank policies carry their own per-event timer (pending disables), so
     // they keep the classic loop.
@@ -715,9 +748,11 @@ struct Engine::Impl {
     }
   }
 
-  RunMetrics run() {
-    JPM_CHECK_MSG(!ran, "Engine::run is single-shot");
-    ran = true;
+  // Binds telemetry and emits the run_begin marker. Idempotent: run() does
+  // it up front; push-mode engines do it lazily at the first push.
+  void begin_once() {
+    if (started) return;
+    started = true;
     telem = telemetry::current_run();
     if (telem != nullptr) {
       telem_periods = &telem->table(
@@ -735,17 +770,29 @@ struct Engine::Impl {
                   {"warm_up_s", config.warm_up_s},
                   {"disk_count", static_cast<double>(config.disk_count)});
     }
+  }
+
+  RunMetrics run() {
+    JPM_CHECK_MSG(!ran && !finished, "Engine::run is single-shot");
+    JPM_CHECK_MSG(!live, "live engines end with finish(), not run()");
+    ran = true;
+    begin_once();
 
     if (generator) {
       while (auto event = generator->next()) {
         step_event(event->time_s, event->page, event->is_write);
       }
     } else {
-      run_replay();
+      feed(ev_times, ev_pages, ev_flags, event_count);
     }
 
-    // Close out the run at the configured duration.
-    const double end = duration_s;
+    return finish_run(duration_s);
+  }
+
+  // Close out the run at `end`: final boundaries and flushes, the shutdown
+  // writeback, the last period, warm-up subtraction, and the metric totals.
+  RunMetrics finish_run(double end) {
+    finished = true;
     JPM_CHECK_MSG(config.warm_up_s < end,
                   "warm-up must be shorter than the run");
     if (!snapshot.taken) {
@@ -808,6 +855,42 @@ struct Engine::Impl {
     }
     return metrics;
   }
+
+  // ---- push-mode interface (live sources; see jpm::stream) ----------------
+
+  void push(double t, std::uint64_t page, std::uint8_t flags) {
+    JPM_CHECK_MSG(live, "push-mode requires a LiveSource engine");
+    JPM_CHECK_MSG(!finished, "push after finish");
+    begin_once();
+    step_event(t, page, (flags & workload::kTraceFlagWrite) != 0);
+  }
+
+  void push_chunk(const double* times, const std::uint64_t* pages,
+                  const std::uint8_t* flags, std::size_t n) {
+    JPM_CHECK_MSG(live, "push-mode requires a LiveSource engine");
+    JPM_CHECK_MSG(!finished, "push after finish");
+    begin_once();
+    feed(times, pages, flags, n);
+  }
+
+  void advance_to(double t) {
+    JPM_CHECK_MSG(live, "push-mode requires a LiveSource engine");
+    JPM_CHECK_MSG(!finished, "advance after finish");
+    begin_once();
+    advance_timers(t);
+  }
+
+  void set_forced_fallback(bool on) {
+    forced_fallback = on;
+    if (manager) manager->set_forced_fallback(on);
+  }
+
+  RunMetrics finish(double end) {
+    JPM_CHECK_MSG(live, "finish() ends live engines; replays use run()");
+    JPM_CHECK_MSG(!finished, "Engine::finish is single-shot");
+    begin_once();
+    return finish_run(end);
+  }
 };
 
 Engine::Engine(const workload::SynthesizerConfig& workload,
@@ -819,11 +902,30 @@ Engine::Engine(ReplayTrace trace, const PolicySpec& policy,
 Engine::Engine(const workload::Trace& trace, const PolicySpec& policy,
                const EngineConfig& config)
     : impl_(std::make_unique<Impl>(trace, policy, config)) {}
+Engine::Engine(const LiveSource& source, const PolicySpec& policy,
+               const EngineConfig& config)
+    : impl_(std::make_unique<Impl>(source, policy, config)) {}
 Engine::~Engine() = default;
 Engine::Engine(Engine&&) noexcept = default;
 Engine& Engine::operator=(Engine&&) noexcept = default;
 
 RunMetrics Engine::run() { return impl_->run(); }
+
+void Engine::push(double t, std::uint64_t page, std::uint8_t flags) {
+  impl_->push(t, page, flags);
+}
+void Engine::push_chunk(const double* times, const std::uint64_t* pages,
+                        const std::uint8_t* flags, std::size_t n) {
+  impl_->push_chunk(times, pages, flags, n);
+}
+void Engine::advance_to(double t) { impl_->advance_to(t); }
+double Engine::next_boundary_s() const { return impl_->next_boundary; }
+double Engine::period_s() const { return impl_->config.joint.period_s; }
+void Engine::set_forced_fallback(bool on) { impl_->set_forced_fallback(on); }
+void Engine::note_shed(std::uint64_t events) {
+  impl_->period_shed_events += events;
+}
+RunMetrics Engine::finish(double end_s) { return impl_->finish(end_s); }
 
 RunMetrics run_simulation(const workload::SynthesizerConfig& workload,
                           const PolicySpec& policy,

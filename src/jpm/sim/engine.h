@@ -66,6 +66,18 @@ struct ReplayTrace {
   double duration_s = 0.0;
 };
 
+// Geometry of a live (push-mode) event source: the jpm::stream daemon feeds
+// events through Engine::push / push_chunk instead of a materialized trace,
+// so the data-set size must be declared up front (prefill, readahead bounds)
+// and the run's end arrives with Engine::finish.
+struct LiveSource {
+  std::uint64_t page_bytes = 256 * kKiB;
+  std::uint64_t total_pages = 0;  // data-set size in pages (required)
+  // Expected duration, used only for telemetry annotations; the actual end
+  // is whatever finish() receives. 0 = open-ended.
+  double duration_hint_s = 0.0;
+};
+
 class Engine {
  public:
   Engine(const workload::SynthesizerConfig& workload, const PolicySpec& policy,
@@ -78,12 +90,45 @@ class Engine {
   // when the trace came from workload::synthesize_trace of the same config.
   Engine(const workload::Trace& trace, const PolicySpec& policy,
          const EngineConfig& config);
+  // Push-mode engine for a live source: no trace, events arrive through
+  // push()/push_chunk() and the run ends with finish().
+  Engine(const LiveSource& source, const PolicySpec& policy,
+         const EngineConfig& config);
   ~Engine();
   Engine(Engine&&) noexcept;
   Engine& operator=(Engine&&) noexcept;
 
   // Runs the whole trace and returns the metrics. Single-shot.
   RunMetrics run();
+
+  // ---- push-mode interface (live sources; see jpm::stream) ----------------
+  // Events must arrive with nondecreasing timestamps; `flags` uses the
+  // workload trace flag bits. Exclusive with run(): a trace-backed engine
+  // uses run(), a LiveSource engine uses push*/advance_to/finish. The replay
+  // path is a thin client of the same core (run() == push the whole trace,
+  // then finish at the declared duration), so metrics are bit-identical
+  // between a replay and a stream of the same events.
+  void push(double t, std::uint64_t page, std::uint8_t flags);
+  // Batched push over SoA lanes: same hot path as the batched replay
+  // (software prefetch across the chunk). Results are bit-identical to
+  // per-event push for every chunking.
+  void push_chunk(const double* times, const std::uint64_t* pages,
+                  const std::uint8_t* flags, std::size_t n);
+  // Advances timers (period boundaries, flush ticks, warm-up snapshot, bank
+  // expiries) to `t` without an access — the watchdog's forced period close.
+  void advance_to(double t);
+  // The next period boundary after the events seen so far.
+  double next_boundary_s() const;
+  double period_s() const;
+  // Stream overload hooks. Forced fallback pins the manager to the
+  // conservative posture (all memory, 2-competitive timeout, no search) at
+  // every boundary while engaged; shed events are charged to the current
+  // period, which is flagged degraded-accuracy when it closes.
+  void set_forced_fallback(bool on);
+  void note_shed(std::uint64_t events);
+  // Closes the run at `end_s` (drain flushes, close the final period) and
+  // returns the metrics. Single-shot, like run().
+  RunMetrics finish(double end_s);
 
  private:
   struct Impl;

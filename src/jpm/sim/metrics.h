@@ -23,6 +23,12 @@ struct PeriodRecord {
   double timeout_s = 0.0;         // disk timeout in effect at period end
   double busy_s = 0.0;            // disk busy time inside the period
   std::uint64_t delayed_requests = 0;  // accesses that waited on a spin-up
+  // Stream-mode overload accounting (always 0 / false for trace replays):
+  // events shed at the ingress ring while this period was current, and the
+  // degraded-accuracy flag (set when events were shed or the manager was
+  // pinned to the forced-conservative overload posture).
+  std::uint64_t shed_events = 0;
+  bool degraded = false;
 };
 
 struct RunMetrics {

@@ -59,6 +59,11 @@ constexpr EnumName<cluster::DistributionPolicy> kDistributionNames[] = {
     {"partitioned", cluster::DistributionPolicy::kPartitioned},
     {"unbalanced", cluster::DistributionPolicy::kUnbalanced},
 };
+constexpr EnumName<stream::OverloadPolicy> kOverloadPolicyNames[] = {
+    {"block", stream::OverloadPolicy::kBlock},
+    {"shed", stream::OverloadPolicy::kShed},
+    {"degrade", stream::OverloadPolicy::kDegrade},
+};
 constexpr EnumName<Metric> kMetricNames[] = {
     {"total_pct", Metric::kTotalPct},
     {"disk_pct", Metric::kDiskPct},
@@ -387,6 +392,19 @@ struct BindCluster {
   }
 };
 
+struct BindStream {
+  template <typename B>
+  void operator()(B& b, stream::StreamConfig& c) const {
+    b.field("ring_capacity", &c.ring_capacity);
+    b.enum_field("overload", &c.overload, kOverloadPolicyNames);
+    b.field("high_watermark", &c.high_watermark);
+    b.field("low_watermark", &c.low_watermark);
+    b.field("block_timeout_s", &c.block_timeout_s);
+    b.field("watchdog_timeout_s", &c.watchdog_timeout_s);
+    b.field("max_batch", &c.max_batch);
+  }
+};
+
 struct BindTable {
   template <typename B>
   void operator()(B& b, TableSpec& c) const {
@@ -490,6 +508,14 @@ Value to_json(const cluster::ClusterConfig& c) {
 cluster::ClusterConfig cluster_from_json(const Value& v,
                                          const std::string& path) {
   return struct_from_json<cluster::ClusterConfig>(v, path, BindCluster{});
+}
+
+Value to_json(const stream::StreamConfig& c) {
+  return struct_to_json(c, BindStream{});
+}
+stream::StreamConfig stream_from_json(const Value& v,
+                                      const std::string& path) {
+  return struct_from_json<stream::StreamConfig>(v, path, BindStream{});
 }
 
 Value to_json(const std::vector<sim::PolicySpec>& roster) {
@@ -661,6 +687,9 @@ Scenario parse_scenario(const std::string& text) {
   if (const Value* cl = r.child("cluster")) {
     sc.cluster = cluster_from_json(*cl, "$.cluster");
   }
+  if (const Value* st = r.child("stream")) {
+    sc.stream = stream_from_json(*st, "$.stream");
+  }
   if (const Value* output = r.child("output")) {
     sc.output = output_from_json(*output, "$.output");
   }
@@ -677,6 +706,7 @@ std::string serialize_scenario(const Scenario& sc) {
   root["roster"] = to_json(sc.roster);
   root["engine"] = to_json(sc.engine);
   if (sc.cluster.has_value()) root["cluster"] = to_json(*sc.cluster);
+  if (sc.stream.has_value()) root["stream"] = to_json(*sc.stream);
   root["output"] = output_to_json(sc.output);
   return util::json::dump(Value{std::move(root)}, 2) + "\n";
 }
@@ -742,6 +772,9 @@ void validate_scenario(const Scenario& sc) {
       full.engine = sc.engine;
       full.validate();
     });
+  }
+  if (sc.stream.has_value()) {
+    validate_at("$.stream", [&] { stream::validate(*sc.stream); });
   }
 }
 

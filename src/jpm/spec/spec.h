@@ -30,6 +30,7 @@
 
 #include "jpm/cluster/cluster.h"
 #include "jpm/sim/engine.h"
+#include "jpm/stream/stream_engine.h"
 #include "jpm/util/json.h"
 
 namespace jpm::spec {
@@ -82,7 +83,9 @@ struct OutputSpec {
 
 // A complete declarative experiment. `cluster`, when present, carries the
 // cluster-extension knobs; its engine is the scenario's engine (see
-// cluster_config()).
+// cluster_config()). `stream`, when present, configures the push-mode
+// daemon (`jpm serve`): ring capacity, overload policy, watermarks,
+// watchdog — scenarios without it replay traces exactly as before.
 struct Scenario {
   std::string name;         // short identifier ("fig7_dataset")
   std::string description;  // free text for humans
@@ -90,6 +93,7 @@ struct Scenario {
   std::vector<sim::PolicySpec> roster;
   sim::EngineConfig engine;
   std::optional<cluster::ClusterConfig> cluster;
+  std::optional<stream::StreamConfig> stream;
   OutputSpec output;
 };
 
@@ -138,6 +142,11 @@ std::vector<sim::PolicySpec> roster_from_json(const util::json::Value& v,
 util::json::Value to_json(const cluster::ClusterConfig& c);
 cluster::ClusterConfig cluster_from_json(const util::json::Value& v,
                                          const std::string& path);
+
+// Stream section: the jpm serve daemon's ring/overload/watchdog knobs.
+util::json::Value to_json(const stream::StreamConfig& c);
+stream::StreamConfig stream_from_json(const util::json::Value& v,
+                                      const std::string& path);
 
 // Workloads: an explicit array of {"label", "workload"} points, or the sweep
 // axis form {"base": {...}, "points": [{"label": ..., <overrides>}]} where

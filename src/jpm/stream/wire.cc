@@ -1,0 +1,198 @@
+#include "jpm/stream/wire.h"
+
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "jpm/util/check.h"
+#include "jpm/util/json.h"
+#include "jpm/workload/trace.h"
+
+namespace jpm::stream {
+
+namespace {
+
+constexpr std::size_t kBinaryPayloadBytes = 17;  // f64 + u64 + u8
+
+// The wire is little-endian; encode/decode bytewise so the codec is
+// host-endianness independent.
+void put_u32(unsigned char* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+void put_u64(unsigned char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+std::uint32_t get_u32(const unsigned char* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const unsigned char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+bool wire_format_from_name(const std::string& name, WireFormat* out) {
+  if (name == "auto") *out = WireFormat::kAuto;
+  else if (name == "jsonl") *out = WireFormat::kJsonl;
+  else if (name == "binary") *out = WireFormat::kBinary;
+  else return false;
+  return true;
+}
+
+const char* wire_format_name(WireFormat format) {
+  switch (format) {
+    case WireFormat::kAuto: return "auto";
+    case WireFormat::kJsonl: return "jsonl";
+    case WireFormat::kBinary: return "binary";
+  }
+  return "?";
+}
+
+EventReader::EventReader(std::istream& in, WireFormat format)
+    : in_(in), format_(format) {}
+
+EventReader::Status EventReader::fail(const std::string& message) {
+  error_ = message;
+  return Status::kError;
+}
+
+EventReader::Status EventReader::next(StreamEvent* out) {
+  if (!error_.empty()) return Status::kError;
+  if (format_ == WireFormat::kAuto) {
+    const int first = in_.peek();
+    if (first == std::istream::traits_type::eof()) return Status::kEndOfStream;
+    const char c = static_cast<char>(first);
+    format_ = (c == '{' || c == '#' || c == ' ' || c == '\t' || c == '\r' ||
+               c == '\n')
+                  ? WireFormat::kJsonl
+                  : WireFormat::kBinary;
+  }
+  return format_ == WireFormat::kJsonl ? next_jsonl(out) : next_binary(out);
+}
+
+EventReader::Status EventReader::next_jsonl(StreamEvent* out) {
+  std::string line;
+  for (;;) {
+    if (!std::getline(in_, line)) return Status::kEndOfStream;
+    ++line_;
+    // Strip a trailing CR (pipes fed from CRLF producers).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t start = 0;
+    while (start < line.size() &&
+           (line[start] == ' ' || line[start] == '\t')) {
+      ++start;
+    }
+    if (start == line.size() || line[start] == '#') continue;  // skip
+
+    util::json::Value v;
+    std::string err;
+    if (!util::json::parse(line, &v, &err)) {
+      return fail("line " + std::to_string(line_) + ": " + err);
+    }
+    if (!v.is_object()) {
+      return fail("line " + std::to_string(line_) +
+                  ": event must be a JSON object");
+    }
+    const util::json::Object& obj = v.as_object();
+    const util::json::Value* t = obj.find("t");
+    const util::json::Value* page = obj.find("page");
+    if (t == nullptr || !t->is_number()) {
+      return fail("line " + std::to_string(line_) +
+                  ": missing numeric field \"t\"");
+    }
+    if (page == nullptr || !page->is_number()) {
+      return fail("line " + std::to_string(line_) +
+                  ": missing numeric field \"page\"");
+    }
+    if (!std::isfinite(t->as_number()) || t->as_number() < 0.0) {
+      return fail("line " + std::to_string(line_) +
+                  ": \"t\" must be finite and non-negative");
+    }
+    if (page->as_number() < 0.0) {
+      return fail("line " + std::to_string(line_) +
+                  ": \"page\" must be non-negative");
+    }
+    bool write = false;
+    if (const util::json::Value* w = obj.find("write")) {
+      if (!w->is_bool()) {
+        return fail("line " + std::to_string(line_) +
+                    ": \"write\" must be a boolean");
+      }
+      write = w->as_bool();
+    }
+    out->time_s = t->as_number();
+    out->page = static_cast<std::uint64_t>(page->as_number());
+    out->flags = write ? workload::kTraceFlagWrite : 0;
+    return Status::kEvent;
+  }
+}
+
+EventReader::Status EventReader::next_binary(StreamEvent* out) {
+  unsigned char header[4];
+  in_.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (in_.gcount() == 0 && in_.eof()) return Status::kEndOfStream;
+  if (in_.gcount() != sizeof(header)) {
+    return fail("record " + std::to_string(record_ + 1) +
+                ": truncated length prefix");
+  }
+  const std::uint32_t len = get_u32(header);
+  if (len < kBinaryPayloadBytes || len > (1u << 20)) {
+    return fail("record " + std::to_string(record_ + 1) +
+                ": implausible payload length " + std::to_string(len));
+  }
+  unsigned char payload[kBinaryPayloadBytes];
+  in_.read(reinterpret_cast<char*>(payload), sizeof(payload));
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof(payload))) {
+    return fail("record " + std::to_string(record_ + 1) +
+                ": truncated payload");
+  }
+  // Skip any extension bytes a newer writer appended.
+  for (std::uint32_t skip = len - kBinaryPayloadBytes; skip > 0; --skip) {
+    if (in_.get() == std::istream::traits_type::eof()) {
+      return fail("record " + std::to_string(record_ + 1) +
+                  ": truncated payload");
+    }
+  }
+  ++record_;
+  const std::uint64_t time_bits = get_u64(payload);
+  double t;
+  static_assert(sizeof(t) == sizeof(time_bits));
+  std::memcpy(&t, &time_bits, sizeof(t));
+  if (!std::isfinite(t) || t < 0.0) {
+    return fail("record " + std::to_string(record_) +
+                ": time must be finite and non-negative");
+  }
+  out->time_s = t;
+  out->page = get_u64(payload + 8);
+  out->flags = payload[16];
+  return Status::kEvent;
+}
+
+void write_event(std::ostream& out, const StreamEvent& event,
+                 WireFormat format) {
+  JPM_CHECK_MSG(format != WireFormat::kAuto,
+                "write_event needs a concrete wire format");
+  if (format == WireFormat::kJsonl) {
+    util::json::Object obj;
+    obj["t"] = event.time_s;
+    obj["page"] = event.page;
+    if ((event.flags & workload::kTraceFlagWrite) != 0) obj["write"] = true;
+    out << util::json::dump(util::json::Value(std::move(obj))) << '\n';
+    return;
+  }
+  unsigned char buf[4 + kBinaryPayloadBytes];
+  put_u32(buf, kBinaryPayloadBytes);
+  std::uint64_t time_bits;
+  std::memcpy(&time_bits, &event.time_s, sizeof(time_bits));
+  put_u64(buf + 4, time_bits);
+  put_u64(buf + 12, event.page);
+  buf[20] = event.flags;
+  out.write(reinterpret_cast<const char*>(buf), sizeof(buf));
+}
+
+}  // namespace jpm::stream

@@ -25,6 +25,7 @@ const char* category_name(Category c) {
     case Category::kFault: return "fault";
     case Category::kSweep: return "sweep";
     case Category::kBench: return "bench";
+    case Category::kStream: return "stream";
   }
   return "?";
 }
@@ -34,7 +35,7 @@ std::uint32_t category_mask_from_string(const std::string& spec) {
   static constexpr Category kAll[] = {
       Category::kEngine, Category::kCache,   Category::kDisk,
       Category::kManager, Category::kCluster, Category::kFault,
-      Category::kSweep,  Category::kBench};
+      Category::kSweep,  Category::kBench,   Category::kStream};
   std::uint32_t mask = 0;
   std::size_t pos = 0;
   while (pos <= spec.size()) {

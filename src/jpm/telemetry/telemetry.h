@@ -55,6 +55,7 @@ enum class Category : std::uint32_t {
   kFault = 1u << 5,    // fault injection outcomes
   kSweep = 1u << 6,    // sweep runner lifecycle
   kBench = 1u << 7,    // bench harness annotations
+  kStream = 1u << 8,   // streaming daemon: overload, watchdog, shutdown
 };
 
 const char* category_name(Category c);

@@ -1,0 +1,181 @@
+// Subprocess tests for the `jpm` CLI's exit paths: every failure mode must
+// exit non-zero with a path-named message on stderr (never an uncaught
+// exception), and the happy paths must exit 0. The binary under test comes
+// in via JPM_CLI_PATH; the checked-in scenarios via JPM_SCENARIOS_DIR.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+const std::string kCli = JPM_CLI_PATH;
+const std::string kScenarios = JPM_SCENARIOS_DIR;
+
+struct CmdResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+CmdResult run_cmd(const std::string& command) {
+  CmdResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buf;
+  std::size_t n;
+  while ((n = std::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    result.output.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string demo_scenario() { return kScenarios + "/serve_demo.json"; }
+
+std::string write_temp(const std::string& name, const std::string& contents) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << contents;
+  return path;
+}
+
+TEST(CliTest, NoArgumentsPrintsUsageAndExitsNonZero) {
+  const auto r = run_cmd(kCli);
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, UnknownCommandExitsNonZero) {
+  const auto r = run_cmd(kCli + " frobnicate");
+  EXPECT_NE(r.exit_code, 0);
+}
+
+TEST(CliTest, MissingScenarioFileNamesThePath) {
+  const auto r = run_cmd(kCli + " validate /nonexistent/missing.json");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("/nonexistent/missing.json"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, RunWithMissingFileExitsOneNotUncaught) {
+  const auto r = run_cmd(kCli + " run /nonexistent/missing.json");
+  EXPECT_EQ(r.exit_code, 1);  // an uncaught exception would abort (134)
+  EXPECT_NE(r.output.find("/nonexistent/missing.json"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, MalformedScenarioNamesPathAndExitsOne) {
+  const auto path = write_temp("cli_test_bad.json", "{\"version\": 1,");
+  const auto r = run_cmd(kCli + " validate " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find(path), std::string::npos) << r.output;
+}
+
+TEST(CliTest, BadStreamSectionNamesTheJsonPath) {
+  // An out-of-range stream knob must be rejected at validate time with the
+  // $.stream path in the message.
+  std::ifstream in(demo_scenario());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  const std::string needle = "\"ring_capacity\": 4096";
+  const auto pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(), "\"ring_capacity\": 3");
+  const auto path = write_temp("cli_test_bad_stream.json", text);
+  const auto r = run_cmd(kCli + " validate " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("$.stream"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, ValidateAndHashAcceptTheDemoScenario) {
+  const auto v = run_cmd(kCli + " validate " + demo_scenario());
+  EXPECT_EQ(v.exit_code, 0) << v.output;
+  EXPECT_NE(v.output.find("ok "), std::string::npos);
+  const auto h = run_cmd(kCli + " hash " + demo_scenario());
+  EXPECT_EQ(h.exit_code, 0);
+  EXPECT_EQ(h.output.size(), 17u);  // 16 hex digits + newline
+}
+
+TEST(CliTest, PrintReproducesTheCheckedInScenario) {
+  const auto r = run_cmd(kCli + " print " + demo_scenario());
+  EXPECT_EQ(r.exit_code, 0);
+  std::ifstream in(demo_scenario());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(r.output, ss.str());
+}
+
+TEST(CliTest, ServeUnknownPolicyListsTheRoster) {
+  const auto r =
+      run_cmd(kCli + " serve " + demo_scenario() + " --policy=bogus </dev/null");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("no policy named"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("Always-on"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, ServeUnknownFormatExitsNonZero) {
+  const auto r =
+      run_cmd(kCli + " serve " + demo_scenario() + " --format=csv </dev/null");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(CliTest, ServeEmptyStdinFlushesACompleteReport) {
+  const auto r = run_cmd(kCli + " serve " + demo_scenario() + " </dev/null");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"kind\": \"serve_report\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"interrupted\": false"), std::string::npos);
+}
+
+TEST(CliTest, ServeConsumesPipedJsonlEvents) {
+  const auto r = run_cmd(
+      "printf '{\"t\": 1, \"page\": 0}\\n{\"t\": 2, \"page\": 1}\\n' | " +
+      kCli + " serve " + demo_scenario());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"events_processed\": 2"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, ServeDecodeErrorExitsOneButStillReports) {
+  const auto r = run_cmd("printf 'not json\\n' | " + kCli + " serve " +
+                         demo_scenario() + " --format=jsonl");
+  EXPECT_EQ(r.exit_code, 1);
+  // The report is flushed before the error exit, with the position inside.
+  EXPECT_NE(r.output.find("\"kind\": \"serve_report\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("line 1"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, SynthCountEmitsExactlyNEvents) {
+  const auto r =
+      run_cmd(kCli + " synth " + demo_scenario() + " --count=5");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::size_t lines = 0;
+  for (char c : r.output) lines += c == '\n';
+  EXPECT_EQ(lines, 5u);
+}
+
+TEST(CliTest, SynthRejectsAutoFormat) {
+  const auto r =
+      run_cmd(kCli + " synth " + demo_scenario() + " --format=auto");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(CliTest, SynthPipesIntoServeEndToEnd) {
+  const auto r = run_cmd(kCli + " synth " + demo_scenario() +
+                         " --count=2000 --format=binary | " + kCli +
+                         " serve " + demo_scenario() + " --policy=Joint");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"policy\": \"Joint\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"wire_format\": \"binary\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"events_processed\": 2000"), std::string::npos)
+      << r.output;
+}
+
+}  // namespace

@@ -17,16 +17,17 @@
 namespace jpm::spec {
 namespace {
 
-// One scenario per bench harness (21) — the list the tentpole migration
-// covers. A new harness adds its scenario here.
+// One scenario per bench harness (21) plus the streaming daemon demo —
+// a new harness or CLI demo adds its scenario here.
 const std::set<std::string> kScenarioNames = {
     "ablation_joint", "ext_cluster",     "ext_devices",
     "ext_drpm",       "ext_multidisk",   "ext_pblru",
     "ext_writes",     "faults",          "fig5_pareto",
     "fig7_dataset",   "fig8_popularity", "fig8_rate",
     "fig9_timeline",  "micro",           "models",
-    "policy_faceoff", "quickstart",      "table3_accesses",
-    "table4_period",  "table5_bank",     "timeout_policies",
+    "policy_faceoff", "quickstart",      "serve_demo",
+    "table3_accesses", "table4_period",  "table5_bank",
+    "timeout_policies",
 };
 
 std::string read_file(const std::string& path) {

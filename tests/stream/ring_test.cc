@@ -1,0 +1,124 @@
+// EventRing unit tests: boundary conditions the MPSC ring must get right —
+// wrap-around reuse of slots, full/empty edges, the degenerate capacity-1
+// ring, chunked pops, and close()/drained() end-of-stream semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "jpm/stream/ring.h"
+
+namespace jpm::stream {
+namespace {
+
+StreamEvent ev(double t, std::uint64_t page, std::uint8_t flags = 0) {
+  StreamEvent e;
+  e.time_s = t;
+  e.page = page;
+  e.flags = flags;
+  return e;
+}
+
+TEST(EventRingTest, EmptyRingPopsNothing) {
+  EventRing ring(8);
+  StreamEvent out;
+  EXPECT_FALSE(ring.try_pop(&out));
+  EXPECT_EQ(ring.size_approx(), 0u);
+  EXPECT_FALSE(ring.closed());
+  EXPECT_FALSE(ring.drained());
+}
+
+TEST(EventRingTest, PushPopRoundTripsTheEvent) {
+  EventRing ring(8);
+  ASSERT_TRUE(ring.try_push(ev(1.5, 42, 2)));
+  EXPECT_EQ(ring.size_approx(), 1u);
+  StreamEvent out;
+  ASSERT_TRUE(ring.try_pop(&out));
+  EXPECT_EQ(out.time_s, 1.5);
+  EXPECT_EQ(out.page, 42u);
+  EXPECT_EQ(out.flags, 2u);
+  EXPECT_EQ(ring.size_approx(), 0u);
+}
+
+TEST(EventRingTest, FullRingRejectsPushWithoutBlocking) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_push(ev(0.0, i)));
+  }
+  EXPECT_FALSE(ring.try_push(ev(0.0, 99)));
+  EXPECT_EQ(ring.size_approx(), 4u);
+  // One pop frees exactly one slot.
+  StreamEvent out;
+  ASSERT_TRUE(ring.try_pop(&out));
+  EXPECT_EQ(out.page, 0u);
+  EXPECT_TRUE(ring.try_push(ev(0.0, 99)));
+  EXPECT_FALSE(ring.try_push(ev(0.0, 100)));
+}
+
+TEST(EventRingTest, FifoOrderSurvivesManyWrapArounds) {
+  // 8-slot ring, 1000 events: every slot is reused 125 times, so a stale
+  // sequence number or bad mask shows up as a reorder or a lost event.
+  EventRing ring(8);
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  StreamEvent out;
+  while (next_pop < 1000) {
+    while (next_push < 1000 && ring.try_push(ev(0.0, next_push))) ++next_push;
+    // Drain in uneven chunks so head and tail move at different strides.
+    for (int i = 0; i < 3 && ring.try_pop(&out); ++i) {
+      EXPECT_EQ(out.page, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(ring.size_approx(), 0u);
+}
+
+TEST(EventRingTest, CapacityOneAlternatesPushAndPop) {
+  EventRing ring(1);
+  EXPECT_EQ(ring.capacity(), 1u);
+  StreamEvent out;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ring.try_push(ev(0.0, i)));
+    EXPECT_FALSE(ring.try_push(ev(0.0, i + 1000)));  // full at one
+    ASSERT_TRUE(ring.try_pop(&out));
+    EXPECT_EQ(out.page, i);
+    EXPECT_FALSE(ring.try_pop(&out));  // empty again
+  }
+}
+
+TEST(EventRingTest, PopChunkDrainsInOrderAndStopsAtEmpty) {
+  EventRing ring(16);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ring.try_push(ev(0.0, i)));
+  }
+  std::vector<StreamEvent> chunk(16);
+  EXPECT_EQ(ring.pop_chunk(chunk.data(), 4), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(chunk[i].page, i);
+  EXPECT_EQ(ring.pop_chunk(chunk.data(), 16), 6u);
+  for (std::uint64_t i = 0; i < 6; ++i) EXPECT_EQ(chunk[i].page, i + 4);
+  EXPECT_EQ(ring.pop_chunk(chunk.data(), 16), 0u);
+}
+
+TEST(EventRingTest, CloseIsIdempotentAndKeepsPublishedEventsPoppable) {
+  EventRing ring(4);
+  ASSERT_TRUE(ring.try_push(ev(0.0, 7)));
+  ring.close();
+  ring.close();
+  EXPECT_TRUE(ring.closed());
+  EXPECT_FALSE(ring.drained());  // one event still queued
+  StreamEvent out;
+  ASSERT_TRUE(ring.try_pop(&out));
+  EXPECT_EQ(out.page, 7u);
+  EXPECT_TRUE(ring.drained());
+}
+
+TEST(EventRingTest, IsPowerOfTwoClassifiesEdges) {
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_TRUE(is_power_of_two(1ull << 30));
+  EXPECT_FALSE(is_power_of_two((1ull << 30) + 1));
+}
+
+}  // namespace
+}  // namespace jpm::stream

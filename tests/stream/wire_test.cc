@@ -1,0 +1,177 @@
+// Wire-format tests: JSONL and binary round-trips through write_event /
+// EventReader, auto-detection, skip rules, forward-compatible binary
+// records, and position-naming decode errors.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "jpm/stream/wire.h"
+#include "jpm/workload/trace.h"
+
+namespace jpm::stream {
+namespace {
+
+StreamEvent ev(double t, std::uint64_t page, std::uint8_t flags = 0) {
+  StreamEvent e;
+  e.time_s = t;
+  e.page = page;
+  e.flags = flags;
+  return e;
+}
+
+std::vector<StreamEvent> read_all(std::istream& in, WireFormat format,
+                                  std::string* error = nullptr) {
+  EventReader reader(in, format);
+  std::vector<StreamEvent> events;
+  StreamEvent e;
+  for (;;) {
+    const auto status = reader.next(&e);
+    if (status == EventReader::Status::kEvent) {
+      events.push_back(e);
+      continue;
+    }
+    if (status == EventReader::Status::kError && error != nullptr) {
+      *error = reader.error();
+    }
+    return events;
+  }
+}
+
+void expect_round_trip(WireFormat format) {
+  const std::vector<StreamEvent> in = {
+      ev(0.0, 0), ev(1.25, 42, workload::kTraceFlagWrite),
+      ev(1.25, 7), ev(1e6, (1ull << 40) + 3)};
+  std::stringstream buf;
+  for (const auto& e : in) write_event(buf, e, format);
+  const auto out = read_all(buf, format);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].time_s, in[i].time_s) << i;
+    EXPECT_EQ(out[i].page, in[i].page) << i;
+    EXPECT_EQ(out[i].flags, in[i].flags) << i;
+  }
+}
+
+TEST(WireTest, JsonlRoundTripIsExact) { expect_round_trip(WireFormat::kJsonl); }
+
+TEST(WireTest, BinaryRoundTripIsExact) {
+  expect_round_trip(WireFormat::kBinary);
+}
+
+TEST(WireTest, AutoDetectsJsonlFromLeadingBrace) {
+  std::stringstream buf;
+  write_event(buf, ev(2.0, 5), WireFormat::kJsonl);
+  EventReader reader(buf, WireFormat::kAuto);
+  StreamEvent e;
+  ASSERT_EQ(reader.next(&e), EventReader::Status::kEvent);
+  EXPECT_EQ(reader.format(), WireFormat::kJsonl);
+  EXPECT_EQ(e.page, 5u);
+}
+
+TEST(WireTest, AutoDetectsBinaryFromLengthPrefix) {
+  std::stringstream buf;
+  write_event(buf, ev(2.0, 5), WireFormat::kBinary);
+  EventReader reader(buf, WireFormat::kAuto);
+  StreamEvent e;
+  ASSERT_EQ(reader.next(&e), EventReader::Status::kEvent);
+  EXPECT_EQ(reader.format(), WireFormat::kBinary);
+  EXPECT_EQ(e.page, 5u);
+}
+
+TEST(WireTest, JsonlSkipsBlankAndCommentLines) {
+  std::stringstream buf("\n# synthetic trace\n{\"t\": 1, \"page\": 2}\n\n");
+  const auto events = read_all(buf, WireFormat::kJsonl);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].time_s, 1.0);
+  EXPECT_EQ(events[0].page, 2u);
+}
+
+TEST(WireTest, JsonlWriteFlagMapsToTraceFlagBit) {
+  std::stringstream buf("{\"t\": 1, \"page\": 2, \"write\": true}\n");
+  const auto events = read_all(buf, WireFormat::kJsonl);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].flags & workload::kTraceFlagWrite,
+            workload::kTraceFlagWrite);
+}
+
+TEST(WireTest, JsonlErrorNamesTheLine) {
+  std::stringstream buf("{\"t\": 1, \"page\": 2}\n{\"t\": oops}\n");
+  std::string error;
+  const auto events = read_all(buf, WireFormat::kJsonl, &error);
+  EXPECT_EQ(events.size(), 1u);
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(WireTest, JsonlRejectsNegativeTime) {
+  std::stringstream buf("{\"t\": -1, \"page\": 2}\n");
+  std::string error;
+  const auto events = read_all(buf, WireFormat::kJsonl, &error);
+  EXPECT_TRUE(events.empty());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(WireTest, BinaryReaderSkipsRecordExtensionBytes) {
+  // A future writer may append payload fields; a 17-byte reader must
+  // consume the length it was given and keep decoding.
+  std::stringstream buf;
+  write_event(buf, ev(1.0, 1), WireFormat::kBinary);
+  // Splice 4 extension bytes into the second record by patching its length.
+  std::string rec;
+  {
+    std::stringstream one;
+    write_event(one, ev(2.0, 2), WireFormat::kBinary);
+    rec = one.str();
+  }
+  rec[0] = static_cast<char>(static_cast<unsigned char>(rec[0]) + 4);
+  rec += std::string("\xde\xad\xbe\xef", 4);
+  buf << rec;
+  write_event(buf, ev(3.0, 3), WireFormat::kBinary);
+
+  const auto events = read_all(buf, WireFormat::kBinary);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].page, 2u);
+  EXPECT_EQ(events[2].page, 3u);
+}
+
+TEST(WireTest, BinaryErrorNamesTheRecord) {
+  std::stringstream buf;
+  write_event(buf, ev(1.0, 1), WireFormat::kBinary);
+  buf << std::string("\x01\x00\x00\x00", 4);  // length 1 < the 17-byte floor
+  std::string error;
+  const auto events = read_all(buf, WireFormat::kBinary, &error);
+  EXPECT_EQ(events.size(), 1u);
+  EXPECT_NE(error.find("record 2"), std::string::npos) << error;
+}
+
+TEST(WireTest, TruncatedBinaryPayloadIsAnError) {
+  std::stringstream buf;
+  std::string rec;
+  {
+    std::stringstream one;
+    write_event(one, ev(1.0, 1), WireFormat::kBinary);
+    rec = one.str();
+  }
+  buf << rec.substr(0, rec.size() - 3);  // cut mid-payload
+  std::string error;
+  const auto events = read_all(buf, WireFormat::kBinary, &error);
+  EXPECT_TRUE(events.empty());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(WireTest, FormatNamesRoundTrip) {
+  WireFormat f = WireFormat::kAuto;
+  EXPECT_TRUE(wire_format_from_name("jsonl", &f));
+  EXPECT_EQ(f, WireFormat::kJsonl);
+  EXPECT_TRUE(wire_format_from_name("binary", &f));
+  EXPECT_EQ(f, WireFormat::kBinary);
+  EXPECT_TRUE(wire_format_from_name("auto", &f));
+  EXPECT_EQ(f, WireFormat::kAuto);
+  EXPECT_FALSE(wire_format_from_name("csv", &f));
+  EXPECT_STREQ(wire_format_name(WireFormat::kJsonl), "jsonl");
+  EXPECT_STREQ(wire_format_name(WireFormat::kBinary), "binary");
+}
+
+}  // namespace
+}  // namespace jpm::stream
