@@ -2,8 +2,9 @@
 // probes (util::FlatMap vs the std::unordered_map it replaced), LRU cache
 // operations, the Fenwick stack-distance tracker, the idle-interval sweep,
 // Pareto fitting, trace synthesis throughput, single-policy engine replay —
-// the perf baseline for the sweep hot loop — and scenario-file parse/
-// serialize throughput for the jpm::spec layer.
+// the perf baseline for the sweep hot loop — JPMC trace-file encode/decode
+// and file-backed replay (jpm::tracefile), and scenario-file parse/serialize
+// throughput for the jpm::spec layer.
 //
 // Beyond the stock google-benchmark flags, the custom main() accepts
 //   --snapshot=<file>   write a machine-readable BENCH_micro.json
@@ -32,10 +33,14 @@
 #include "jpm/sim/policies.h"
 #include "jpm/spec/run.h"
 #include "jpm/spec/spec.h"
+#include "jpm/sim/file_replay.h"
 #include "jpm/telemetry/registry.h"
 #include "jpm/telemetry/telemetry.h"
+#include "jpm/tracefile/reader.h"
+#include "jpm/tracefile/writer.h"
 #include "jpm/util/rng.h"
 #include "jpm/workload/synthesizer.h"
+#include "jpm/workload/trace.h"
 
 namespace jpm {
 namespace {
@@ -327,6 +332,89 @@ void BM_ScenarioSerialize(benchmark::State& state) {
                           static_cast<std::int64_t>(bytes));
 }
 BENCHMARK(BM_ScenarioSerialize);
+
+// ---- jpm::tracefile (the JPMC chunked trace store) -------------------------
+// One shared fixture trace (~230k events) round-trips through the encoder
+// and the mmap-style reader; bytes are the logical 17-byte-per-event stream,
+// so MB/s here compares directly against raw SoA memcpy.
+
+const workload::Trace& tracefile_fixture() {
+  static const workload::Trace trace = [] {
+    workload::SynthesizerConfig cfg;
+    cfg.dataset_bytes = mib(256);
+    cfg.byte_rate = 20e6;
+    cfg.duration_s = 600.0;
+    cfg.page_bytes = 64 * kKiB;
+    cfg.write_fraction = 0.2;
+    cfg.seed = 6;
+    return workload::synthesize_trace(cfg);
+  }();
+  return trace;
+}
+
+std::string tracefile_image(const workload::Trace& trace) {
+  std::ostringstream os(std::ios::binary);
+  tracefile::TraceWriter w(os, trace.page_bytes, trace.total_pages,
+                           trace.duration_s, {});
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    w.append(trace.times[i], trace.pages[i], trace.flags[i]);
+  }
+  w.finish();
+  return os.str();
+}
+
+void BM_TraceFileEncode(benchmark::State& state) {
+  const workload::Trace& trace = tracefile_fixture();
+  for (auto _ : state) {
+    const std::string image = tracefile_image(trace);
+    benchmark::DoNotOptimize(image.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size() * 17));
+}
+BENCHMARK(BM_TraceFileEncode);
+
+void BM_TraceFileDecode(benchmark::State& state) {
+  const workload::Trace& trace = tracefile_fixture();
+  const std::string image = tracefile_image(trace);
+  const tracefile::TraceReader reader(image.data(), image.size(), "bench");
+  tracefile::ChunkBuffer buf;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
+      reader.decode_chunk(i, buf);
+      benchmark::DoNotOptimize(buf.times.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size() * 17));
+}
+BENCHMARK(BM_TraceFileDecode);
+
+// File-backed replay vs BM_EngineReplay/1/256: the same engine hot loop fed
+// from decoded chunk windows instead of a materialized trace. The gap
+// between the two is the whole cost of the chunked store on the sweep path.
+void BM_FileBackedReplay(benchmark::State& state) {
+  const workload::Trace& trace = tracefile_fixture();
+  const std::string image = tracefile_image(trace);
+  const tracefile::TraceReader reader(image.data(), image.size(), "bench");
+
+  sim::EngineConfig e;
+  e.joint.physical_bytes = gib(1);
+  e.joint.unit_bytes = 16 * kMiB;
+  e.joint.page_bytes = 64 * kKiB;
+  e.joint.period_s = 300.0;
+  const auto policy = sim::joint_policy();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::replay_file(reader, policy, e));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_FileBackedReplay);
 
 // The disabled-tracer fast path: no session, so TELEM_EVENT is one relaxed
 // atomic load and a not-taken branch. ns/event here is the whole overhead

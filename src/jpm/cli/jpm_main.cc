@@ -28,7 +28,16 @@
 //       Emits the scenario's first workload point as an event stream on
 //       stdout — the producer half of a serve demo:
 //         jpm synth demo.json | jpm serve demo.json
+//   jpm trace synth|pack|info|cat
+//       The chunked on-disk trace store (JPMC; see src/jpm/tracefile/):
+//       synth writes a scenario workload point to a trace file with bounded
+//       RSS, pack converts legacy JPMT/CSV captures, info prints the header,
+//       index, and content hash, cat decodes back to CSV or JSONL. A
+//       scenario workload point replays such a file via
+//       "trace": {"path": "big.jpmc"}.
+#include <algorithm>
 #include <csignal>
+#include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -43,8 +52,14 @@
 #include "jpm/stream/wire.h"
 #include "jpm/telemetry/export.h"
 #include "jpm/telemetry/telemetry.h"
+#include "jpm/tracefile/reader.h"
+#include "jpm/tracefile/writer.h"
+#include "jpm/util/hash.h"
+#include "jpm/util/json.h"
 #include "jpm/util/parallel.h"
+#include "jpm/util/units.h"
 #include "jpm/workload/synthesizer.h"
+#include "jpm/workload/trace.h"
 
 namespace {
 
@@ -58,6 +73,15 @@ int usage(std::ostream& os, int code) {
         "            [--telemetry=<base>]     stream events from stdin\n"
         "  jpm synth <scenario.json> [--format=<fmt>] [--count=N]\n"
         "                                     emit an event stream on stdout\n"
+        "  jpm trace synth <scenario.json> <out.jpmc> [--point=N]\n"
+        "            [--chunk-events=N]       synthesize to a chunked file\n"
+        "  jpm trace pack <in> <out.jpmc> [--page-bytes=N] [--total-pages=N]\n"
+        "            [--duration=S] [--chunk-events=N]\n"
+        "                                     convert JPMT/CSV to chunked\n"
+        "  jpm trace info <file.jpmc> [--chunks] [--verify]\n"
+        "                                     header, index, content hash\n"
+        "  jpm trace cat <file.jpmc> [--format=csv|jsonl] [--limit=N]\n"
+        "                                     decode to CSV/JSONL on stdout\n"
         "environment: JPM_BENCH_FAST=1 (smoke schedule), JPM_THREADS=N,\n"
         "             JPM_SCENARIO_DIR (default scenario directory)\n";
   return code;
@@ -443,6 +467,275 @@ int cmd_synth(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---- trace (the JPMC chunked trace store) ----------------------------------
+
+bool parse_u64_flag(const std::string& arg, const char* prefix,
+                    std::uint64_t* out) {
+  try {
+    *out = std::stoull(arg.substr(std::strlen(prefix)));
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+int cmd_trace_synth(const std::vector<std::string>& args) {
+  std::string scenario_file;
+  std::string out_file;
+  std::uint64_t point = 0;
+  jpm::tracefile::WriterOptions options;
+  for (const auto& a : args) {
+    if (a.rfind("--point=", 0) == 0) {
+      if (!parse_u64_flag(a, "--point=", &point)) {
+        std::cerr << "jpm trace synth: bad --point value\n";
+        return 2;
+      }
+    } else if (a.rfind("--chunk-events=", 0) == 0) {
+      std::uint64_t n = 0;
+      if (!parse_u64_flag(a, "--chunk-events=", &n) || n == 0) {
+        std::cerr << "jpm trace synth: bad --chunk-events value\n";
+        return 2;
+      }
+      options.chunk_events = n;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "jpm trace synth: unknown option " << a << "\n";
+      return 2;
+    } else if (scenario_file.empty()) {
+      scenario_file = a;
+    } else if (out_file.empty()) {
+      out_file = a;
+    } else {
+      std::cerr << "jpm trace synth: expected <scenario.json> <out.jpmc>\n";
+      return 2;
+    }
+  }
+  if (scenario_file.empty() || out_file.empty()) {
+    std::cerr << "jpm trace synth: expected <scenario.json> <out.jpmc>\n";
+    return 2;
+  }
+  // load_for_run applies fast mode, so a file synthesized under
+  // JPM_BENCH_FAST=1 matches what `jpm run` would synthesize in-memory under
+  // the same environment — the byte-identical replay contract.
+  const auto sc = jpm::spec::load_for_run(scenario_file);
+  if (point >= sc.workloads.size()) {
+    std::cerr << "jpm trace synth: --point=" << point << " out of range ("
+              << sc.workloads.size() << " workload points)\n";
+    return 2;
+  }
+  const auto& wp = sc.workloads[point];
+  const auto header = jpm::tracefile::synthesize_to_file(
+      out_file, wp.workload, options);
+  std::cerr << "jpm trace synth: " << out_file << " [" << wp.label << "] "
+            << header.event_count << " events, " << header.chunk_count
+            << " chunks, hash " << jpm::util::hex16(header.content_hash)
+            << "\n";
+  return 0;
+}
+
+int cmd_trace_pack(const std::vector<std::string>& args) {
+  std::string in_file;
+  std::string out_file;
+  std::uint64_t page_bytes = 0;
+  std::uint64_t total_pages = 0;
+  double duration_s = 0.0;
+  jpm::tracefile::WriterOptions options;
+  for (const auto& a : args) {
+    if (a.rfind("--page-bytes=", 0) == 0) {
+      if (!parse_u64_flag(a, "--page-bytes=", &page_bytes)) {
+        std::cerr << "jpm trace pack: bad --page-bytes value\n";
+        return 2;
+      }
+    } else if (a.rfind("--total-pages=", 0) == 0) {
+      if (!parse_u64_flag(a, "--total-pages=", &total_pages)) {
+        std::cerr << "jpm trace pack: bad --total-pages value\n";
+        return 2;
+      }
+    } else if (a.rfind("--duration=", 0) == 0) {
+      try {
+        duration_s = std::stod(a.substr(std::strlen("--duration=")));
+      } catch (const std::exception&) {
+        std::cerr << "jpm trace pack: bad --duration value\n";
+        return 2;
+      }
+    } else if (a.rfind("--chunk-events=", 0) == 0) {
+      std::uint64_t n = 0;
+      if (!parse_u64_flag(a, "--chunk-events=", &n) || n == 0) {
+        std::cerr << "jpm trace pack: bad --chunk-events value\n";
+        return 2;
+      }
+      options.chunk_events = n;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "jpm trace pack: unknown option " << a << "\n";
+      return 2;
+    } else if (in_file.empty()) {
+      in_file = a;
+    } else if (out_file.empty()) {
+      out_file = a;
+    } else {
+      std::cerr << "jpm trace pack: expected <in> <out.jpmc>\n";
+      return 2;
+    }
+  }
+  if (in_file.empty() || out_file.empty()) {
+    std::cerr << "jpm trace pack: expected <in> <out.jpmc>\n";
+    return 2;
+  }
+  jpm::workload::Trace trace = jpm::tracefile::load_any_trace(in_file);
+  // Legacy formats carry no geometry: default the page size, derive the
+  // data-set size and duration from the events (the ReplayTrace rules),
+  // unless flags pin them down.
+  if (page_bytes != 0) trace.page_bytes = page_bytes;
+  if (trace.page_bytes == 0) trace.page_bytes = 256 * jpm::kKiB;
+  if (total_pages != 0) trace.total_pages = total_pages;
+  if (trace.total_pages == 0) {
+    for (const auto page : trace.pages) {
+      trace.total_pages = std::max(trace.total_pages, page + 1);
+    }
+  }
+  if (duration_s != 0.0) trace.duration_s = duration_s;
+  if (trace.duration_s == 0.0 && !trace.empty()) {
+    trace.duration_s = trace.times.back();
+  }
+  const auto header =
+      jpm::tracefile::write_trace_file(out_file, trace, options);
+  std::cerr << "jpm trace pack: " << out_file << " " << header.event_count
+            << " events, " << header.chunk_count << " chunks, hash "
+            << jpm::util::hex16(header.content_hash) << "\n";
+  return 0;
+}
+
+int cmd_trace_info(const std::vector<std::string>& args) {
+  std::string file;
+  bool list_chunks = false;
+  bool verify = false;
+  for (const auto& a : args) {
+    if (a == "--chunks") {
+      list_chunks = true;
+    } else if (a == "--verify") {
+      verify = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "jpm trace info: unknown option " << a << "\n";
+      return 2;
+    } else if (file.empty()) {
+      file = a;
+    } else {
+      std::cerr << "jpm trace info: expected one trace file\n";
+      return 2;
+    }
+  }
+  if (file.empty()) {
+    std::cerr << "jpm trace info: missing trace file\n";
+    return 2;
+  }
+  const jpm::tracefile::TraceReader reader(file);
+  const auto& h = reader.header();
+  std::cout << "file:         " << file << "\n"
+            << "format:       JPMC v" << h.version << "\n"
+            << "events:       " << h.event_count << "\n"
+            << "chunks:       " << h.chunk_count << "\n"
+            << "page_bytes:   " << h.page_bytes << "\n"
+            << "total_pages:  " << h.total_pages << "\n"
+            << "duration_s:   " << h.duration_s << "\n"
+            << "content_hash: " << jpm::util::hex16(h.content_hash) << "\n";
+  if (list_chunks) {
+    std::cout << "chunk  events      bytes  t_first       t_last\n";
+    for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
+      const auto& c = reader.chunks()[i];
+      std::cout << i << "  " << c.event_count << "  " << c.encoded_bytes
+                << "  " << c.t_first << "  " << c.t_last << "\n";
+    }
+  }
+  if (verify) {
+    reader.verify_content_hash();
+    std::cout << "verify:       ok (" << h.chunk_count
+              << " chunks decoded, content hash matches)\n";
+  }
+  return 0;
+}
+
+int cmd_trace_cat(const std::vector<std::string>& args) {
+  std::string file;
+  std::string format = "csv";
+  std::uint64_t limit = 0;  // 0 = everything
+  for (const auto& a : args) {
+    if (a.rfind("--format=", 0) == 0) {
+      format = a.substr(std::strlen("--format="));
+      if (format != "csv" && format != "jsonl") {
+        std::cerr << "jpm trace cat: unknown format \"" << format
+                  << "\" (expected csv or jsonl)\n";
+        return 2;
+      }
+    } else if (a.rfind("--limit=", 0) == 0) {
+      if (!parse_u64_flag(a, "--limit=", &limit)) {
+        std::cerr << "jpm trace cat: bad --limit value\n";
+        return 2;
+      }
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "jpm trace cat: unknown option " << a << "\n";
+      return 2;
+    } else if (file.empty()) {
+      file = a;
+    } else {
+      std::cerr << "jpm trace cat: expected one trace file\n";
+      return 2;
+    }
+  }
+  if (file.empty()) {
+    std::cerr << "jpm trace cat: missing trace file\n";
+    return 2;
+  }
+  std::signal(SIGPIPE, SIG_IGN);  // a consumer exiting early is end of stream
+  const jpm::tracefile::TraceReader reader(file);
+  const bool csv = format == "csv";
+  if (csv) {
+    std::cout << "time_s,page,request_start,is_write\n";
+    std::cout.precision(9);
+  }
+  jpm::tracefile::ChunkBuffer buf;
+  std::uint64_t emitted = 0;
+  for (std::size_t i = 0; i < reader.chunks().size() && std::cout; ++i) {
+    reader.decode_chunk(i, buf);
+    for (std::size_t k = 0; k < buf.size() && std::cout; ++k) {
+      const bool start =
+          (buf.flags[k] & jpm::workload::kTraceFlagStart) != 0;
+      const bool write =
+          (buf.flags[k] & jpm::workload::kTraceFlagWrite) != 0;
+      if (csv) {
+        std::cout << std::fixed << buf.times[k] << ',' << buf.pages[k] << ','
+                  << (start ? 1 : 0) << ',' << (write ? 1 : 0) << '\n';
+      } else {
+        jpm::util::json::Object obj;
+        obj["t"] = jpm::util::json::Value{buf.times[k]};
+        obj["page"] = jpm::util::json::Value{buf.pages[k]};
+        if (start) obj["start"] = jpm::util::json::Value{true};
+        if (write) obj["write"] = jpm::util::json::Value{true};
+        std::cout << jpm::util::json::dump(
+                         jpm::util::json::Value{std::move(obj)})
+                  << '\n';
+      }
+      if (limit != 0 && ++emitted >= limit) return 0;
+    }
+  }
+  return 0;
+}
+
+int cmd_trace(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "jpm trace: expected a subcommand "
+                 "(synth, pack, info, cat)\n";
+    return 2;
+  }
+  const std::string sub = args.front();
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (sub == "synth") return cmd_trace_synth(rest);
+  if (sub == "pack") return cmd_trace_pack(rest);
+  if (sub == "info") return cmd_trace_info(rest);
+  if (sub == "cat") return cmd_trace_cat(rest);
+  std::cerr << "jpm trace: unknown subcommand \"" << sub
+            << "\" (expected synth, pack, info, or cat)\n";
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -456,6 +749,7 @@ int main(int argc, char** argv) {
     if (command == "hash") return cmd_hash(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "synth") return cmd_synth(args);
+    if (command == "trace") return cmd_trace(args);
     if (command == "help" || command == "--help" || command == "-h") {
       return usage(std::cout, 0);
     }

@@ -1,11 +1,14 @@
 #include "jpm/sim/runner.h"
 
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <utility>
 
+#include "jpm/sim/file_replay.h"
 #include "jpm/telemetry/telemetry.h"
 #include "jpm/util/check.h"
+#include "jpm/util/hash.h"
 #include "jpm/util/parallel.h"
 
 namespace jpm::sim {
@@ -34,31 +37,55 @@ std::size_t find_baseline(const std::vector<PolicySpec>& roster) {
 }  // namespace
 
 std::vector<SweepPoint> run_sweep(
-    const std::vector<std::pair<std::string, workload::SynthesizerConfig>>&
-        workloads,
+    const std::vector<SweepWorkload>& workloads,
     const std::vector<PolicySpec>& roster, const EngineConfig& config,
     const std::function<void(const std::string&)>& progress) {
   const std::size_t baseline_index = find_baseline(roster);
   const std::size_t n_points = workloads.size();
   const std::size_t n_policies = roster.size();
 
-  // Synthesize each sweep point's trace exactly once; every policy run then
-  // replays it read-only. All randomness lives in the synthesizer, whose
-  // stream derives solely from the point's seed, so neither sharing nor
-  // scheduling can change any metric.
+  // Materialize each sweep point's event source exactly once; every policy
+  // run then consumes it read-only. Synthesized points build an in-RAM
+  // trace; file-backed points mmap their JPMC file (index validated here,
+  // chunks decoded per run inside a reusable window — the whole trace never
+  // lands in memory). All randomness lives in the synthesizer, whose stream
+  // derives solely from the point's seed, so neither sharing nor scheduling
+  // can change any metric.
   TELEM_EVENT(kSweep, "sweep_begin", 0.0,
               {"points", static_cast<double>(n_points)},
               {"policies", static_cast<double>(n_policies)});
   std::vector<workload::Trace> traces(n_points);
+  std::vector<std::unique_ptr<tracefile::TraceReader>> readers(n_points);
   util::parallel_for(n_points, [&](std::size_t i) {
-    const telemetry::SpanTimer span("synthesize", workloads[i].first);
-    traces[i] = workload::synthesize_trace(workloads[i].second);
+    if (!workloads[i].trace_path.empty()) {
+      const telemetry::SpanTimer span("map_trace", workloads[i].label);
+      readers[i] =
+          std::make_unique<tracefile::TraceReader>(workloads[i].trace_path);
+      JPM_CHECK_MSG(
+          readers[i]->header().page_bytes == workloads[i].workload.page_bytes,
+          workloads[i].trace_path
+              << ": trace page_bytes (" << readers[i]->header().page_bytes
+              << ") disagrees with the workload section's ("
+              << workloads[i].workload.page_bytes
+              << ") the scenario was validated against");
+    } else {
+      const telemetry::SpanTimer span("synthesize", workloads[i].label);
+      traces[i] = workload::synthesize_trace(workloads[i].workload);
+    }
   });
+  // Publish file provenance in point order (deterministic, independent of
+  // the parallel open above).
+  for (std::size_t i = 0; i < n_points; ++i) {
+    if (readers[i] != nullptr) {
+      telemetry::add_trace(workloads[i].trace_path,
+                           util::hex16(readers[i]->header().content_hash));
+    }
+  }
 
   std::vector<SweepPoint> points(n_points);
   for (std::size_t i = 0; i < n_points; ++i) {
-    points[i].label = workloads[i].first;
-    points[i].workload = workloads[i].second;
+    points[i].label = workloads[i].label;
+    points[i].workload = workloads[i].workload;
     points[i].outcomes.resize(n_policies);
     for (std::size_t j = 0; j < n_policies; ++j) {
       points[i].outcomes[j].spec = roster[j];
@@ -99,7 +126,9 @@ std::vector<SweepPoint> run_sweep(
         recorders.empty() ? nullptr : recorders[i * n_policies + j]);
     const telemetry::SpanTimer span(
         "policy_run", points[i].label + "/" + roster[j].name);
-    outcome.metrics = run_simulation(traces[i], roster[j], config);
+    outcome.metrics = readers[i] != nullptr
+                          ? replay_file(*readers[i], roster[j], config)
+                          : run_simulation(traces[i], roster[j], config);
     if (progress) {  // only pay for formatting when a sink is attached
       std::ostringstream os;
       os << "[" << points[i].label << "] " << roster[j].name << ": total "
@@ -120,6 +149,19 @@ std::vector<SweepPoint> run_sweep(
   TELEM_EVENT(kSweep, "sweep_end", 0.0,
               {"runs", static_cast<double>(jobs.size())});
   return points;
+}
+
+std::vector<SweepPoint> run_sweep(
+    const std::vector<std::pair<std::string, workload::SynthesizerConfig>>&
+        workloads,
+    const std::vector<PolicySpec>& roster, const EngineConfig& config,
+    const std::function<void(const std::string&)>& progress) {
+  std::vector<SweepWorkload> points;
+  points.reserve(workloads.size());
+  for (const auto& [label, workload] : workloads) {
+    points.push_back(SweepWorkload{label, workload, {}});
+  }
+  return run_sweep(points, roster, config, progress);
 }
 
 }  // namespace jpm::sim

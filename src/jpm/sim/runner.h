@@ -24,13 +24,33 @@ struct SweepPoint {
   RunMetrics baseline;                 // the always-on run
 };
 
+// One sweep point's event source: synthesized from `workload` (the default),
+// or — when `trace_path` is set — replayed from a JPMC trace file (see
+// jpm/tracefile/) that is mmap'd once and shared read-only by all of the
+// point's policy runs, each decoding one chunk window at a time. The file's
+// page size must match the workload section's (the geometry the scenario was
+// validated against); metrics are bit-identical to synthesizing when the
+// file came from synthesize_to_file of the same workload config.
+struct SweepWorkload {
+  std::string label;
+  workload::SynthesizerConfig workload;
+  std::string trace_path;  // empty = synthesize
+};
+
 // Runs every policy for every workload; the roster must contain exactly one
 // always-on entry, used as the normalization baseline. Each workload's trace
-// is synthesized once and shared read-only by all of its policy runs, which
-// fan out across a fixed thread pool (JPM_THREADS workers, default hardware
-// concurrency, 1 = serial) — results are bit-identical regardless of the
-// worker count. `progress` (optional) is invoked with a human-readable line
-// after each run; calls are serialized but may arrive in any run order.
+// is synthesized (or mmap'd) once and shared read-only by all of its policy
+// runs, which fan out across a fixed thread pool (JPM_THREADS workers,
+// default hardware concurrency, 1 = serial) — results are bit-identical
+// regardless of the worker count. `progress` (optional) is invoked with a
+// human-readable line after each run; calls are serialized but may arrive in
+// any run order.
+std::vector<SweepPoint> run_sweep(
+    const std::vector<SweepWorkload>& workloads,
+    const std::vector<PolicySpec>& roster, const EngineConfig& config,
+    const std::function<void(const std::string&)>& progress = {});
+
+// Legacy label/config pair form (bench harnesses); synthesizes every point.
 std::vector<SweepPoint> run_sweep(
     const std::vector<std::pair<std::string, workload::SynthesizerConfig>>&
         workloads,

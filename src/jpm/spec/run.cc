@@ -125,10 +125,11 @@ std::vector<sim::SweepPoint> run_scenario(const Scenario& sc,
   const std::string header = expand_header(sc);
   if (!header.empty()) std::cout << header << "\n";
 
-  std::vector<std::pair<std::string, workload::SynthesizerConfig>> workloads;
+  std::vector<sim::SweepWorkload> workloads;
   workloads.reserve(sc.workloads.size());
   for (const auto& point : sc.workloads) {
-    workloads.emplace_back(point.label, point.workload);
+    workloads.push_back(
+        sim::SweepWorkload{point.label, point.workload, point.trace_path});
   }
   const auto points =
       sim::run_sweep(workloads, sc.roster, sc.engine, options.progress);

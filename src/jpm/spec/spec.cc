@@ -7,6 +7,7 @@
 
 #include "jpm/sim/policies.h"
 #include "jpm/util/check.h"
+#include "jpm/util/hash.h"
 
 namespace jpm::spec {
 namespace {
@@ -568,12 +569,35 @@ std::vector<sim::PolicySpec> roster_from_json(const Value& v,
   return sim::paper_policies(physical_bytes, fm_gib);
 }
 
+namespace {
+
+// The "trace": {"path": ...} event source of a workload point. An object
+// (not a bare string) so future knobs (e.g. a window override) stay
+// backward compatible.
+std::string trace_source_from_json(const Value& v, const std::string& path) {
+  ObjectReader r(v, path);
+  std::string trace_path;
+  r.field("path", &trace_path);
+  r.finish();
+  if (trace_path.empty()) {
+    fail(path + ".path", "trace path must not be empty");
+  }
+  return trace_path;
+}
+
+}  // namespace
+
 Value to_json(const std::vector<WorkloadPoint>& points) {
   Array a;
   for (const auto& p : points) {
     Object o;
     o["label"] = Value{p.label};
     o["workload"] = to_json(p.workload);
+    if (!p.trace_path.empty()) {
+      Object t;
+      t["path"] = Value{p.trace_path};
+      o["trace"] = Value{std::move(t)};
+    }
     a.push_back(Value{std::move(o)});
   }
   return Value{std::move(a)};
@@ -592,6 +616,9 @@ std::vector<WorkloadPoint> workloads_from_json(const Value& v,
       point.label = require_label(r);
       if (const Value* w = r.child("workload")) {
         point.workload = workload_from_json(*w, p + ".workload");
+      }
+      if (const Value* t = r.child("trace")) {
+        point.trace_path = trace_source_from_json(*t, p + ".trace");
       }
       r.finish();
       points.push_back(std::move(point));
@@ -619,6 +646,9 @@ std::vector<WorkloadPoint> workloads_from_json(const Value& v,
     point.label = require_label(pr);
     point.workload = base;
     BindWorkload{}(pr, point.workload);  // overrides any subset of keys
+    if (const Value* t = pr.child("trace")) {
+      point.trace_path = trace_source_from_json(*t, p + ".trace");
+    }
     pr.finish();
     points.push_back(std::move(point));
   }
@@ -778,21 +808,10 @@ void validate_scenario(const Scenario& sc) {
   }
 }
 
-std::uint64_t fnv1a64(std::string_view bytes) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
+std::uint64_t fnv1a64(std::string_view bytes) { return util::fnv1a64(bytes); }
 
 std::string scenario_hash(const Scenario& sc) {
-  const std::uint64_t h = fnv1a64(serialize_scenario(sc));
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(h));
-  return buf;
+  return util::hex16(fnv1a64(serialize_scenario(sc)));
 }
 
 Scenario load_scenario_file(const std::string& path) {

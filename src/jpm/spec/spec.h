@@ -44,10 +44,16 @@ class SpecError : public std::runtime_error {
 };
 
 // One named sweep point: the label is the table column header ("16GB",
-// "100MB/s", "0.05").
+// "100MB/s", "0.05"). `trace_path`, when set (the "trace": {"path": ...}
+// source), replays a JPMC chunked trace file (see jpm/tracefile/) instead of
+// synthesizing the workload; the workload section still declares the
+// geometry the scenario validates against (its page_bytes must match the
+// file's) and labels the point. Relative paths resolve against the working
+// directory at run time.
 struct WorkloadPoint {
   std::string label;
   workload::SynthesizerConfig workload;
+  std::string trace_path;  // empty = synthesize
 };
 
 // One result table of a sweep run: rows = roster policies, columns = the

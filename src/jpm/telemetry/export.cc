@@ -139,6 +139,13 @@ std::string report_json() {
     root["scenario"] = std::move(sv);
     root["scenario_hash"] = Value{scenario_hash_hex()};
   }
+  // File-backed runs: the replayed JPMC trace file(s) and their content
+  // hashes (";"-joined in sweep-point order when there are several).
+  const std::string traces = trace_paths();
+  if (!traces.empty()) {
+    root["trace_path"] = Value{traces};
+    root["trace_hash"] = Value{trace_hashes()};
+  }
 
   Array runs;
   for (const auto& run : s->runs) {

@@ -141,6 +141,9 @@ namespace {
 std::mutex g_scenario_mu;
 std::string g_scenario_json;
 std::string g_scenario_hash;
+// Registered (path, content-hash) pairs of the file-backed traces the
+// process has replayed, in registration order.
+std::vector<std::pair<std::string, std::string>> g_traces;
 }  // namespace
 
 void set_scenario(const std::string& resolved_json,
@@ -165,6 +168,37 @@ std::string scenario_hash_hex() {
   const std::lock_guard<std::mutex> lock(g_scenario_mu);
   return g_scenario_hash;
 }
+
+void add_trace(const std::string& path, const std::string& hash_hex) {
+  const std::lock_guard<std::mutex> lock(g_scenario_mu);
+  for (auto& [p, h] : g_traces) {
+    if (p == path) {
+      h = hash_hex;
+      return;
+    }
+  }
+  g_traces.emplace_back(path, hash_hex);
+}
+
+void clear_traces() {
+  const std::lock_guard<std::mutex> lock(g_scenario_mu);
+  g_traces.clear();
+}
+
+namespace {
+std::string join_traces(bool hashes) {
+  const std::lock_guard<std::mutex> lock(g_scenario_mu);
+  std::string out;
+  for (const auto& [p, h] : g_traces) {
+    if (!out.empty()) out += ';';
+    out += hashes ? h : p;
+  }
+  return out;
+}
+}  // namespace
+
+std::string trace_paths() { return join_traces(false); }
+std::string trace_hashes() { return join_traces(true); }
 
 void start(const Options& options) {
   const std::lock_guard<std::mutex> lock(g_lifecycle_mu);

@@ -123,6 +123,18 @@ void clear_scenario();
 std::string scenario_json();
 std::string scenario_hash_hex();
 
+// File-backed trace provenance: every distinct JPMC trace file the run
+// replays (registered by sim::run_sweep when it maps the file), as the path
+// plus the file's content hash (16 hex digits, FNV-1a 64 of the logical
+// event stream — see jpm/tracefile/format.h). Embedded by report_json() as
+// "trace_path" / "trace_hash"; runs over several files join the entries with
+// ";" in sweep-point order. Re-registering a path updates its hash.
+void add_trace(const std::string& path, const std::string& hash_hex);
+void clear_traces();
+// ";"-joined registered paths/hashes; empty strings when none.
+std::string trace_paths();
+std::string trace_hashes();
+
 // Starts the global session. Restarting an active session is an error
 // (JPM_CHECK); stop() first. Thread-compatible: call with no concurrent
 // emitters.

@@ -1,0 +1,184 @@
+// JPMC — the chunked on-disk trace format ("JPM Chunked").
+//
+// Layout (all integers little-endian, the repo's binary-trace convention):
+//
+//   [ header, 64 bytes ]
+//   [ chunk 0 payload ][ chunk 1 payload ] ...
+//   [ index: chunk_count x 48-byte ChunkDesc ][ u64 index FNV-1a checksum ]
+//
+// Header (64 bytes):
+//   0  magic "JPMC"            4  u32 version (=1)
+//   8  u64 event_count        16  u64 chunk_count
+//   24 u64 page_bytes         32  u64 total_pages
+//   40 f64 duration_s         48  u64 index_offset
+//   56 u64 content_hash
+//
+// ChunkDesc (48 bytes): u64 payload offset, u64 payload bytes,
+//   u64 event_count, f64 t_first, f64 t_last, u64 payload FNV-1a checksum.
+//
+// Chunk payload — three delta-encoded lanes, self-contained so any chunk
+// decodes without its neighbors (parallel sweep threads share the mmap):
+//   u32 times_bytes, u32 pages_bytes
+//   times: raw u64 bit pattern of the first timestamp, then LEB128 varint
+//     deltas of successive bit patterns. Timestamps are nonnegative and
+//     nondecreasing, and the IEEE-754 bit patterns of nonnegative doubles
+//     order the same way the values do, so the deltas are nonnegative —
+//     encoding is lossless AND a decoded chunk is nondecreasing by
+//     construction. Dense event streams (microsecond steps) cost 2-4 bytes
+//     per timestamp instead of 8.
+//   pages: LEB128 varint of the first page id, then zigzag varint deltas
+//     (sequential pages of one request cost 1 byte each).
+//   flags: 2 bits per event (kTraceFlagStart | kTraceFlagWrite), 4 events
+//     per byte, zero-padded.
+//
+// content_hash is FNV-1a 64 over the *logical* event stream — per event the
+// 8-byte timestamp bit pattern, 8-byte page id, and flag byte — so it is
+// independent of the chunking and equals the hash of the same events written
+// with any chunk window. `jpm trace info` prints it and file-backed runs
+// publish it into telemetry reports as "trace_hash".
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace jpm::tracefile {
+
+// Malformed, truncated, or corrupted trace file. Messages name the file (when
+// known), the chunk, and the byte position of the defect.
+class TraceFileError : public std::runtime_error {
+ public:
+  explicit TraceFileError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+inline constexpr char kMagic[4] = {'J', 'P', 'M', 'C'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 64;
+inline constexpr std::size_t kChunkDescBytes = 48;
+// Default chunk window (events per chunk). Bounds writer and reader working
+// memory at ~24 bytes/event regardless of the file's total event count.
+inline constexpr std::size_t kDefaultChunkEvents = std::size_t{1} << 16;
+
+struct FileHeader {
+  std::uint32_t version = kFormatVersion;
+  std::uint64_t event_count = 0;
+  std::uint64_t chunk_count = 0;
+  std::uint64_t page_bytes = 0;
+  std::uint64_t total_pages = 0;
+  double duration_s = 0.0;
+  std::uint64_t index_offset = 0;
+  std::uint64_t content_hash = 0;
+};
+
+struct ChunkDesc {
+  std::uint64_t offset = 0;         // payload start, bytes from file start
+  std::uint64_t encoded_bytes = 0;  // payload length
+  std::uint64_t event_count = 0;
+  double t_first = 0.0;
+  double t_last = 0.0;
+  std::uint64_t checksum = 0;       // FNV-1a 64 of the payload bytes
+};
+
+// ---- primitive encoding helpers (shared by writer, reader, and tests) ------
+
+// Order-preserving u64 image of a nonnegative double. -0.0 normalizes to
+// +0.0 first (its bit pattern would sort above every positive value).
+inline std::uint64_t time_bits(double t) {
+  const double normalized = t + 0.0;
+  std::uint64_t bits;
+  std::memcpy(&bits, &normalized, sizeof bits);
+  return bits;
+}
+
+inline double time_from_bits(std::uint64_t bits) {
+  double t;
+  std::memcpy(&t, &bits, sizeof t);
+  return t;
+}
+
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+// LEB128: 7 payload bits per byte, high bit = continuation; <= 10 bytes.
+inline void append_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+template <typename T>
+void append_raw(std::string& out, T v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+// Bounds-checked decode cursor over a byte range. `context` prefixes every
+// error ("file.jpmc: chunk 3"); positions are relative to the range start.
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t size, std::string context)
+      : data_(data), size_(size), context_(std::move(context)) {}
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  template <typename T>
+  T read_raw(const char* what) {
+    if (remaining() < sizeof(T)) {
+      throw TraceFileError(context_ + ": " + what + " truncated at byte " +
+                           std::to_string(pos_) + " (" +
+                           std::to_string(remaining()) + " of " +
+                           std::to_string(sizeof(T)) + " bytes left)");
+    }
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof v);
+    pos_ += sizeof v;
+    return v;
+  }
+
+  std::uint64_t read_varint(const char* what) {
+    std::uint64_t v = 0;
+    int shift = 0;
+    const std::size_t start = pos_;
+    for (;;) {
+      if (pos_ >= size_) {
+        throw TraceFileError(context_ + ": " + what +
+                             " varint truncated at byte " +
+                             std::to_string(start));
+      }
+      const std::uint8_t byte = data_[pos_++];
+      if (shift == 63 && byte > 1) {
+        throw TraceFileError(context_ + ": " + what +
+                             " varint overflows 64 bits at byte " +
+                             std::to_string(start));
+      }
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+      if (shift > 63) {
+        throw TraceFileError(context_ + ": " + what +
+                             " varint longer than 10 bytes at byte " +
+                             std::to_string(start));
+      }
+    }
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+}  // namespace jpm::tracefile

@@ -1,0 +1,58 @@
+// FNV-1a 64-bit hashing, shared by scenario provenance (jpm::spec) and the
+// chunked trace format's content/checksum hashes (jpm::tracefile). One
+// implementation means the hash printed by `jpm hash`, `jpm trace info`, and
+// the telemetry report provenance fields all agree byte for byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace jpm::util {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001b3ull;
+
+// Incremental FNV-1a 64: feed byte ranges in order; digest() at any point is
+// the hash of everything fed so far. Splitting one buffer into any sequence
+// of update() calls yields the same digest.
+class Fnv1a64 {
+ public:
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = state_;
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= kFnv1a64Prime;
+    }
+    state_ = h;
+  }
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kFnv1a64Offset;
+};
+
+inline std::uint64_t fnv1a64(std::string_view bytes) {
+  Fnv1a64 h;
+  h.update(bytes.data(), bytes.size());
+  return h.digest();
+}
+
+inline std::uint64_t fnv1a64(const void* data, std::size_t n) {
+  Fnv1a64 h;
+  h.update(data, n);
+  return h.digest();
+}
+
+// 16 lowercase hex digits — the provenance spelling used everywhere a hash
+// reaches a report or the CLI.
+inline std::string hex16(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace jpm::util

@@ -180,11 +180,49 @@ void save_trace(const std::string& path,
   }
 }
 
+TraceFormat sniff_trace_format(std::istream& is, const std::string& name) {
+  const std::istream::pos_type start = is.tellg();
+  char head[4] = {};
+  is.read(head, sizeof head);
+  const std::streamsize got = is.gcount();
+  is.clear();
+  is.seekg(start);
+  JPM_CHECK_MSG(got > 0, name + ": empty trace file");
+  if (got == 4 && std::memcmp(head, "JPMT", 4) == 0) {
+    return TraceFormat::kBinary;
+  }
+  if (got == 4 && std::memcmp(head, "JPMC", 4) == 0) {
+    return TraceFormat::kChunked;
+  }
+  // CSV starts with a header line or a bare timestamp — printable text
+  // either way. Anything else is a truncated or misnamed binary file.
+  bool text = true;
+  for (std::streamsize i = 0; i < got; ++i) {
+    const unsigned char c = static_cast<unsigned char>(head[i]);
+    if (c != '\t' && c != '\n' && c != '\r' && (c < 0x20 || c > 0x7e)) {
+      text = false;
+    }
+  }
+  JPM_CHECK_MSG(text, name +
+                          ": unrecognized trace format (no JPMT/JPMC magic "
+                          "and not CSV text)");
+  return TraceFormat::kCsv;
+}
+
 std::vector<TraceEvent> load_trace(const std::string& path) {
-  const bool csv = path.size() >= 4 && path.substr(path.size() - 4) == ".csv";
-  std::ifstream is(path, csv ? std::ios::in : std::ios::in | std::ios::binary);
+  std::ifstream is(path, std::ios::in | std::ios::binary);
   JPM_CHECK_MSG(is.is_open(), "cannot open for reading: " + path);
-  return csv ? read_csv_trace(is) : read_binary_trace(is);
+  switch (sniff_trace_format(is, path)) {
+    case TraceFormat::kBinary:
+      return read_binary_trace(is);
+    case TraceFormat::kCsv:
+      return read_csv_trace(is);
+    case TraceFormat::kChunked:
+      JPM_CHECK_MSG(false,
+                    path + ": JPMC chunked trace — decode it with "
+                           "jpm::tracefile::TraceReader (CLI: jpm trace cat)");
+  }
+  return {};
 }
 
 }  // namespace jpm::workload

@@ -1,11 +1,15 @@
 // Trace persistence: save synthesized traces and load captured ones.
 //
-// Two formats:
+// Two formats live here:
 //   * binary ("JPMT" header + packed records) — compact, lossless round trip;
 //   * CSV ("time_s,page,request_start") — for interchange with external
 //     tooling and hand-captured disk-cache traces.
-// Loading validates monotonic timestamps, so a corrupted or unsorted trace
-// fails fast instead of corrupting a simulation.
+// (The chunked, mmap-able "JPMC" format for large traces lives in
+// jpm/tracefile/; load_trace recognizes its magic and points there.)
+// Loading sniffs the format from the leading bytes — never the file
+// extension — so a misnamed file fails with a named format error instead of
+// a garbage parse, and validates monotonic timestamps, so a corrupted or
+// unsorted trace fails fast instead of corrupting a simulation.
 #pragma once
 
 #include <iosfwd>
@@ -29,8 +33,22 @@ void read_binary_trace(std::istream& is, Trace& out);
 void write_csv_trace(std::ostream& os, const std::vector<TraceEvent>& trace);
 std::vector<TraceEvent> read_csv_trace(std::istream& is);
 
-// File-path conveniences; format picked by extension (".csv" vs anything
-// else = binary). Throw CheckError on IO failure.
+// On-disk trace flavors distinguishable from their leading bytes.
+enum class TraceFormat {
+  kBinary,   // "JPMT" magic (trace_io)
+  kChunked,  // "JPMC" magic (jpm/tracefile)
+  kCsv,      // printable text (header line or bare numbers)
+};
+
+// Peeks at the stream's first bytes and classifies them, restoring the read
+// position. Throws CheckError naming `name` when the bytes match no known
+// format (e.g. a truncated or misnamed binary file).
+TraceFormat sniff_trace_format(std::istream& is, const std::string& name);
+
+// File-path conveniences. Saving picks the format by extension (".csv" =
+// CSV, anything else = JPMT binary); loading sniffs the content instead and
+// rejects JPMC files with a pointer to jpm::tracefile (which owns the
+// chunked reader). Throw CheckError on IO failure or format mismatch.
 void save_trace(const std::string& path, const std::vector<TraceEvent>& trace);
 std::vector<TraceEvent> load_trace(const std::string& path);
 

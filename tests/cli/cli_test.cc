@@ -178,4 +178,118 @@ TEST(CliTest, SynthPipesIntoServeEndToEnd) {
       << r.output;
 }
 
+// ---- jpm trace (the JPMC chunked store) ------------------------------------
+
+TEST(CliTest, TraceWithoutSubcommandExitsTwo) {
+  EXPECT_EQ(run_cmd(kCli + " trace").exit_code, 2);
+  EXPECT_EQ(run_cmd(kCli + " trace frobnicate").exit_code, 2);
+}
+
+TEST(CliTest, TraceSynthInfoCatRoundTrip) {
+  const std::string file = ::testing::TempDir() + "cli_trace.jpmc";
+  const auto synth = run_cmd("JPM_BENCH_FAST=1 " + kCli + " trace synth " +
+                             demo_scenario() + " " + file);
+  ASSERT_EQ(synth.exit_code, 0) << synth.output;
+  EXPECT_NE(synth.output.find("events"), std::string::npos);
+
+  const auto info = run_cmd(kCli + " trace info " + file + " --verify");
+  EXPECT_EQ(info.exit_code, 0) << info.output;
+  EXPECT_NE(info.output.find("format:       JPMC v1"), std::string::npos);
+  EXPECT_NE(info.output.find("content_hash:"), std::string::npos);
+  EXPECT_NE(info.output.find("verify:       ok"), std::string::npos);
+
+  const auto cat = run_cmd(kCli + " trace cat " + file + " --limit=2");
+  EXPECT_EQ(cat.exit_code, 0) << cat.output;
+  EXPECT_NE(cat.output.find("time_s,page,request_start,is_write"),
+            std::string::npos);
+
+  const auto jsonl =
+      run_cmd(kCli + " trace cat " + file + " --format=jsonl --limit=1");
+  EXPECT_EQ(jsonl.exit_code, 0) << jsonl.output;
+  EXPECT_NE(jsonl.output.find("{\"t\":"), std::string::npos);
+  std::remove(file.c_str());
+}
+
+TEST(CliTest, TracePackConvertsCsvCaptures) {
+  const auto csv = write_temp("cli_trace.csv",
+                              "time_s,page,request_start\n"
+                              "0.5,100,1\n0.502,101,0\n1.25,7,1\n");
+  const std::string packed = ::testing::TempDir() + "cli_packed.jpmc";
+  const auto pack = run_cmd(kCli + " trace pack " + csv + " " + packed);
+  EXPECT_EQ(pack.exit_code, 0) << pack.output;
+  const auto info = run_cmd(kCli + " trace info " + packed);
+  EXPECT_NE(info.output.find("events:       3"), std::string::npos)
+      << info.output;
+  EXPECT_NE(info.output.find("total_pages:  102"), std::string::npos)
+      << info.output;  // max page + 1, derived from the events
+  std::remove(packed.c_str());
+}
+
+TEST(CliTest, TraceInfoRejectsNonJpmcFilesByName) {
+  const auto path = write_temp("cli_not_a_trace.jpmc",
+                               std::string(100, 'x'));  // a full header's worth
+  const auto r = run_cmd(kCli + " trace info " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("bad magic"), std::string::npos) << r.output;
+
+  const auto tiny = write_temp("cli_tiny.jpmc", "hi");
+  const auto rt = run_cmd(kCli + " trace info " + tiny);
+  EXPECT_EQ(rt.exit_code, 1);
+  EXPECT_NE(rt.output.find("header truncated"), std::string::npos)
+      << rt.output;
+}
+
+TEST(CliTest, TraceInfoTruncatedFileNamesTheDefect) {
+  const std::string file = ::testing::TempDir() + "cli_trunc.jpmc";
+  const auto synth = run_cmd("JPM_BENCH_FAST=1 " + kCli + " trace synth " +
+                             demo_scenario() + " " + file);
+  ASSERT_EQ(synth.exit_code, 0) << synth.output;
+  ASSERT_EQ(run_cmd("truncate -s -40 " + file).exit_code, 0);
+  const auto r = run_cmd(kCli + " trace info " + file);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find(file), std::string::npos) << r.output;
+  std::remove(file.c_str());
+}
+
+// The headline contract end-to-end through the shipped binary: a scenario
+// replayed from JPMC files prints byte-identical tables to the synthesizing
+// run, and its telemetry report carries the trace provenance.
+TEST(CliTest, RunFromTraceFilesMatchesInMemoryStdout) {
+  const std::string file = ::testing::TempDir() + "cli_run_trace.jpmc";
+  ASSERT_EQ(run_cmd("JPM_BENCH_FAST=1 " + kCli + " trace synth " +
+                    demo_scenario() + " " + file)
+                .exit_code,
+            0);
+
+  // Rewrite the scenario's workload point to replay the file.
+  std::ifstream in(demo_scenario());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  const std::string needle = "\"workload\": {";
+  const auto pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos, "\"trace\": {\"path\": \"" + file + "\"},\n      ");
+  const auto traced = write_temp("cli_run_traced.json", text);
+
+  // Both runs export telemetry to the same base so the stdout log lines
+  // match; the report left on disk is the file-backed run's.
+  const std::string base = ::testing::TempDir() + "cli_run_trace";
+  const auto mem = run_cmd("JPM_BENCH_FAST=1 " + kCli + " run " +
+                           demo_scenario() + " --telemetry=" + base);
+  const auto file_backed = run_cmd("JPM_BENCH_FAST=1 " + kCli + " run " +
+                                   traced + " --telemetry=" + base);
+  EXPECT_EQ(mem.exit_code, 0) << mem.output;
+  EXPECT_EQ(file_backed.exit_code, 0) << file_backed.output;
+  EXPECT_EQ(file_backed.output, mem.output);
+
+  std::ifstream report(base + ".report.json");
+  std::stringstream rs;
+  rs << report.rdbuf();
+  EXPECT_NE(rs.str().find("\"trace_path\": \"" + file + "\""),
+            std::string::npos);
+  EXPECT_NE(rs.str().find("\"trace_hash\": \""), std::string::npos);
+  std::remove(file.c_str());
+}
+
 }  // namespace

@@ -130,6 +130,30 @@ TEST(SpecErrorTest, WorkloadPointErrors) {
             "$.workloads.points[0].sed: unknown key");
 }
 
+TEST(SpecErrorTest, TraceSourceErrorsNameThePath) {
+  EXPECT_EQ(error_of([] {
+              workloads_from_json(
+                  parse(R"([{"label": "a", "workload": {},
+                             "trace": {"path": ""}}])"),
+                  "$.workloads");
+            }),
+            "$.workloads[0].trace.path: trace path must not be empty");
+  EXPECT_EQ(error_of([] {
+              workloads_from_json(
+                  parse(R"([{"label": "a", "workload": {},
+                             "trace": {}}])"),
+                  "$.workloads");
+            }),
+            "$.workloads[0].trace.path: trace path must not be empty");
+  EXPECT_EQ(error_of([] {
+              workloads_from_json(
+                  parse(R"([{"label": "a", "workload": {},
+                             "trace": {"file": "x.jpmc"}}])"),
+                  "$.workloads");
+            }),
+            "$.workloads[0].trace.file: unknown key");
+}
+
 // ---- semantic validation ---------------------------------------------------
 // A default-constructed Scenario is valid; each test breaks exactly one rule
 // and checks the reported path.
@@ -137,7 +161,7 @@ TEST(SpecErrorTest, WorkloadPointErrors) {
 Scenario valid_scenario() {
   Scenario sc;
   sc.name = "errors";
-  sc.workloads.push_back({"w", workload::SynthesizerConfig{}});
+  sc.workloads.push_back({"w", workload::SynthesizerConfig{}, ""});
   sc.roster = {sim::always_on_policy(), sim::joint_policy()};
   return sc;
 }

@@ -194,11 +194,38 @@ TEST(SpecRoundTripTest, WorkloadSweepFormResolvesToExplicitPoints) {
             resolved);
 }
 
+TEST(SpecRoundTripTest, TraceSourceRoundTripsInBothForms) {
+  // Array form: the "trace" source names a JPMC file to replay.
+  const auto points = workloads_from_json(
+      parse(R"([{"label": "a", "workload": {},
+                 "trace": {"path": "big.jpmc"}},
+                {"label": "b", "workload": {}}])"),
+      "$");
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].trace_path, "big.jpmc");
+  EXPECT_EQ(points[1].trace_path, "");
+
+  const std::string resolved = dump2(to_json(points));
+  EXPECT_NE(resolved.find("\"trace\""), std::string::npos);
+  EXPECT_NE(resolved.find("\"path\": \"big.jpmc\""), std::string::npos);
+  EXPECT_EQ(dump2(to_json(workloads_from_json(parse(resolved), "$"))),
+            resolved);
+
+  // Sweep-point form takes the same source key per point.
+  const auto sweep = workloads_from_json(
+      parse(R"({"base": {"seed": 3},
+                "points": [{"label": "a", "trace": {"path": "p0.jpmc"}}]})"),
+      "$");
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_EQ(sweep[0].trace_path, "p0.jpmc");
+  EXPECT_EQ(sweep[0].workload.seed, 3u);
+}
+
 TEST(SpecRoundTripTest, ScenarioIsByteStableIncludingCluster) {
   Scenario sc;
   sc.name = "roundtrip";
   sc.description = "unit test";
-  sc.workloads.push_back({"16GB", workload::SynthesizerConfig{}});
+  sc.workloads.push_back({"16GB", workload::SynthesizerConfig{}, ""});
   sc.roster = {sim::always_on_policy(), sim::joint_policy()};
   sc.engine.warm_up_s = 600.0;
   cluster::ClusterConfig cl;
@@ -231,7 +258,7 @@ TEST(SpecRoundTripTest, HashIsFnv1aOfSerialization) {
 TEST(SpecRoundTripTest, HashChangesIffResolvedScenarioChanges) {
   Scenario sc;
   sc.name = "hash";
-  sc.workloads.push_back({"w", workload::SynthesizerConfig{}});
+  sc.workloads.push_back({"w", workload::SynthesizerConfig{}, ""});
   const std::string h0 = scenario_hash(sc);
 
   Scenario same = sc;

@@ -173,7 +173,7 @@ TEST(ReportSchemaTest, PopulatedInProcessReportValidates) {
   e.warm_up_s = 300.0;
 
   start({});
-  sim::run_sweep({{"128MB", w}},
+  sim::run_sweep({sim::SweepWorkload{"128MB", w}},
                  {sim::joint_policy(), sim::always_on_policy()}, e);
   const std::string report = report_json();
   stop();
@@ -193,7 +193,7 @@ TEST(ReportSchemaTest, ScenarioProvenanceAppearsInReport) {
           "output": {"header": "", "tables": []}})";
   set_scenario(scenario, "00000000deadbeef");
   start({});
-  sim::run_sweep({{"64MB", [] {
+  sim::run_sweep({sim::SweepWorkload{"64MB", [] {
                      workload::SynthesizerConfig w;
                      w.dataset_bytes = mib(64);
                      w.byte_rate = 20e6;
@@ -230,6 +230,36 @@ TEST(ReportSchemaTest, ScenarioProvenanceAppearsInReport) {
       util::json::parse(without_provenance, &report, &error)) << error;
   EXPECT_EQ(report.as_object().find("scenario"), nullptr);
   EXPECT_EQ(report.as_object().find("scenario_hash"), nullptr);
+}
+
+// Trace provenance: file-backed sweeps register every replayed JPMC file and
+// its content hash; the report joins them with ";" in sweep-point order.
+// Either shape (with or without the fields) must validate.
+TEST(ReportSchemaTest, TraceProvenanceAppearsInReport) {
+  start({});
+  add_trace("a.jpmc", "00000000000000aa");
+  add_trace("b.jpmc", "00000000000000bb");
+  const std::string with_traces = report_json();
+  clear_traces();
+  const std::string without_traces = report_json();
+  stop();
+
+  EXPECT_TRUE(validate_report(with_traces).empty());
+  EXPECT_TRUE(validate_report(without_traces).empty());
+
+  Value report;
+  std::string error;
+  ASSERT_TRUE(util::json::parse(with_traces, &report, &error)) << error;
+  const Value* path = report.as_object().find("trace_path");
+  ASSERT_NE(path, nullptr);
+  EXPECT_EQ(path->as_string(), "a.jpmc;b.jpmc");
+  const Value* hash = report.as_object().find("trace_hash");
+  ASSERT_NE(hash, nullptr);
+  EXPECT_EQ(hash->as_string(), "00000000000000aa;00000000000000bb");
+
+  ASSERT_TRUE(util::json::parse(without_traces, &report, &error)) << error;
+  EXPECT_EQ(report.as_object().find("trace_path"), nullptr);
+  EXPECT_EQ(report.as_object().find("trace_hash"), nullptr);
 }
 
 // The zero-to-artifact path a user actually takes: run a bench harness with

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -184,6 +185,60 @@ TEST(TraceIoTest, FileRoundTripBothFormats) {
 
 TEST(TraceIoTest, MissingFileThrows) {
   EXPECT_THROW(load_trace("/nonexistent/path/trace.jpmt"), CheckError);
+}
+
+// ---- format sniffing -------------------------------------------------------
+// load_trace routes on leading bytes, never on the file extension.
+
+std::string sniff_error(const std::string& content) {
+  std::stringstream ss(content);
+  try {
+    sniff_trace_format(ss, "t.dat");
+    return "";
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+}
+
+TEST(TraceIoTest, SniffsEveryKnownFormat) {
+  std::stringstream bin;
+  write_binary_trace(bin, sample_trace());
+  EXPECT_EQ(sniff_trace_format(bin, "t"), TraceFormat::kBinary);
+  EXPECT_EQ(read_binary_trace(bin).size(), 4u);  // stream position restored
+
+  std::stringstream chunked("JPMC" + std::string(60, '\0'));
+  EXPECT_EQ(sniff_trace_format(chunked, "t"), TraceFormat::kChunked);
+
+  std::stringstream csv("time_s,page,request_start\n0.5,100,1\n");
+  EXPECT_EQ(sniff_trace_format(csv, "t"), TraceFormat::kCsv);
+  std::stringstream headerless("0.5,100,1\n");
+  EXPECT_EQ(sniff_trace_format(headerless, "t"), TraceFormat::kCsv);
+}
+
+TEST(TraceIoTest, SniffNamesUnrecognizedAndEmptyInputs) {
+  EXPECT_NE(sniff_error(std::string("\xff\xfe garbage", 11))
+                .find("unrecognized trace format"),
+            std::string::npos);
+  EXPECT_NE(sniff_error("").find("empty trace file"), std::string::npos);
+}
+
+TEST(TraceIoTest, LoadTraceRefusesChunkedFilesByName) {
+  // A JPMC file needs the tracefile reader; load_trace names the right tool
+  // instead of misparsing the header as JPMT records.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "jpm_sniff.jpmc").string();
+  std::ofstream f(path, std::ios::binary);
+  f << "JPMC" << std::string(60, '\0');
+  f.close();
+  try {
+    load_trace(path);
+    ADD_FAILURE() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("jpm::tracefile::TraceReader"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace
