@@ -2,9 +2,10 @@
 // probes (util::FlatMap vs the std::unordered_map it replaced), LRU cache
 // operations, the Fenwick stack-distance tracker, the idle-interval sweep,
 // Pareto fitting, trace synthesis throughput, single-policy engine replay —
-// the perf baseline for the sweep hot loop — JPMC trace-file encode/decode
-// and file-backed replay (jpm::tracefile), and scenario-file parse/serialize
-// throughput for the jpm::spec layer.
+// the perf baseline for the sweep hot loop — the TaskPool scheduler under
+// uniform and straggler task mixes (static vs steal), JPMC trace-file
+// encode/decode and file-backed replay (jpm::tracefile), and scenario-file
+// parse/serialize throughput for the jpm::spec layer.
 //
 // Beyond the stock google-benchmark flags, the custom main() accepts
 //   --snapshot=<file>   write a machine-readable BENCH_micro.json
@@ -38,6 +39,7 @@
 #include "jpm/telemetry/telemetry.h"
 #include "jpm/tracefile/reader.h"
 #include "jpm/tracefile/writer.h"
+#include "jpm/util/parallel.h"
 #include "jpm/util/rng.h"
 #include "jpm/workload/synthesizer.h"
 #include "jpm/workload/trace.h"
@@ -298,6 +300,48 @@ BENCHMARK(BM_EngineReplay)
     ->Args({1, 1})
     ->Args({1, 64})
     ->Args({1, 256});
+
+// Work whose cost the optimizer cannot collapse: a multiply-add chain with a
+// loop-carried dependence, `rounds` deep.
+std::uint64_t spin_work(std::uint64_t x, std::uint32_t rounds) {
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    x = x * 0x9e3779b97f4a7c15ull + r;
+  }
+  return x;
+}
+
+// The TaskPool scheduler baselines behind every sweep fan-out: 2048 tasks on
+// 4 workers, uniform cost vs a straggler mix (every 4th task is 40x heavier
+// — the adversarial shape for static striping, where all heavy tasks land in
+// one worker's stripe; total work is the same in both shapes). items/s =
+// tasks/s. On a 4+ core machine steal ~= static on the uniform mix and
+// >= 1.3x static on the straggler mix (the stolen back-halves spread the
+// heavy stripe); on fewer cores the gap narrows toward scheduler overhead.
+void BM_SchedulerFanOut(benchmark::State& state) {
+  const bool straggler = state.range(0) != 0;
+  const auto mode = state.range(1) == 0 ? util::SchedMode::kStatic
+                                        : util::SchedMode::kSteal;
+  const unsigned workers = 4;
+  const std::size_t n = 2048;
+  std::vector<std::uint64_t> out(n);
+  for (auto _ : state) {
+    util::TaskPool::run(n, workers, mode, [&](std::size_t i) {
+      const std::uint32_t rounds =
+          straggler ? (i % workers == 0 ? 2000 : 50) : 538;
+      out[i] = spin_work(i, rounds);
+    });
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerFanOut)
+    ->ArgNames({"straggler", "steal"})
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->UseRealTime();
 
 // The spec layer's cost of admission: parsing a checked-in scenario file
 // (the 21 scenarios are all within ~4x of micro.json's size) and emitting

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -73,11 +74,23 @@ double ClusterMetrics::balance_index() const {
   return sum * sum / (static_cast<double>(servers.size()) * sum_sq);
 }
 
-std::vector<std::uint32_t> route_requests(
-    const std::vector<workload::TraceEvent>& trace, const ClusterConfig& cfg) {
+namespace {
+
+workload::Trace to_trace(const std::vector<workload::TraceEvent>& events) {
+  workload::Trace t;
+  t.reserve(events.size());
+  for (const auto& e : events) t.push_back(e);
+  return t;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> route_requests(const workload::Trace& trace,
+                                          const ClusterConfig& cfg) {
   JPM_CHECK(cfg.server_count > 0);
+  const std::size_t n = trace.size();
   std::vector<std::uint32_t> routes;
-  routes.reserve(trace.size());
+  routes.reserve(n);
 
   std::uint32_t rr_next = 0;
   std::uint32_t current = 0;  // route of the open request (continuations)
@@ -85,8 +98,8 @@ std::vector<std::uint32_t> route_requests(
   std::vector<double> rate(cfg.server_count, 0.0);
   double last_t = 0.0;
 
-  for (const auto& e : trace) {
-    if (e.request_start) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((trace.flags[i] & workload::kTraceFlagStart) != 0) {
       switch (cfg.distribution) {
         case DistributionPolicy::kRoundRobin:
           current = rr_next;
@@ -94,13 +107,13 @@ std::vector<std::uint32_t> route_requests(
           break;
         case DistributionPolicy::kPartitioned:
           current = static_cast<std::uint32_t>(
-              (e.page / cfg.partition_pages) % cfg.server_count);
+              (trace.pages[i] / cfg.partition_pages) % cfg.server_count);
           break;
         case DistributionPolicy::kUnbalanced: {
           const double decay =
-              std::exp(-(e.time_s - last_t) / cfg.rate_ewma_tau_s);
+              std::exp(-(trace.times[i] - last_t) / cfg.rate_ewma_tau_s);
           for (auto& r : rate) r *= decay;
-          last_t = e.time_s;
+          last_t = trace.times[i];
           // First server under the cap; the last server takes any overflow.
           current = cfg.server_count - 1;
           for (std::uint32_t s = 0; s < cfg.server_count; ++s) {
@@ -121,8 +134,13 @@ std::vector<std::uint32_t> route_requests(
   return routes;
 }
 
+std::vector<std::uint32_t> route_requests(
+    const std::vector<workload::TraceEvent>& trace, const ClusterConfig& cfg) {
+  return route_requests(to_trace(trace), cfg);
+}
+
 FaultRouting route_requests_with_faults(
-    const std::vector<workload::TraceEvent>& trace, const ClusterConfig& cfg,
+    const workload::Trace& trace, const ClusterConfig& cfg,
     const std::vector<OutageWindows>& outages) {
   JPM_CHECK(outages.size() == cfg.server_count);
   FaultRouting out;
@@ -139,18 +157,18 @@ FaultRouting route_requests_with_faults(
 
   std::uint32_t current = out.routes.empty() ? 0 : out.routes[0];
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    if (!trace[i].request_start) {
+    if ((trace.flags[i] & workload::kTraceFlagStart) == 0) {
       // Continuations drain on whichever server their request landed on,
       // even if it crashed mid-request (connection draining).
       out.routes[i] = current;
       continue;
     }
     std::uint32_t target = out.routes[i];
-    if (down_at(target, trace[i].time_s)) {
+    if (down_at(target, trace.times[i])) {
       for (std::uint32_t step = 1; step < cfg.server_count; ++step) {
         const auto candidate = static_cast<std::uint32_t>(
             (target + step) % cfg.server_count);
-        if (!down_at(candidate, trace[i].time_s)) {
+        if (!down_at(candidate, trace.times[i])) {
           target = candidate;
           ++out.failed_over_requests;
           break;
@@ -164,7 +182,13 @@ FaultRouting route_requests_with_faults(
   return out;
 }
 
-ChassisUsage chassis_usage(const std::vector<double>& request_times_s,
+FaultRouting route_requests_with_faults(
+    const std::vector<workload::TraceEvent>& trace, const ClusterConfig& cfg,
+    const std::vector<OutageWindows>& outages) {
+  return route_requests_with_faults(to_trace(trace), cfg, outages);
+}
+
+ChassisUsage chassis_usage(const double* request_times_s, std::size_t n,
                            double duration_s, double off_idle_s) {
   JPM_CHECK(off_idle_s > 0.0);
   ChassisUsage usage;
@@ -173,7 +197,8 @@ ChassisUsage chassis_usage(const std::vector<double>& request_times_s,
   double on_since = 0.0;
   double last_activity = 0.0;
   bool on = true;
-  for (double t : request_times_s) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = request_times_s[i];
     JPM_DCHECK(t >= last_activity);
     if (on && t - last_activity > off_idle_s) {
       usage.on_s += (last_activity + off_idle_s) - on_since;
@@ -196,6 +221,12 @@ ChassisUsage chassis_usage(const std::vector<double>& request_times_s,
 }
 
 ChassisUsage chassis_usage(const std::vector<double>& request_times_s,
+                           double duration_s, double off_idle_s) {
+  return chassis_usage(request_times_s.data(), request_times_s.size(),
+                       duration_s, off_idle_s);
+}
+
+ChassisUsage chassis_usage(const double* request_times_s, std::size_t n,
                            double duration_s, double off_idle_s,
                            const OutageWindows& outages) {
   JPM_CHECK(off_idle_s > 0.0);
@@ -230,7 +261,8 @@ ChassisUsage chassis_usage(const std::vector<double>& request_times_s,
     }
   };
 
-  for (double t : request_times_s) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = request_times_s[i];
     while (w < outages.size() && outages[w].first <= t) {
       apply_crash(outages[w].first, outages[w].second);
       ++w;
@@ -255,6 +287,62 @@ ChassisUsage chassis_usage(const std::vector<double>& request_times_s,
   return usage;
 }
 
+ChassisUsage chassis_usage(const std::vector<double>& request_times_s,
+                           double duration_s, double off_idle_s,
+                           const OutageWindows& outages) {
+  return chassis_usage(request_times_s.data(), request_times_s.size(),
+                       duration_s, off_idle_s, outages);
+}
+
+ShardLayout build_shard_layout(const workload::Trace& trace,
+                               const std::vector<std::uint32_t>& routes,
+                               std::uint32_t server_count) {
+  JPM_CHECK(routes.size() == trace.size());
+  JPM_CHECK(server_count > 0);
+  ShardLayout out;
+  out.event_offsets.assign(server_count + 1, 0);
+  out.arrival_offsets.assign(server_count + 1, 0);
+  out.request_counts.assign(server_count, 0);
+
+  // Counting pass: block sizes per server (offsets shifted one right so the
+  // prefix sum lands in place).
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::uint32_t s = routes[i];
+    JPM_DCHECK(s < server_count);
+    ++out.event_offsets[s + 1];
+    if ((trace.flags[i] & workload::kTraceFlagStart) != 0) {
+      ++out.arrival_offsets[s + 1];
+      ++out.request_counts[s];
+    }
+  }
+  for (std::uint32_t s = 0; s < server_count; ++s) {
+    out.event_offsets[s + 1] += out.event_offsets[s];
+    out.arrival_offsets[s + 1] += out.arrival_offsets[s];
+  }
+
+  // Scatter pass: one write cursor per server walks its block; time order
+  // within a block follows trace order.
+  out.times.resize(trace.size());
+  out.pages.resize(trace.size());
+  out.flags.resize(trace.size());
+  out.arrivals.resize(out.arrival_offsets[server_count]);
+  std::vector<std::size_t> event_cursor(out.event_offsets.begin(),
+                                        out.event_offsets.end() - 1);
+  std::vector<std::size_t> arrival_cursor(out.arrival_offsets.begin(),
+                                          out.arrival_offsets.end() - 1);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::uint32_t s = routes[i];
+    const std::size_t at = event_cursor[s]++;
+    out.times[at] = trace.times[i];
+    out.pages[at] = trace.pages[i];
+    out.flags[at] = trace.flags[i];
+    if ((trace.flags[i] & workload::kTraceFlagStart) != 0) {
+      out.arrivals[arrival_cursor[s]++] = trace.times[i];
+    }
+  }
+  return out;
+}
+
 ClusterEngine::ClusterEngine(const ClusterConfig& config,
                              const workload::SynthesizerConfig& workload,
                              const sim::PolicySpec& policy)
@@ -263,11 +351,9 @@ ClusterEngine::ClusterEngine(const ClusterConfig& config,
 }
 
 ClusterMetrics ClusterEngine::run() {
-  // Materialize the stream once and route request-granularly.
-  workload::TraceGenerator generator(workload_);
-  const std::uint64_t total_pages = generator.total_pages();
-  std::vector<workload::TraceEvent> trace;
-  while (auto e = generator.next()) trace.push_back(*e);
+  // Materialize the stream once (SoA lanes) and route request-granularly.
+  const workload::Trace trace = workload::synthesize_trace(workload_);
+  const std::uint64_t total_pages = trace.total_pages;
 
   // Injected server crashes: outage windows are drawn per server from the
   // fault plan (deterministic in (seed, server index)) and the dead
@@ -291,17 +377,11 @@ ClusterMetrics ClusterEngine::run() {
     routes = route_requests(trace, config_);
   }
 
-  std::vector<std::vector<workload::TraceEvent>> per_server(
-      config_.server_count);
-  std::vector<std::vector<double>> arrivals(config_.server_count);
-  std::vector<std::uint64_t> request_counts(config_.server_count, 0);
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    per_server[routes[i]].push_back(trace[i]);
-    if (trace[i].request_start) {
-      ++request_counts[routes[i]];
-      arrivals[routes[i]].push_back(trace[i].time_s);
-    }
-  }
+  // Pack every server's events into the contiguous shard arena; the routed
+  // AoS-per-server vectors this replaces cost one allocation per server and
+  // scattered the fleet's state across the heap.
+  const ShardLayout shards =
+      build_shard_layout(trace, routes, config_.server_count);
 
   ClusterMetrics out;
   out.duration_s = workload_.duration_s - config_.engine.warm_up_s;
@@ -309,24 +389,26 @@ ClusterMetrics ClusterEngine::run() {
   // Per-server telemetry streams, registered serially in server order so
   // the report is independent of how the fan-out below is scheduled.
   std::vector<telemetry::RunRecorder*> recorders;
-  if (telemetry::session_active()) {
+  if (server_telemetry_ && telemetry::session_active()) {
     recorders.resize(config_.server_count, nullptr);
     for (std::uint32_t s = 0; s < config_.server_count; ++s) {
       recorders[s] = telemetry::begin_run("server" + std::to_string(s));
     }
   }
-  // Per-server pipelines replay disjoint sub-traces and share nothing
-  // mutable, so they fan out across the pool (JPM_THREADS workers); each
-  // task writes only its own ServerOutcome slot.
+  // Per-server pipelines replay disjoint shard blocks and share nothing
+  // mutable, so they fan out as stealable tasks (JPM_THREADS workers,
+  // JPM_SCHED schedule — stealing absorbs stragglers like fault-heavy or
+  // hot-partition servers); each task writes only its own ServerOutcome
+  // slot, so results never depend on the schedule.
   util::parallel_for(config_.server_count, [&](std::size_t s) {
     ServerOutcome& server = out.servers[s];
-    server.requests = request_counts[s];
+    server.requests = shards.request_counts[s];
     const telemetry::ScopedRun scope(
         recorders.empty() ? nullptr : recorders[s]);
     const telemetry::SpanTimer span("server_pipeline",
                                     "server" + std::to_string(s));
     if (!recorders.empty() && recorders[s] != nullptr) {
-      recorders[s]->counter("requests").add(request_counts[s]);
+      recorders[s]->counter("requests").add(shards.request_counts[s]);
       for (const auto& window : outages[s]) {
         TELEM_EVENT(kCluster, "server_crash", window.first,
                     {"server", static_cast<double>(s)},
@@ -342,31 +424,35 @@ ClusterMetrics ClusterEngine::run() {
           plan.seed, 0x2000000ull + static_cast<std::uint64_t>(s));
     }
 
-    if (per_server[s].empty()) {
-      // Never touched: the pipeline idles the whole run. Account it with an
-      // empty replay (one synthetic no-op would skew counters).
-      sim::ReplayTrace idle;
-      idle.events.push_back(workload::TraceEvent{0.0, 0, true});
-      idle.page_bytes = workload_.page_bytes;
-      idle.total_pages = total_pages;
-      idle.duration_s = workload_.duration_s;
-      server.metrics =
-          sim::replay_simulation(std::move(idle), policy_, engine_cfg);
+    // Replay the server's shard block zero-copy through the push-mode
+    // engine (bit-identical to a materialized replay of the same events).
+    sim::LiveSource source;
+    source.page_bytes = workload_.page_bytes;
+    source.total_pages = total_pages;
+    source.duration_hint_s = workload_.duration_s;
+    sim::Engine engine(source, policy_, engine_cfg);
+    const std::size_t begin = shards.event_offsets[s];
+    const std::size_t count = shards.events_of(static_cast<std::uint32_t>(s));
+    if (count == 0) {
+      // Never touched: the pipeline idles the whole run. Account it with a
+      // single synthetic request-start at t=0, exactly like the replay path
+      // always has.
+      engine.push(0.0, 0, workload::kTraceFlagStart);
     } else {
-      sim::ReplayTrace replay;
-      replay.events = std::move(per_server[s]);
-      replay.page_bytes = workload_.page_bytes;
-      replay.total_pages = total_pages;
-      replay.duration_s = workload_.duration_s;
-      server.metrics =
-          sim::replay_simulation(std::move(replay), policy_, engine_cfg);
+      engine.push_chunk(shards.times.data() + begin,
+                        shards.pages.data() + begin,
+                        shards.flags.data() + begin, count);
     }
+    server.metrics = engine.finish(workload_.duration_s);
 
+    const double* arrivals = shards.arrivals.data() + shards.arrival_offsets[s];
+    const std::size_t n_arrivals =
+        shards.arrival_offsets[s + 1] - shards.arrival_offsets[s];
     const auto usage =
         plan.crashes_active()
-            ? chassis_usage(arrivals[s], workload_.duration_s,
+            ? chassis_usage(arrivals, n_arrivals, workload_.duration_s,
                             config_.server_off_idle_s, outages[s])
-            : chassis_usage(arrivals[s], workload_.duration_s,
+            : chassis_usage(arrivals, n_arrivals, workload_.duration_s,
                             config_.server_off_idle_s);
     server.chassis_on_s = usage.on_s;
     server.power_cycles = usage.power_cycles;
@@ -383,12 +469,86 @@ ClusterMetrics ClusterEngine::run() {
               {"crashes", static_cast<double>(crash_count)},
               {"failed_over", static_cast<double>(failed_over)});
 
+  // Reduce in fixed server order — aggregation stays byte-stable no matter
+  // which worker finished which server first.
   for (const auto& s : out.servers) {
     out.reliability.merge(s.metrics.reliability);
   }
   out.reliability.server_crashes += crash_count;
   out.reliability.failed_over_requests += failed_over;
   return out;
+}
+
+std::vector<ClusterSweepPoint> run_cluster_sweep(
+    const ClusterConfig& config,
+    const std::vector<sim::SweepWorkload>& workloads,
+    const std::vector<sim::PolicySpec>& roster,
+    const std::function<void(const std::string&)>& progress) {
+  config.validate();
+  JPM_CHECK_MSG(!workloads.empty(), "cluster sweep has no workload points");
+  JPM_CHECK_MSG(!roster.empty(), "cluster sweep has an empty policy roster");
+  const std::size_t n_points = workloads.size();
+  const std::size_t n_policies = roster.size();
+  TELEM_EVENT(kSweep, "cluster_sweep_begin", 0.0,
+              {"points", static_cast<double>(n_points)},
+              {"policies", static_cast<double>(n_policies)},
+              {"servers", static_cast<double>(config.server_count)});
+
+  std::vector<ClusterSweepPoint> points(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    points[i].label = workloads[i].label;
+    points[i].workload = workloads[i].workload;
+    points[i].outcomes.resize(n_policies);
+    for (std::size_t j = 0; j < n_policies; ++j) {
+      points[i].outcomes[j].spec = roster[j];
+    }
+  }
+
+  // One telemetry run per (point, policy) job, registered serially in job
+  // order before the fan-out (stream ids depend only on the sweep's shape).
+  // Axis coordinates are stamped here; the per-server streams inside each
+  // ClusterEngine are disabled (see set_server_telemetry).
+  std::vector<telemetry::RunRecorder*> recorders;
+  if (telemetry::session_active()) {
+    recorders.resize(n_points * n_policies, nullptr);
+    for (std::size_t i = 0; i < n_points; ++i) {
+      for (std::size_t j = 0; j < n_policies; ++j) {
+        telemetry::RunRecorder* rec =
+            telemetry::begin_run(points[i].label + "/" + roster[j].name);
+        for (const auto& [axis, value] : workloads[i].axes) {
+          rec->gauge("axis/" + axis).set(value);
+        }
+        recorders[i * n_policies + j] = rec;
+      }
+    }
+  }
+
+  // Jobs fan out point-major in roster order; inside each job the cluster's
+  // own per-server parallel_for hits the nested-parallelism guard and runs
+  // inline, so a fleet sweep is parallel across jobs, serial within one.
+  sim::OrderedProgress ordered(n_points * n_policies, progress);
+  util::parallel_for(n_points * n_policies, [&](std::size_t t) {
+    const std::size_t i = t / n_policies;
+    const std::size_t j = t % n_policies;
+    ClusterSweepOutcome& outcome = points[i].outcomes[j];
+    const telemetry::ScopedRun scope(
+        recorders.empty() ? nullptr : recorders[t]);
+    const telemetry::SpanTimer span(
+        "cluster_point", points[i].label + "/" + roster[j].name);
+    ClusterEngine engine(config, workloads[i].workload, roster[j]);
+    engine.set_server_telemetry(false);
+    outcome.metrics = engine.run();
+    if (progress) {
+      std::ostringstream os;
+      os << "[" << points[i].label << "] " << roster[j].name << ": total "
+         << outcome.metrics.total_j() / 1e3 << " kJ, balance "
+         << outcome.metrics.balance_index();
+      ordered.emit(t, os.str());
+    }
+  });
+  TELEM_EVENT(kSweep, "cluster_sweep_end", 0.0,
+              {"runs", static_cast<double>(n_points * n_policies)});
+  return points;
 }
 
 }  // namespace jpm::cluster

@@ -18,12 +18,24 @@
 //                     data popularity).
 //   * kUnbalanced   — concentrate requests on the fewest servers that stay
 //                     under a rate cap; surplus servers idle and power off.
+//
+// Fleet scale: one scenario may sweep hundreds of workload points over a
+// 1000+ server cluster. Per-server event state lives in one contiguous
+// structure-of-arrays shard arena (ShardLayout) allocated up front — no
+// per-server vector<vector<...>> heap scatter — and servers execute as
+// stealable tasks on the work-stealing pool. Every task writes only its own
+// preallocated ServerOutcome slot and metrics reduce in fixed server order,
+// so aggregates are byte-stable at any JPM_THREADS / JPM_SCHED.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "jpm/sim/engine.h"
+#include "jpm/sim/runner.h"
 
 namespace jpm::cluster {
 
@@ -83,11 +95,51 @@ struct ClusterMetrics {
   double balance_index() const;
 };
 
+// The cluster's per-server event state, packed into one contiguous SoA
+// arena: server s owns the half-open slice
+// [event_offsets[s], event_offsets[s+1]) of the times/pages/flags lanes and
+// [arrival_offsets[s], arrival_offsets[s+1]) of the arrivals lane. Blocks
+// are sized by a counting pass and filled by a single scatter pass, so the
+// whole fleet's state is three allocations regardless of server count, each
+// server's events are contiguous (cache- and prefetch-friendly for the
+// batched engine), and a server task replays its block zero-copy through the
+// engine's push-mode interface.
+struct ShardLayout {
+  std::vector<double> times;
+  std::vector<std::uint64_t> pages;
+  std::vector<std::uint8_t> flags;          // workload trace flag bits
+  std::vector<std::size_t> event_offsets;   // server_count + 1 entries
+  std::vector<double> arrivals;             // request start times (chassis)
+  std::vector<std::size_t> arrival_offsets; // server_count + 1 entries
+  std::vector<std::uint64_t> request_counts;
+
+  std::uint32_t server_count() const {
+    return event_offsets.empty()
+               ? 0
+               : static_cast<std::uint32_t>(event_offsets.size() - 1);
+  }
+  std::size_t events_of(std::uint32_t s) const {
+    return event_offsets[s + 1] - event_offsets[s];
+  }
+};
+
+// Builds the shard arena from a routed trace (exposed for testing). Events
+// keep their time order within each server's block.
+ShardLayout build_shard_layout(const workload::Trace& trace,
+                               const std::vector<std::uint32_t>& routes,
+                               std::uint32_t server_count);
+
 class ClusterEngine {
  public:
   ClusterEngine(const ClusterConfig& config,
                 const workload::SynthesizerConfig& workload,
                 const sim::PolicySpec& policy);
+
+  // Per-server telemetry runs ("server0", ...) register by default. A sweep
+  // driver that already owns one telemetry run per (point, policy) job turns
+  // them off: a 500-point × 1000-server grid would otherwise register half a
+  // million streams, from inside the fan-out, in schedule-dependent order.
+  void set_server_telemetry(bool enabled) { server_telemetry_ = enabled; }
 
   // Splits the workload, replays every server, and aggregates.
   ClusterMetrics run();
@@ -96,9 +148,41 @@ class ClusterEngine {
   ClusterConfig config_;
   workload::SynthesizerConfig workload_;
   sim::PolicySpec policy_;
+  bool server_telemetry_ = true;
 };
 
-// Routing decision sequence for a request stream (exposed for testing).
+// One policy's cluster result at one sweep point.
+struct ClusterSweepOutcome {
+  sim::PolicySpec spec;
+  ClusterMetrics metrics;
+};
+
+struct ClusterSweepPoint {
+  std::string label;
+  workload::SynthesizerConfig workload;
+  std::vector<ClusterSweepOutcome> outcomes;  // roster order
+};
+
+// Runs every roster policy's ClusterEngine at every workload point. Jobs
+// (point-major, roster order) fan out as stealable tasks; each cluster's
+// inner per-server loop then runs inline on its worker (nested-parallelism
+// guard), so fleet sweeps parallelize across points without oversubscribing.
+// Results sit in preallocated slots and `progress` lines are emitted in job
+// order, so output is bit-identical at any JPM_THREADS / JPM_SCHED. Unlike
+// sim::run_sweep there is no always-on-baseline requirement (cluster
+// metrics are absolute, not normalized). Axis coordinates on the workloads
+// surface as `axis/<name>` gauges on each job's telemetry run.
+std::vector<ClusterSweepPoint> run_cluster_sweep(
+    const ClusterConfig& config,
+    const std::vector<sim::SweepWorkload>& workloads,
+    const std::vector<sim::PolicySpec>& roster,
+    const std::function<void(const std::string&)>& progress = {});
+
+// Routing decision sequence for a request stream. The Trace overload is the
+// primary (reads the SoA lanes directly); the AoS form converts and
+// forwards (exposed for testing and interop).
+std::vector<std::uint32_t> route_requests(const workload::Trace& trace,
+                                          const ClusterConfig& cfg);
 std::vector<std::uint32_t> route_requests(
     const std::vector<workload::TraceEvent>& trace, const ClusterConfig& cfg);
 
@@ -114,20 +198,30 @@ struct FaultRouting {
   std::vector<std::uint32_t> routes;
   std::uint64_t failed_over_requests = 0;
 };
+FaultRouting route_requests_with_faults(const workload::Trace& trace,
+                                        const ClusterConfig& cfg,
+                                        const std::vector<OutageWindows>& outages);
 FaultRouting route_requests_with_faults(
     const std::vector<workload::TraceEvent>& trace, const ClusterConfig& cfg,
     const std::vector<OutageWindows>& outages);
 
-// Chassis on/off accounting over one server's request arrival times.
+// Chassis on/off accounting over one server's request arrival times. The
+// pointer form reads an arrival slice straight out of the shard arena; the
+// vector overloads forward to it.
 struct ChassisUsage {
   double on_s = 0.0;
   std::uint64_t power_cycles = 0;
 };
+ChassisUsage chassis_usage(const double* request_times_s, std::size_t n,
+                           double duration_s, double off_idle_s);
 ChassisUsage chassis_usage(const std::vector<double>& request_times_s,
                            double duration_s, double off_idle_s);
 // Outage-aware overload: a crash forces the chassis off for the window
 // (one forced power cycle); the server restarts — and is back on — at the
 // window's end.
+ChassisUsage chassis_usage(const double* request_times_s, std::size_t n,
+                           double duration_s, double off_idle_s,
+                           const OutageWindows& outages);
 ChassisUsage chassis_usage(const std::vector<double>& request_times_s,
                            double duration_s, double off_idle_s,
                            const OutageWindows& outages);

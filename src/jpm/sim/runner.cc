@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "jpm/sim/file_replay.h"
+#include "jpm/telemetry/registry.h"
 #include "jpm/telemetry/telemetry.h"
 #include "jpm/util/check.h"
 #include "jpm/util/hash.h"
@@ -35,6 +36,24 @@ std::size_t find_baseline(const std::vector<PolicySpec>& roster) {
 }
 
 }  // namespace
+
+OrderedProgress::OrderedProgress(std::size_t jobs,
+                                 std::function<void(const std::string&)> sink)
+    : sink_(std::move(sink)), lines_(jobs), ready_(jobs, false) {}
+
+void OrderedProgress::emit(std::size_t job, std::string line) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  JPM_CHECK_MSG(job < ready_.size() && !ready_[job],
+                "OrderedProgress: job " << job << " emitted twice or out of "
+                                        << ready_.size());
+  lines_[job] = std::move(line);
+  ready_[job] = true;
+  while (next_ < ready_.size() && ready_[next_]) {
+    sink_(lines_[next_]);
+    lines_[next_].clear();  // release the buffered line eagerly
+    ++next_;
+  }
+}
 
 std::vector<SweepPoint> run_sweep(
     const std::vector<SweepWorkload>& workloads,
@@ -113,12 +132,18 @@ std::vector<SweepPoint> run_sweep(
     recorders.resize(n_points * n_policies, nullptr);
     for (std::size_t i = 0; i < n_points; ++i) {
       for (std::size_t j = 0; j < n_policies; ++j) {
-        recorders[i * n_policies + j] =
+        telemetry::RunRecorder* rec =
             telemetry::begin_run(points[i].label + "/" + roster[j].name);
+        // Grid provenance: the point's axis coordinates, stamped here on the
+        // registering thread (the run's worker never touches these gauges).
+        for (const auto& [axis, value] : workloads[i].axes) {
+          rec->gauge("axis/" + axis).set(value);
+        }
+        recorders[i * n_policies + j] = rec;
       }
     }
   }
-  std::mutex progress_mu;
+  OrderedProgress ordered(jobs.size(), progress);
   util::parallel_for(jobs.size(), [&](std::size_t t) {
     const auto [i, j] = jobs[t];
     RunOutcome& outcome = points[i].outcomes[j];
@@ -134,8 +159,7 @@ std::vector<SweepPoint> run_sweep(
       os << "[" << points[i].label << "] " << roster[j].name << ": total "
          << outcome.metrics.total_j() / 1e3 << " kJ, "
          << outcome.metrics.disk_accesses << " disk accesses";
-      const std::lock_guard<std::mutex> lock(progress_mu);
-      progress(os.str());
+      ordered.emit(t, os.str());
     }
   });
 
@@ -159,7 +183,7 @@ std::vector<SweepPoint> run_sweep(
   std::vector<SweepWorkload> points;
   points.reserve(workloads.size());
   for (const auto& [label, workload] : workloads) {
-    points.push_back(SweepWorkload{label, workload, {}});
+    points.push_back(SweepWorkload{label, workload, {}, {}});
   }
   return run_sweep(points, roster, config, progress);
 }

@@ -3,13 +3,38 @@
 // figure in the paper is reported.
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "jpm/sim/engine.h"
 
 namespace jpm::sim {
+
+// Reorders lines produced by concurrently completing jobs so the sink sees
+// them in job order, not completion order. Workers call emit(job, line) as
+// they finish; each line is buffered until every lower-numbered job has
+// emitted, then the contiguous prefix flushes to the sink. The full progress
+// stream is therefore deterministic under any scheduler — a prerequisite for
+// the work-stealing fan-out, where completion order varies run to run. Sink
+// calls are serialized (made under the internal lock). Each job must emit
+// exactly once.
+class OrderedProgress {
+ public:
+  OrderedProgress(std::size_t jobs,
+                  std::function<void(const std::string&)> sink);
+  void emit(std::size_t job, std::string line);
+
+ private:
+  std::function<void(const std::string&)> sink_;
+  std::mutex mu_;
+  std::vector<std::string> lines_;
+  std::vector<bool> ready_;
+  std::size_t next_ = 0;
+};
 
 struct RunOutcome {
   PolicySpec spec;
@@ -35,16 +60,22 @@ struct SweepWorkload {
   std::string label;
   workload::SynthesizerConfig workload;
   std::string trace_path;  // empty = synthesize
+  // Grid provenance: the point's coordinates on each named sweep axis, in
+  // axis declaration order (empty for hand-listed points). Published into
+  // the point's telemetry runs as `axis/<name>` gauges so reports are
+  // self-describing about where in the grid each run sits.
+  std::vector<std::pair<std::string, double>> axes;
 };
 
 // Runs every policy for every workload; the roster must contain exactly one
 // always-on entry, used as the normalization baseline. Each workload's trace
 // is synthesized (or mmap'd) once and shared read-only by all of its policy
-// runs, which fan out across a fixed thread pool (JPM_THREADS workers,
-// default hardware concurrency, 1 = serial) — results are bit-identical
-// regardless of the worker count. `progress` (optional) is invoked with a
-// human-readable line after each run; calls are serialized but may arrive in
-// any run order.
+// runs, which fan out as stealable tasks (JPM_THREADS workers, default
+// hardware concurrency, 1 = serial; JPM_SCHED picks the schedule) — results
+// are bit-identical regardless of worker count or schedule. `progress`
+// (optional) is invoked with a human-readable line per run, serialized and
+// in deterministic job order (point-major, each point's baseline first)
+// regardless of completion order.
 std::vector<SweepPoint> run_sweep(
     const std::vector<SweepWorkload>& workloads,
     const std::vector<PolicySpec>& roster, const EngineConfig& config,

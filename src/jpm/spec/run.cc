@@ -38,6 +38,10 @@ void apply_fast_mode(Scenario& sc) {
     point.workload.duration_s = new_warm + measured * 0.25;
   }
   sc.engine.warm_up_s = new_warm;
+  // The expanded points no longer match the grid spec (durations were
+  // rescaled, and a duration_s axis would diverge from re-expansion), so
+  // provenance falls back to the resolved explicit array.
+  sc.grid.reset();
 }
 
 Scenario load_for_run(const std::string& path) {
@@ -119,6 +123,29 @@ void publish_provenance(const Scenario& sc) {
   telemetry::set_scenario(serialize_scenario(sc), scenario_hash(sc));
 }
 
+void print_cluster_table(
+    const std::vector<cluster::ClusterSweepPoint>& points) {
+  Table t({"point", "method", "pipeline_kj", "chassis_kj", "total_kj",
+           "balance", "mean_lat_ms", "cycles", "failed_over"});
+  for (const auto& p : points) {
+    for (const auto& o : p.outcomes) {
+      std::uint64_t cycles = 0;
+      for (const auto& s : o.metrics.servers) cycles += s.power_cycles;
+      t.row()
+          .cell(p.label)
+          .cell(o.spec.name)
+          .cell(num(o.metrics.pipeline_energy_j() / 1e3, 1))
+          .cell(num(o.metrics.chassis_energy_j() / 1e3, 1))
+          .cell(num(o.metrics.total_j() / 1e3, 1))
+          .cell(num(o.metrics.balance_index(), 3))
+          .cell(ms(o.metrics.mean_latency_s()))
+          .cell(std::to_string(cycles))
+          .cell(std::to_string(o.metrics.reliability.failed_over_requests));
+    }
+  }
+  std::cout << "\n== cluster sweep ==\n" << t.to_string();
+}
+
 std::vector<sim::SweepPoint> run_scenario(const Scenario& sc,
                                           const RunOptions& options) {
   publish_provenance(sc);
@@ -128,9 +155,17 @@ std::vector<sim::SweepPoint> run_scenario(const Scenario& sc,
   std::vector<sim::SweepWorkload> workloads;
   workloads.reserve(sc.workloads.size());
   for (const auto& point : sc.workloads) {
-    workloads.push_back(
-        sim::SweepWorkload{point.label, point.workload, point.trace_path});
+    workloads.push_back(sim::SweepWorkload{point.label, point.workload,
+                                           point.trace_path, point.axes});
   }
+
+  if (sc.cluster.has_value()) {
+    const auto points = cluster::run_cluster_sweep(
+        cluster_config(sc), workloads, sc.roster, options.progress);
+    print_cluster_table(points);
+    return {};
+  }
+
   const auto points =
       sim::run_sweep(workloads, sc.roster, sc.engine, options.progress);
 

@@ -84,9 +84,21 @@ struct RunOptions {
   std::function<void(const std::string&)> progress;
 };
 
+// The fixed summary table of a cluster sweep: one row per (point, policy)
+// job, in job order — pipeline/chassis/total energy, balance index, mean
+// latency, power cycles, failover count.
+void print_cluster_table(const std::vector<cluster::ClusterSweepPoint>& points);
+
 // The full driver: publishes provenance, prints the expanded header (when
 // non-empty), executes the sweep, prints every configured table, and returns
 // the sweep points for bespoke post-processing.
+//
+// Scenarios with a cluster section instead run every roster policy's
+// ClusterEngine at every workload point (no always-on baseline required —
+// cluster metrics are absolute) and print the fixed cluster summary table;
+// `output.tables`, which name single-server sweep metrics, are ignored, and
+// the return value is empty. Use cluster::run_cluster_sweep directly for
+// bespoke post-processing of cluster outcomes.
 std::vector<sim::SweepPoint> run_scenario(const Scenario& sc,
                                           const RunOptions& options = {});
 

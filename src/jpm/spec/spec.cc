@@ -603,6 +603,106 @@ Value to_json(const std::vector<WorkloadPoint>& points) {
   return Value{std::move(a)};
 }
 
+Value to_json(const WorkloadGrid& grid) {
+  Object o;
+  o["base"] = to_json(grid.base);
+  Object axes;
+  for (const auto& [axis, values] : grid.axes) {
+    Array a;
+    for (const double value : values) a.push_back(Value{value});
+    axes[axis] = Value{std::move(a)};
+  }
+  o["grid"] = Value{std::move(axes)};
+  return Value{std::move(o)};
+}
+
+WorkloadGrid grid_from_json(const Value& v, const std::string& path) {
+  ObjectReader r(v, path);
+  WorkloadGrid grid;
+  if (const Value* b = r.child("base")) {
+    grid.base = workload_from_json(*b, path + ".base");
+  }
+  const Value* g = r.child("grid");
+  if (g == nullptr) fail(path, "missing required key \"grid\"");
+  if (!g->is_object()) fail(path + ".grid", type_error("object", *g));
+  r.finish();
+  for (const auto& [axis, values] : g->as_object().entries()) {
+    const std::string p = path + ".grid." + axis;
+    if (!values.is_array()) fail(p, type_error("array", values));
+    const auto& a = values.as_array();
+    if (a.empty()) fail(p, "axis needs at least one value");
+    std::vector<double> parsed;
+    parsed.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].is_number()) {
+        fail(p + "[" + std::to_string(i) + "]", type_error("number", a[i]));
+      }
+      parsed.push_back(a[i].as_number());
+    }
+    grid.axes.emplace_back(axis, std::move(parsed));
+  }
+  if (grid.axes.empty()) fail(path + ".grid", "grid needs at least one axis");
+  return grid;
+}
+
+namespace {
+
+// Fleet sweeps are meant to be large, but a typo'd grid should not OOM the
+// process before validation can complain.
+constexpr std::size_t kGridPointCap = 100000;
+
+}  // namespace
+
+std::vector<WorkloadPoint> expand_grid(const WorkloadGrid& grid,
+                                       const std::string& path) {
+  if (grid.axes.empty()) fail(path + ".grid", "grid needs at least one axis");
+  std::size_t total = 1;
+  for (const auto& [axis, values] : grid.axes) {
+    if (values.empty()) {
+      fail(path + ".grid." + axis, "axis needs at least one value");
+    }
+    if (total > kGridPointCap / values.size()) {
+      fail(path + ".grid", "grid expands past the " +
+                               std::to_string(kGridPointCap) + "-point cap");
+    }
+    total *= values.size();
+  }
+
+  // Odometer over the axes: the last axis varies fastest, so the first
+  // declared axis is the outermost loop of the cartesian product.
+  std::vector<WorkloadPoint> points;
+  points.reserve(total);
+  std::vector<std::size_t> idx(grid.axes.size(), 0);
+  for (std::size_t n = 0; n < total; ++n) {
+    WorkloadPoint point;
+    point.workload = grid.base;
+    std::string label;
+    for (std::size_t a = 0; a < grid.axes.size(); ++a) {
+      const auto& [axis, values] = grid.axes[a];
+      const double value = values[idx[a]];
+      // Route the coordinate through the workload binder as a one-key
+      // object: unknown axis names and type mismatches (e.g. a fractional
+      // seed) fail with the binder's path-named SpecError.
+      Object o;
+      o[axis] = Value{value};
+      const Value wrapped{std::move(o)};
+      ObjectReader r(wrapped, path + ".grid");
+      BindWorkload{}(r, point.workload);
+      r.finish();
+      point.axes.emplace_back(axis, value);
+      if (a != 0) label += ",";
+      label += axis + "=" + util::json::format_number(value);
+    }
+    point.label = std::move(label);
+    points.push_back(std::move(point));
+    for (std::size_t a = grid.axes.size(); a-- > 0;) {
+      if (++idx[a] < grid.axes[a].second.size()) break;
+      idx[a] = 0;
+    }
+  }
+  return points;
+}
+
 std::vector<WorkloadPoint> workloads_from_json(const Value& v,
                                                const std::string& path) {
   std::vector<WorkloadPoint> points;
@@ -626,6 +726,12 @@ std::vector<WorkloadPoint> workloads_from_json(const Value& v,
     return points;
   }
   if (!v.is_object()) fail(path, type_error("array or sweep object", v));
+  if (v.as_object().find("grid") != nullptr) {
+    if (v.as_object().find("points") != nullptr) {
+      fail(path, "\"points\" and \"grid\" are mutually exclusive");
+    }
+    return expand_grid(grid_from_json(v, path), path);
+  }
 
   // Sweep-axis form: base workload + per-point overrides.
   ObjectReader r(v, path);
@@ -706,7 +812,17 @@ Scenario parse_scenario(const std::string& text) {
   r.field("name", &sc.name);
   r.field("description", &sc.description);
   if (const Value* w = r.child("workloads")) {
-    sc.workloads = workloads_from_json(*w, "$.workloads");
+    if (w->is_object() && w->as_object().find("grid") != nullptr) {
+      // Keep the grid spec so serialization re-emits the compact grid form
+      // (a 1000-point scenario file must stay a 20-line file).
+      if (w->as_object().find("points") != nullptr) {
+        fail("$.workloads", "\"points\" and \"grid\" are mutually exclusive");
+      }
+      sc.grid = grid_from_json(*w, "$.workloads");
+      sc.workloads = expand_grid(*sc.grid, "$.workloads");
+    } else {
+      sc.workloads = workloads_from_json(*w, "$.workloads");
+    }
   }
   if (const Value* roster = r.child("roster")) {
     sc.roster = roster_from_json(*roster, "$.roster");
@@ -732,7 +848,8 @@ std::string serialize_scenario(const Scenario& sc) {
   root["version"] = Value{1};
   root["name"] = Value{sc.name};
   root["description"] = Value{sc.description};
-  root["workloads"] = to_json(sc.workloads);
+  root["workloads"] =
+      sc.grid.has_value() ? to_json(*sc.grid) : to_json(sc.workloads);
   root["roster"] = to_json(sc.roster);
   root["engine"] = to_json(sc.engine);
   if (sc.cluster.has_value()) root["cluster"] = to_json(*sc.cluster);

@@ -54,6 +54,25 @@ struct WorkloadPoint {
   std::string label;
   workload::SynthesizerConfig workload;
   std::string trace_path;  // empty = synthesize
+  // Grid coordinates (axis name, value) in axis declaration order when the
+  // point came from a sweep grid; empty for hand-listed points. Flows into
+  // telemetry as `axis/<name>` gauges on the point's runs.
+  std::vector<std::pair<std::string, double>> axes;
+};
+
+// Sweep-grid sugar: the cartesian product of named numeric axes over a base
+// workload. `{"workloads": {"base": {...}, "grid": {"byte_rate": [2e6, 4e6],
+// "seed": [1, 2, 3]}}}` declares 6 points; every axis name must be a
+// workload key (unknown names fail by path, e.g. "$.workloads.grid.sed:
+// unknown key"). The first declared axis varies slowest (outermost), and
+// each point's label is its coordinates, "byte_rate=2000000,seed=1".
+// Scenarios parsed from the grid form serialize back to it (canonical), and
+// the expansion is deterministic, so one short file can declare a
+// thousand-point fleet sweep.
+struct WorkloadGrid {
+  workload::SynthesizerConfig base;
+  // Axis name -> values, in declaration order.
+  std::vector<std::pair<std::string, std::vector<double>>> axes;
 };
 
 // One result table of a sweep run: rows = roster policies, columns = the
@@ -96,6 +115,10 @@ struct Scenario {
   std::string name;         // short identifier ("fig7_dataset")
   std::string description;  // free text for humans
   std::vector<WorkloadPoint> workloads;
+  // Set when `workloads` was declared as a sweep grid; `workloads` then
+  // holds the expansion (expand_grid(*grid)) and serialization re-emits the
+  // grid form, keeping grid scenarios canonical at any point count.
+  std::optional<WorkloadGrid> grid;
   std::vector<sim::PolicySpec> roster;
   sim::EngineConfig engine;
   std::optional<cluster::ClusterConfig> cluster;
@@ -154,13 +177,26 @@ util::json::Value to_json(const stream::StreamConfig& c);
 stream::StreamConfig stream_from_json(const util::json::Value& v,
                                       const std::string& path);
 
-// Workloads: an explicit array of {"label", "workload"} points, or the sweep
+// Workloads: an explicit array of {"label", "workload"} points, the sweep
 // axis form {"base": {...}, "points": [{"label": ..., <overrides>}]} where
-// each point overrides any subset of the base workload's keys. Serialization
-// always emits the resolved explicit array.
+// each point overrides any subset of the base workload's keys, or the grid
+// form {"base": {...}, "grid": {...}} (see WorkloadGrid; expanded on
+// parse). Serialization emits the resolved explicit array — except grid
+// scenarios, whose Scenario::grid re-serializes as the grid form.
 util::json::Value to_json(const std::vector<WorkloadPoint>& points);
 std::vector<WorkloadPoint> workloads_from_json(const util::json::Value& v,
                                                const std::string& path);
+
+// Grid form round-trip and expansion. grid_from_json validates shape only
+// (axes present, arrays of numbers); expand_grid applies each axis value
+// through the workload binder, so unknown axis names and type/range
+// mismatches fail with SpecError at `path`.grid.<axis>. The expansion is
+// capped at 100000 points.
+util::json::Value to_json(const WorkloadGrid& grid);
+WorkloadGrid grid_from_json(const util::json::Value& v,
+                            const std::string& path);
+std::vector<WorkloadPoint> expand_grid(const WorkloadGrid& grid,
+                                       const std::string& path);
 
 // ---- scenario --------------------------------------------------------------
 

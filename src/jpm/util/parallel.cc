@@ -1,14 +1,14 @@
 #include "jpm/util/parallel.h"
 
-#include <algorithm>
-#include <atomic>
 #include <cstdlib>
-#include <exception>
-#include <mutex>
+#include <cstring>
 #include <thread>
-#include <vector>
 
 namespace jpm::util {
+
+namespace detail {
+thread_local bool tl_in_parallel_region = false;
+}  // namespace detail
 
 unsigned default_thread_count() {
   if (const char* v = std::getenv("JPM_THREADS")) {
@@ -20,38 +20,18 @@ unsigned default_thread_count() {
   return hw == 0 ? 1 : hw;
 }
 
+SchedMode default_sched_mode() {
+  if (const char* v = std::getenv("JPM_SCHED")) {
+    if (std::strcmp(v, "static") == 0) return SchedMode::kStatic;
+    if (std::strcmp(v, "steal") == 0) return SchedMode::kSteal;
+  }
+  return SchedMode::kSteal;
+}
+
 void parallel_for(std::size_t n, unsigned workers,
                   const std::function<void(std::size_t)>& body) {
-  if (n == 0) return;
-  const std::size_t stripe =
-      std::min<std::size_t>(std::max(workers, 1u), n);
-  if (stripe <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
-
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-  const auto run_stripe = [&](std::size_t w) {
-    for (std::size_t i = w; i < n; i += stripe) {
-      if (failed.load(std::memory_order_relaxed)) return;
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(stripe - 1);
-  for (std::size_t w = 1; w < stripe; ++w) pool.emplace_back(run_stripe, w);
-  run_stripe(0);  // the caller is worker 0
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  TaskPool::run(n, workers, default_sched_mode(),
+                [&body](std::size_t i) { body(i); });
 }
 
 void parallel_for(std::size_t n,

@@ -130,6 +130,61 @@ TEST(SpecErrorTest, WorkloadPointErrors) {
             "$.workloads.points[0].sed: unknown key");
 }
 
+TEST(SpecErrorTest, GridShapeErrorsNameThePath) {
+  EXPECT_EQ(error_of([] {
+              workloads_from_json(parse(R"({"grid": {}})"), "$.workloads");
+            }),
+            "$.workloads.grid: grid needs at least one axis");
+  EXPECT_EQ(error_of([] {
+              workloads_from_json(parse(R"({"grid": {"seed": []}})"),
+                                  "$.workloads");
+            }),
+            "$.workloads.grid.seed: axis needs at least one value");
+  EXPECT_EQ(error_of([] {
+              workloads_from_json(parse(R"({"grid": {"seed": 3}})"),
+                                  "$.workloads");
+            }),
+            "$.workloads.grid.seed: expected array, got number");
+  EXPECT_EQ(error_of([] {
+              workloads_from_json(parse(R"({"grid": {"seed": [1, true]}})"),
+                                  "$.workloads");
+            }),
+            "$.workloads.grid.seed[1]: expected number, got boolean");
+}
+
+TEST(SpecErrorTest, GridAxisValuesGoThroughTheWorkloadBinder) {
+  // Unknown axis names and per-value range checks fail exactly like the
+  // same key would in a workload object, path and all.
+  EXPECT_EQ(error_of([] {
+              workloads_from_json(parse(R"({"grid": {"sed": [3]}})"),
+                                  "$.workloads");
+            }),
+            "$.workloads.grid.sed: unknown key");
+  EXPECT_EQ(error_of([] {
+              workloads_from_json(parse(R"({"grid": {"seed": [1.5]}})"),
+                                  "$.workloads");
+            }),
+            "$.workloads.grid.seed: expected a nonnegative integer, got 1.5");
+}
+
+TEST(SpecErrorTest, GridAndPointsAreMutuallyExclusive) {
+  EXPECT_EQ(error_of([] {
+              workloads_from_json(
+                  parse(R"({"points": [{"label": "a"}],
+                            "grid": {"seed": [1]}})"),
+                  "$.workloads");
+            }),
+            "$.workloads: \"points\" and \"grid\" are mutually exclusive");
+}
+
+TEST(SpecErrorTest, GridExpansionIsCapped) {
+  WorkloadGrid grid;
+  grid.axes.emplace_back("seed", std::vector<double>(400, 1.0));
+  grid.axes.emplace_back("byte_rate", std::vector<double>(300, 1e6));
+  EXPECT_EQ(error_of([&] { expand_grid(grid, "$.workloads"); }),
+            "$.workloads.grid: grid expands past the 100000-point cap");
+}
+
 TEST(SpecErrorTest, TraceSourceErrorsNameThePath) {
   EXPECT_EQ(error_of([] {
               workloads_from_json(
@@ -161,7 +216,7 @@ TEST(SpecErrorTest, TraceSourceErrorsNameThePath) {
 Scenario valid_scenario() {
   Scenario sc;
   sc.name = "errors";
-  sc.workloads.push_back({"w", workload::SynthesizerConfig{}, ""});
+  sc.workloads.push_back({"w", workload::SynthesizerConfig{}, "", {}});
   sc.roster = {sim::always_on_policy(), sim::joint_policy()};
   return sc;
 }

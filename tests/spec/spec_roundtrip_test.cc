@@ -194,6 +194,49 @@ TEST(SpecRoundTripTest, WorkloadSweepFormResolvesToExplicitPoints) {
             resolved);
 }
 
+TEST(SpecRoundTripTest, GridFormExpandsFirstAxisOutermost) {
+  const auto points = workloads_from_json(
+      parse(R"({"base": {"duration_s": 100},
+                "grid": {"byte_rate": [2000000, 4000000],
+                         "seed": [1, 2, 3]}})"),
+      "$.workloads");
+  ASSERT_EQ(points.size(), 6u);
+
+  // Labels are the grid coordinates; the first declared axis varies slowest.
+  EXPECT_EQ(points[0].label, "byte_rate=2000000,seed=1");
+  EXPECT_EQ(points[1].label, "byte_rate=2000000,seed=2");
+  EXPECT_EQ(points[2].label, "byte_rate=2000000,seed=3");
+  EXPECT_EQ(points[3].label, "byte_rate=4000000,seed=1");
+  EXPECT_EQ(points[5].label, "byte_rate=4000000,seed=3");
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(points[i].workload.byte_rate, i < 3 ? 2e6 : 4e6);
+    EXPECT_EQ(points[i].workload.seed, i % 3 + 1);
+    EXPECT_EQ(points[i].workload.duration_s, 100.0);  // base carries through
+  }
+
+  // Axis provenance rides on every point, in declaration order.
+  ASSERT_EQ(points[4].axes.size(), 2u);
+  EXPECT_EQ(points[4].axes[0],
+            (std::pair<std::string, double>{"byte_rate", 4e6}));
+  EXPECT_EQ(points[4].axes[1], (std::pair<std::string, double>{"seed", 2.0}));
+}
+
+TEST(SpecRoundTripTest, GridScenarioSerializesBackToTheGridForm) {
+  const Scenario sc = parse_scenario(
+      R"({"name": "grid",
+          "workloads": {"base": {"duration_s": 100},
+                        "grid": {"seed": [1, 2, 3]}}})");
+  ASSERT_TRUE(sc.grid.has_value());
+  EXPECT_EQ(sc.workloads.size(), 3u);
+
+  // Serialization re-emits the compact grid form (not the 3-point
+  // expansion) and stays canonical through another round trip.
+  const std::string once = serialize_scenario(sc);
+  EXPECT_NE(once.find("\"grid\""), std::string::npos);
+  EXPECT_EQ(once.find("\"points\""), std::string::npos);
+  EXPECT_EQ(serialize_scenario(parse_scenario(once)), once);
+}
+
 TEST(SpecRoundTripTest, TraceSourceRoundTripsInBothForms) {
   // Array form: the "trace" source names a JPMC file to replay.
   const auto points = workloads_from_json(
@@ -225,7 +268,7 @@ TEST(SpecRoundTripTest, ScenarioIsByteStableIncludingCluster) {
   Scenario sc;
   sc.name = "roundtrip";
   sc.description = "unit test";
-  sc.workloads.push_back({"16GB", workload::SynthesizerConfig{}, ""});
+  sc.workloads.push_back({"16GB", workload::SynthesizerConfig{}, "", {}});
   sc.roster = {sim::always_on_policy(), sim::joint_policy()};
   sc.engine.warm_up_s = 600.0;
   cluster::ClusterConfig cl;
@@ -258,7 +301,7 @@ TEST(SpecRoundTripTest, HashIsFnv1aOfSerialization) {
 TEST(SpecRoundTripTest, HashChangesIffResolvedScenarioChanges) {
   Scenario sc;
   sc.name = "hash";
-  sc.workloads.push_back({"w", workload::SynthesizerConfig{}, ""});
+  sc.workloads.push_back({"w", workload::SynthesizerConfig{}, "", {}});
   const std::string h0 = scenario_hash(sc);
 
   Scenario same = sc;

@@ -17,10 +17,12 @@
 namespace jpm::spec {
 namespace {
 
-// One scenario per bench harness (21) plus the streaming daemon demo —
-// a new harness or CLI demo adds its scenario here.
+// One scenario per bench harness (21) plus the streaming daemon demo and
+// the fleet-scale grid sweep — a new harness or CLI demo adds its scenario
+// here.
 const std::set<std::string> kScenarioNames = {
     "ablation_joint", "ext_cluster",     "ext_devices",
+    "fleet_sweep",
     "ext_drpm",       "ext_multidisk",   "ext_pblru",
     "ext_writes",     "faults",          "fig5_pareto",
     "fig7_dataset",   "fig8_popularity", "fig8_rate",
