@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "jpm/util/check.h"
+#include "jpm/util/prefetch.h"
 
 namespace jpm::cache {
 namespace {
@@ -13,15 +14,34 @@ namespace {
 // them across calls removes the dominant allocation churn of a period
 // boundary. Every element is rewritten before use, so reuse is invisible
 // in results; thread_local keeps concurrent sweep runners independent.
+// 32-bit node ids: a period's event count is far below 2^32 (checked). The
+// removal loop is bound by how many randomly-touched lines sit in cache,
+// not by arithmetic.
+// One 16-byte record per list node: the timestamp rides in the same line as
+// the links, so a removal touches exactly three lines (victim, prev
+// neighbour, next neighbour) — split prev/next/timestamp arrays touched up
+// to six — and the baked-in sentinel times remove the two boundary
+// compares from every neighbour lookup.
+struct SweepNode {
+  double time;
+  std::uint32_t prev;
+  std::uint32_t next;
+};
+static_assert(sizeof(SweepNode) == 16);
+
 struct SweepScratch {
-  std::vector<std::size_t> prev, next;
-  std::vector<double> time;
+  std::vector<SweepNode> nodes;
   // by_unit flattened: nodes grouped by first-hit unit via counting sort
   // (unit_offset[u] .. unit_offset[u+1] are unit u's node ids, ascending —
   // the same order the nested-vector form produced).
-  std::vector<std::size_t> unit_offset;
-  std::vector<std::size_t> unit_nodes;
-  std::vector<std::size_t> unit_fill;
+  std::vector<std::uint32_t> unit_offset;
+  std::vector<std::uint32_t> unit_nodes;
+  std::vector<std::uint32_t> unit_fill;
+  // Per-event first-hit unit, computed once in the counting pass and reused
+  // by the fill pass (kSkip for cold / beyond-candidate events) — the fill
+  // pass then streams 4-byte units instead of re-deriving from 8-byte
+  // depths.
+  std::vector<std::uint32_t> unit_of_event;
 };
 
 SweepScratch& scratch() {
@@ -40,22 +60,26 @@ std::vector<IdleEstimate> sweep_idle_intervals(
   JPM_CHECK(period_end_s >= period_start_s);
   JPM_CHECK(std::is_sorted(candidate_units.begin(), candidate_units.end()));
 
+  JPM_CHECK(n + 2 < ~std::uint32_t{0});
+
   SweepScratch& s = scratch();
   // Node layout: [0] start sentinel, [1..n] events, [n+1] end sentinel.
-  s.prev.resize(n + 2);
-  s.next.resize(n + 2);
-  s.time.resize(n + 2);
-  s.time[0] = period_start_s;
-  s.time[n + 1] = period_end_s;
+  // Sentinel timestamps are baked into their records, so neighbour lookups
+  // in the removal loop are straight loads with no boundary branches.
+  s.nodes.resize(n + 2);
+  s.nodes[0] = {period_start_s, 0, 1};
+  for (std::size_t i = 1; i <= n; ++i) {
+    s.nodes[i] = {times[i - 1], static_cast<std::uint32_t>(i - 1),
+                  static_cast<std::uint32_t>(i + 1)};
+  }
+  s.nodes[n + 1] = {period_end_s, static_cast<std::uint32_t>(n),
+                    static_cast<std::uint32_t>(n + 1)};
+#ifndef NDEBUG
   for (std::size_t i = 0; i < n; ++i) {
     JPM_DCHECK(times[i] >= period_start_s && times[i] <= period_end_s);
     JPM_DCHECK(i == 0 || times[i - 1] <= times[i]);
-    s.time[i + 1] = times[i];
   }
-  for (std::size_t i = 0; i < n + 2; ++i) {
-    s.prev[i] = i == 0 ? 0 : i - 1;
-    s.next[i] = i == n + 1 ? n + 1 : i + 1;
-  }
+#endif
 
   // Group removable events by the candidate unit at which they become hits:
   // an event with depth d frames hits once m >= ceil(d / unit_frames) units.
@@ -76,16 +100,22 @@ std::vector<IdleEstimate> sweep_idle_intervals(
              1;
     };
     unit_count = static_cast<std::size_t>(candidate_units.back()) + 1;
+    constexpr std::uint32_t kSkip = ~std::uint32_t{0};
     s.unit_offset.assign(unit_count + 1, 0);
+    s.unit_of_event.resize(n);
     std::size_t grouped = 0;
     for (std::size_t i = 0; i < n; ++i) {
       const std::uint64_t d = depths[i];
-      if (d == kColdAccess) continue;
-      const std::uint64_t unit = unit_of(d);
-      if (unit < unit_count) {
-        ++s.unit_offset[unit + 1];
-        ++grouped;
+      std::uint32_t unit = kSkip;
+      if (d != kColdAccess) {
+        const std::uint64_t u = unit_of(d);
+        if (u < unit_count) {
+          unit = static_cast<std::uint32_t>(u);
+          ++s.unit_offset[unit + 1];
+          ++grouped;
+        }
       }
+      s.unit_of_event[i] = unit;
     }
     for (std::size_t u = 0; u < unit_count; ++u) {
       s.unit_offset[u + 1] += s.unit_offset[u];
@@ -93,10 +123,10 @@ std::vector<IdleEstimate> sweep_idle_intervals(
     s.unit_nodes.resize(grouped);
     s.unit_fill.assign(s.unit_offset.begin(), s.unit_offset.end() - 1);
     for (std::size_t i = 0; i < n; ++i) {
-      const std::uint64_t d = depths[i];
-      if (d == kColdAccess) continue;
-      const std::uint64_t unit = unit_of(d);
-      if (unit < unit_count) s.unit_nodes[s.unit_fill[unit]++] = i + 1;
+      const std::uint32_t unit = s.unit_of_event[i];
+      if (unit != kSkip) {
+        s.unit_nodes[s.unit_fill[unit]++] = static_cast<std::uint32_t>(i + 1);
+      }
     }
   }
 
@@ -119,7 +149,14 @@ std::vector<IdleEstimate> sweep_idle_intervals(
       gap_log_sum -= std::log(g);
     }
   };
-  for (std::size_t i = 0; i <= n; ++i) gap_add(s.time[i + 1] - s.time[i]);
+  {
+    double prev_t = period_start_s;
+    for (std::size_t i = 0; i < n; ++i) {
+      gap_add(times[i] - prev_t);
+      prev_t = times[i];
+    }
+    gap_add(period_end_s - prev_t);
+  }
 
   std::vector<IdleEstimate> out;
   out.reserve(candidate_units.size());
@@ -130,14 +167,23 @@ std::vector<IdleEstimate> sweep_idle_intervals(
       const std::size_t lo = s.unit_offset[u];
       const std::size_t hi = s.unit_offset[u + 1];
       for (std::size_t k = lo; k < hi; ++k) {
+        // Node ids ascend within a unit but stride irregularly; hint the
+        // link and timestamp lines a few removals ahead so the list surgery
+        // below overlaps their fetches instead of serializing on them.
+        if (k + 16 < hi) {
+          util::prefetch_write(&s.nodes[s.unit_nodes[k + 16]]);
+        }
         const std::size_t node = s.unit_nodes[k];
-        const std::size_t p = s.prev[node];
-        const std::size_t q = s.next[node];
-        gap_remove(s.time[node] - s.time[p]);
-        gap_remove(s.time[q] - s.time[node]);
-        gap_add(s.time[q] - s.time[p]);
-        s.next[p] = q;
-        s.prev[q] = p;
+        const SweepNode nd = s.nodes[node];
+        SweepNode& np = s.nodes[nd.prev];
+        SweepNode& nq = s.nodes[nd.next];
+        const double tp = np.time;
+        const double tq = nq.time;
+        gap_remove(nd.time - tp);
+        gap_remove(tq - nd.time);
+        gap_add(tq - tp);
+        np.next = nd.next;
+        nq.prev = nd.prev;
         --live;
       }
     }

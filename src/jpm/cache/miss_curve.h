@@ -31,7 +31,10 @@ class MissCurve {
       ++cold_;
       return;
     }
-    JPM_CHECK(depth_frames >= 1);
+    // Debug-only: depth = live - rank + 1 with rank <= live, so the tracker
+    // cannot produce 0; keeping a hard check here costs a branch per access
+    // in the harvest fold.
+    JPM_DCHECK(depth_frames >= 1);
     const std::uint64_t unit = unit_shift_ >= 0
                                    ? (depth_frames - 1) >> unit_shift_
                                    : (depth_frames - 1) / unit_frames_;

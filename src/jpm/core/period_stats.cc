@@ -25,6 +25,11 @@ void PeriodStatsCollector::on_disk_access(double service_s, bool delayed) {
 PeriodStats PeriodStatsCollector::harvest(double end_s) {
   JPM_CHECK(end_s >= current_.start_s);
   current_.end_s = end_s;
+  // Fold the depth lane into the miss curve here, off the per-event path.
+  // Identical adds in the same order as the old per-access accumulation.
+  for (const std::uint64_t d : current_.events.depths) current_.curve.add(d);
+  current_.cache_accesses = current_.events.size();
+  current_.cold_accesses = current_.curve.cold_accesses();
   PeriodStats out = std::move(current_);
   current_ = std::move(spare_);
   spare_ = PeriodStats{};

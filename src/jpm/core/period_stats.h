@@ -12,6 +12,7 @@
 
 #include "jpm/cache/idle_sweep.h"
 #include "jpm/cache/miss_curve.h"
+#include "jpm/util/check.h"
 
 namespace jpm::core {
 
@@ -45,13 +46,20 @@ class PeriodStatsCollector {
   PeriodStatsCollector(std::uint64_t unit_frames, std::uint64_t max_units,
                        double start_s);
 
-  void on_access(double t, std::uint64_t depth_frames) {
+  // Per-access hot path: append to the SoA lanes and nothing else. The
+  // miss-curve counters and the cold/total tallies are all pure functions
+  // of the depth lane, so harvest() computes them in one streaming pass at
+  // the period boundary instead of adding histogram work (and its bounds
+  // branches) to every event.
+  JPM_FORCE_INLINE void on_access(double t, std::uint64_t depth_frames) {
     current_.events.push_back(t, depth_frames);
-    current_.curve.add(depth_frames);
-    ++current_.cache_accesses;
-    if (depth_frames == cache::kColdAccess) ++current_.cold_accesses;
   }
   void on_disk_access(double service_s, bool delayed = false);
+
+  // Pre-sizes the current period's event lanes (replay runs know the event
+  // count up front) so the per-access push never reallocates mid-run; later
+  // periods inherit capacity through recycle(). Purely an allocation hint.
+  void reserve_events(std::size_t n) { current_.events.reserve(n); }
 
   // Closes the period at `end_s` and returns its stats; collection restarts
   // immediately for the next period.

@@ -15,10 +15,6 @@ void MemoryEnergyMeter::set_size(std::uint64_t bytes, double t) {
   size_bytes_ = bytes;
 }
 
-void MemoryEnergyMeter::on_transfer(std::uint64_t bytes) {
-  energy_.dynamic_j += params_.dynamic_energy_j(bytes);
-}
-
 void MemoryEnergyMeter::finalize(double t) {
   JPM_CHECK_MSG(t >= integrated_to_, "time must be nondecreasing");
   energy_.static_j += params_.nap_power_w(size_bytes_) * (t - integrated_to_);

@@ -24,8 +24,11 @@ class MemoryEnergyMeter {
   // Resizes the powered memory at time t (integrates the old size first).
   void set_size(std::uint64_t bytes, double t);
   // Accounts a transfer of `bytes` through memory (cache hit read, or page
-  // fill plus read on a miss).
-  void on_transfer(std::uint64_t bytes);
+  // fill plus read on a miss). Inline: this is one multiply-add on the
+  // engine's per-event path, not worth a call.
+  void on_transfer(std::uint64_t bytes) {
+    energy_.dynamic_j += params_.dynamic_energy_j(bytes);
+  }
   // Integrates static energy through t.
   void finalize(double t);
 

@@ -6,6 +6,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "jpm/cache/lru_cache.h"
 #include "jpm/cache/page_table.h"
 #include "jpm/cache/stack_distance.h"
@@ -164,13 +168,42 @@ struct Engine::Impl {
   // Fills duration and data-set size when the caller left them derived (0).
   void attach_trace(const workload::Trace& tr) {
     JPM_CHECK_MSG(!tr.empty(), "replay trace is empty");
-    double prev = 0.0;
-    std::uint64_t max_page = 0;
-    for (std::size_t i = 0; i < tr.size(); ++i) {
-      JPM_CHECK_MSG(tr.times[i] >= prev, "replay trace must be time-sorted");
-      prev = tr.times[i];
-      max_page = std::max(max_page, tr.pages[i]);
+    // Branchless validation scan (accumulate, check once): the per-element
+    // CHECK's early-exit branch kept the compiler from vectorizing what is
+    // otherwise a pure max/ordered reduction over the whole trace — and this
+    // scan runs per replay, which a sweep repeats per policy.
+    const double* times = tr.times.data();
+    const std::uint64_t* pages = tr.pages.data();
+    const std::size_t count = tr.size();
+    // >= (not !<) so a NaN timestamp fails the scan exactly as the
+    // per-element CHECK did.
+    bool sorted = times[0] >= 0.0;
+    std::size_t i = 1;
+#if defined(__SSE2__)
+    // Two compares per vector op; a NaN makes cmple false, clearing its ok
+    // bit, so the NaN behaviour above is preserved.
+    __m128d ok = _mm_castsi128_pd(_mm_set1_epi32(-1));
+    for (; i + 2 <= count; i += 2) {
+      ok = _mm_and_pd(ok, _mm_cmple_pd(_mm_loadu_pd(times + i - 1),
+                                       _mm_loadu_pd(times + i)));
     }
+    sorted &= _mm_movemask_pd(ok) == 3;
+#endif
+    for (; i < count; ++i) sorted &= times[i] >= times[i - 1];
+    JPM_CHECK_MSG(sorted, "replay trace must be time-sorted");
+    // Four independent accumulators: a single max is a loop-carried chain
+    // (SSE2 has no packed 64-bit max to lean on).
+    std::uint64_t m0 = pages[0], m1 = 0, m2 = 0, m3 = 0;
+    std::size_t j = 0;
+    for (; j + 4 <= count; j += 4) {
+      m0 = std::max(m0, pages[j]);
+      m1 = std::max(m1, pages[j + 1]);
+      m2 = std::max(m2, pages[j + 2]);
+      m3 = std::max(m3, pages[j + 3]);
+    }
+    for (; j < count; ++j) m0 = std::max(m0, pages[j]);
+    const std::uint64_t max_page = std::max(std::max(m0, m1), std::max(m2, m3));
+    const double prev = tr.times.back();
     // Events may trail slightly past the declared duration (the synthesizer
     // admits arrivals up to it and their pages follow); like the generator
     // path, the run still closes its books at the declared duration.
@@ -351,6 +384,10 @@ struct Engine::Impl {
       manager = std::make_unique<core::JointPowerManager>(jc, guard);
       collector = std::make_unique<core::PeriodStatsCollector>(
           jc.unit_frames(), jc.max_units(), 0.0);
+      // Replay runs know the event count up front: pre-size the first
+      // period's lanes so the per-access push never grows mid-run (the
+      // growth ramp re-paid on every run dominated collector time).
+      if (event_count > 0) collector->reserve_events(event_count);
       current_units = manager->initial_memory_units();
       dynamic_timeout->set_timeout(manager->initial_timeout_s());
     } else {
@@ -528,34 +565,50 @@ struct Engine::Impl {
   // Applies one event's cache/disk work given its already-resolved page
   // entry. The caller has handled period boundaries, flush ticks, bank
   // expiries, and the warm-up snapshot for time t; the entry pointer is
-  // valid for the duration of the call.
-  void apply_access(double t, std::uint64_t page, bool is_write,
-                    cache::PageEntry* entry) {
+  // valid for the duration of the call. Force-inlined: the resident-hit
+  // body below is the per-event steady state of a replay, and inlining it
+  // into the batch walk lets consecutive events' tree descents and LRU
+  // splices schedule around each other; the miss tail stays out of line so
+  // the hot loop's code footprint stays small.
+  JPM_FORCE_INLINE void apply_access(double t, std::uint64_t page,
+                                     bool is_write, cache::PageEntry* entry,
+                                     bool telem_on) {
     // A telemetry session records spin-down markers the moment a timeout
     // expires; keep the classic per-event advance in that mode so the event
     // stream orders exactly as before (session-wide, not per-run: TELEM_EVENT
     // fires even on threads outside any ScopedRun). Metrics never need it:
     // spin-downs are stamped at their expiry time and every state read
     // (read(), energy_through(), finalize()) advances internally first.
-    if (telemetry::enabled()) disk->advance(t);
-    const std::uint64_t page_bytes = config.joint.page_bytes;
+    // `telem_on` is the caller's read of telemetry::enabled() — an atomic
+    // load the compiler cannot hoist out of the batch walk itself.
+    if (telem_on) disk->advance(t);
     if (tracker) {
       const std::uint64_t depth = tracker->access_at(*entry);
       // Writes never become disk reads, so they stay out of the miss
       // curve and idle prediction; they still age the LRU stack above.
       if (!is_write) collector->on_access(t, depth);
     }
-    ++metrics.cache_accesses;
-    ++period_cache_accesses;
+    // Note: cache_accesses / period_cache_accesses are bumped by the caller
+    // (per event in step_event, once per batch in feed — batches provably
+    // cross no boundary, and the counters are only read at boundaries and
+    // at the end of a run, so the batched bump is observationally exact).
 
     if (entry->frame != cache::kNoFrame) {
       const auto outcome = lru->touch(entry->frame);
-      meter.on_transfer(page_bytes);
+      meter.on_transfer(config.joint.page_bytes);
       if (is_write) lru->mark_dirty_frame(entry->frame);
       if (banks) banks->touch(outcome.bank, t);
       return;
     }
 
+    apply_access_miss(t, page, is_write);
+  }
+
+  // The non-resident tail of apply_access: write-allocate or disk read plus
+  // install, readahead, and the latency/idle bookkeeping that only miss
+  // events carry.
+  void apply_access_miss(double t, std::uint64_t page, bool is_write) {
+    const std::uint64_t page_bytes = config.joint.page_bytes;
     if (is_write) {
       // Write-allocate without fetch: the whole page is overwritten, so no
       // disk read happens now; the page becomes dirty for a later flush.
@@ -630,7 +683,10 @@ struct Engine::Impl {
   // timer edge.
   void step_event(double t, std::uint64_t page, bool is_write) {
     advance_timers(t);
-    apply_access(t, page, is_write, page_table.find_or_insert(page));
+    ++metrics.cache_accesses;
+    ++period_cache_accesses;
+    apply_access(t, page, is_write, page_table.find_or_insert(page),
+                 telemetry::enabled());
   }
 
   // The timer half of step_event: warm-up snapshot, period boundaries,
@@ -659,14 +715,31 @@ struct Engine::Impl {
   // from the hot loop. In fused joint runs the batch's page-table probes are
   // all resolved up front (entry pointers stay valid: eviction never erases
   // an entry whose tracker half is live, and compaction rewrites slots
-  // without touching the map) with the next lane's home slot
-  // software-prefetched ahead of each probe; otherwise the batch is a
-  // prefetch window and every event re-probes, since eviction without a
-  // tracker erases entries and relocates their neighbors. Bit-identical to
-  // the per-event loop for every batch size and every chunking of the event
-  // stream into feed() calls.
+  // without touching the map), then the apply pass walks the events in
+  // software-pipelined lockstep: while event k's counter-tree descent and
+  // LRU splice execute, the lines event k+kPipelineAhead will touch are
+  // being prefetched. Keeping the prefetch a fixed small distance ahead —
+  // instead of hinting the whole batch up front — bounds the in-flight
+  // footprint to a few cache lines per lane, so hints are still resident
+  // when their event arrives (the whole-batch variant evicted its own hints
+  // at batch 256 and ran *slower* than batch 1; see DESIGN.md). The
+  // non-fused mode re-probes per event, since eviction without a tracker
+  // erases entries and relocates their neighbors, but pipelines its probe
+  // prefetches the same way. Bit-identical to the per-event loop for every
+  // batch size and every chunking of the event stream into feed() calls.
   void feed(const double* ev_times, const std::uint64_t* ev_pages,
             const std::uint8_t* ev_flags, std::size_t n) {
+    // Far enough that a hint's line arrives from L2/L3 before its event,
+    // close enough that at most ~4 lanes x ~4 lines are in flight.
+    constexpr std::size_t kPipelineAhead = 4;
+    // Hint lanes only pay for themselves when the probe targets outrun the
+    // cache. The page table is the proxy for the whole per-page working set
+    // (tracker tree and LRU nodes scale with the same page count): under
+    // 64Ki slots (~1 MiB of table) everything is L2-resident and each hint
+    // is ~10 wasted instructions per event. Purely advisory, so gating by
+    // current capacity (re-read per batch; inserts can grow it) cannot
+    // change results.
+    constexpr std::size_t kHintMinTableSlots = std::size_t{64} * 1024;
     const std::size_t batch = config.batch_size;
     // Bank policies carry their own per-event timer (pending disables), so
     // they keep the classic loop.
@@ -703,15 +776,37 @@ struct Engine::Impl {
       const std::size_t cap = std::min(n, i + batch);
       while (end < cap && ev_times[end] < limit) ++end;
       const std::size_t m = end - i;
+      // Batched bump of the two per-event access counters (see the note in
+      // apply_access): no boundary, flush, or snapshot can fire inside the
+      // batch, and nothing else reads them mid-event.
+      metrics.cache_accesses += m;
+      period_cache_accesses += m;
+      // One relaxed atomic load per batch instead of per event. Sessions
+      // start before a run and stop after it; a mid-batch flip (another
+      // thread's start()/stop() racing a relaxed load) has no ordering
+      // guarantee to preserve in the first place.
+      const bool telem_on = telemetry::enabled();
 
+      const bool hint = page_table.capacity() >= kHintMinTableSlots;
       if (ptr_mode) {
-        // Phase A: resolve every lane's entry, prefetching the next lane's
-        // home slot ahead of each probe.
+        // Phase A: resolve every lane's entry, keeping the probe prefetch a
+        // fixed distance ahead so the home slot's line is in flight while
+        // earlier lanes probe.
         const std::size_t table_cap = page_table.capacity();
-        page_table.prefetch(ev_pages[i]);
-        for (std::size_t k = 0; k < m; ++k) {
-          if (k + 1 < m) page_table.prefetch(ev_pages[i + k + 1]);
-          entries[k] = page_table.find_or_insert(ev_pages[i + k]);
+        if (hint) {
+          for (std::size_t k = 0; k < m && k < kPipelineAhead; ++k) {
+            page_table.prefetch(ev_pages[i + k]);
+          }
+          for (std::size_t k = 0; k < m; ++k) {
+            if (k + kPipelineAhead < m) {
+              page_table.prefetch(ev_pages[i + k + kPipelineAhead]);
+            }
+            entries[k] = page_table.find_or_insert(ev_pages[i + k]);
+          }
+        } else {
+          for (std::size_t k = 0; k < m; ++k) {
+            entries[k] = page_table.find_or_insert(ev_pages[i + k]);
+          }
         }
         if (page_table.capacity() != table_cap) {
           // An insert rehashed the table mid-batch; re-resolve every lane
@@ -720,28 +815,48 @@ struct Engine::Impl {
             entries[k] = page_table.find(ev_pages[i + k]);
           }
         }
-        // Warm the structures the apply pass walks: each lane's Fenwick
-        // chain and, for resident pages, the LRU list node.
-        for (std::size_t k = 0; k < m; ++k) {
-          tracker->prefetch_access(*entries[k], k);
-          if (entries[k]->frame != cache::kNoFrame) {
-            lru->prefetch_frame(entries[k]->frame);
+        // Phase B: the lockstep walk. Event k's work overlaps the line
+        // fetches for event k+kPipelineAhead — its counter-tree leaf/node,
+        // the predicted append slot (kPipelineAhead appends from now), and,
+        // for resident pages, the LRU list node.
+        if (hint) {
+          for (std::size_t k = 0; k < m && k < kPipelineAhead; ++k) {
+            tracker->prefetch_access(*entries[k], k);
+            if (entries[k]->frame != cache::kNoFrame) {
+              lru->prefetch_frame(entries[k]->frame);
+            }
+          }
+          for (std::size_t k = 0; k < m; ++k) {
+            if (k + kPipelineAhead < m) {
+              cache::PageEntry* ahead = entries[k + kPipelineAhead];
+              tracker->prefetch_access(*ahead, kPipelineAhead);
+              if (ahead->frame != cache::kNoFrame) {
+                lru->prefetch_frame(ahead->frame);
+              }
+            }
+            apply_access(ev_times[i + k], ev_pages[i + k],
+                         (ev_flags[i + k] & workload::kTraceFlagWrite) != 0,
+                         entries[k], telem_on);
+          }
+        } else {
+          for (std::size_t k = 0; k < m; ++k) {
+            apply_access(ev_times[i + k], ev_pages[i + k],
+                         (ev_flags[i + k] & workload::kTraceFlagWrite) != 0,
+                         entries[k], telem_on);
           }
         }
-        for (std::size_t k = 0; k < m; ++k) {
-          apply_access(ev_times[i + k], ev_pages[i + k],
-                       (ev_flags[i + k] & workload::kTraceFlagWrite) != 0,
-                       entries[k]);
-        }
       } else {
-        for (std::size_t k = 0; k < m; ++k) {
-          page_table.prefetch(ev_pages[i + k]);
+        for (std::size_t k = 0; k < m && k < kPipelineAhead; ++k) {
+          if (hint) page_table.prefetch(ev_pages[i + k]);
         }
         for (std::size_t k = 0; k < m; ++k) {
+          if (hint && k + kPipelineAhead < m) {
+            page_table.prefetch(ev_pages[i + k + kPipelineAhead]);
+          }
           const std::uint64_t page = ev_pages[i + k];
           apply_access(ev_times[i + k], page,
                        (ev_flags[i + k] & workload::kTraceFlagWrite) != 0,
-                       page_table.find_or_insert(page));
+                       page_table.find_or_insert(page), telem_on);
         }
       }
       i = end;

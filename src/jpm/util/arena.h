@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "jpm/util/check.h"
+#include "jpm/util/hugepage.h"
 
 namespace jpm::util {
 
@@ -70,7 +71,12 @@ class Arena {
     // Worst case the aligned allocation needs bytes + align - 1.
     std::size_t want = bytes + align;
     if (want < next_block_bytes_) want = next_block_bytes_;
-    blocks_.push_back(std::make_unique<std::byte[]>(want));
+    // Uninitialized block (callers construct what they carve out), with the
+    // huge-page hint applied before first touch — madvise after the pages
+    // have faulted in at 4 KiB would leave them there.
+    auto block = std::make_unique_for_overwrite<std::byte[]>(want);
+    advise_hugepages(block.get(), want);
+    blocks_.push_back(std::move(block));
     cursor_ = blocks_.back().get();
     remaining_ = want;
     if (next_block_bytes_ < (std::size_t{1} << 30)) next_block_bytes_ *= 2;

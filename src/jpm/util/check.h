@@ -30,6 +30,15 @@ namespace detail {
 
 }  // namespace jpm
 
+// Inlining override for per-event hot-path leaves whose call overhead and
+// scheduling opacity the optimizer's heuristics get wrong (measured, not
+// assumed — see DESIGN.md on the counter-tree descent).
+#if defined(__GNUC__) || defined(__clang__)
+#define JPM_FORCE_INLINE inline __attribute__((always_inline))
+#else
+#define JPM_FORCE_INLINE inline
+#endif
+
 #define JPM_CHECK(expr)                                              \
   do {                                                               \
     if (!(expr)) ::jpm::detail::check_failed(#expr, __FILE__, __LINE__, ""); \

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "jpm/util/check.h"
+#include "jpm/util/hugepage.h"
 #include "jpm/util/prefetch.h"
 
 namespace jpm::util {
@@ -198,6 +199,12 @@ class FlatMap {
   void rehash(std::size_t new_capacity) {
     JPM_DCHECK((new_capacity & (new_capacity - 1)) == 0);
     std::vector<Slot> old = std::move(slots_);
+    // Large tables are probed at random; huge pages keep those probes from
+    // each adding a dTLB page walk to their cache miss. reserve() gets the
+    // hint in before the fill below faults the pages at 4 KiB.
+    slots_ = std::vector<Slot>();
+    slots_.reserve(new_capacity);
+    advise_hugepages(slots_.data(), new_capacity * sizeof(Slot));
     slots_.assign(new_capacity, Slot{});
     mask_ = new_capacity - 1;
     shift_ = 64;

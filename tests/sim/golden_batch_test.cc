@@ -1,0 +1,139 @@
+// Scenario-level golden differential for the replay batch path: the stdout
+// tables and telemetry report of golden scenarios must be byte-identical
+// across every batch size (1 / 64 / 256), thread count (JPM_THREADS 1 / 8),
+// and scheduler (JPM_SCHED static / steal). Batch mode re-orders prefetches
+// and hoists counters but may never change a single reported byte; this is
+// the end-to-end check over the engine's batched resolve+descend loop and
+// the counter tree under it (see tests/sim/batch_invariance_test.cc for the
+// RunMetrics-level version across the full policy roster).
+#include <gtest/gtest.h>
+
+#ifdef JPM_SCENARIOS_DIR
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "jpm/spec/run.h"
+#include "jpm/spec/spec.h"
+#include "jpm/telemetry/export.h"
+#include "jpm/telemetry/telemetry.h"
+#include "jpm/util/json.h"
+
+namespace jpm::sim {
+namespace {
+
+// The report embeds the resolved scenario and its hash, and batch_size is
+// part of the scenario — so those two keys legitimately differ between
+// batch sizes. Everything else must match byte for byte.
+std::string strip_scenario(const std::string& report) {
+  using util::json::Object;
+  using util::json::Value;
+  Value v;
+  std::string error;
+  EXPECT_TRUE(util::json::parse(report, &v, &error)) << error;
+  Object stripped;
+  for (const auto& [key, value] : v.as_object().entries()) {
+    if (key == "scenario" || key == "scenario_hash") continue;
+    stripped[key] = value;
+  }
+  return util::json::dump(Value{std::move(stripped)}, 2);
+}
+
+class EnvVar {
+ public:
+  EnvVar(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvVar() {
+    if (had_old_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_old_ = false;
+};
+
+struct ScenarioRun {
+  std::string stdout_text;
+  std::string report;
+};
+
+ScenarioRun run_scenario_capture(const spec::Scenario& sc) {
+  telemetry::clear_traces();
+  telemetry::start({});
+  std::ostringstream captured;
+  std::streambuf* old = std::cout.rdbuf(captured.rdbuf());
+  spec::run_scenario(sc, {});
+  std::cout.rdbuf(old);
+  ScenarioRun out{captured.str(), telemetry::report_json()};
+  telemetry::stop();
+  telemetry::clear_scenario();
+  telemetry::clear_traces();
+  return out;
+}
+
+TEST(GoldenBatchTest, ScenariosAreByteIdenticalAcrossBatchThreadsAndSched) {
+  const EnvVar fast("JPM_BENCH_FAST", "1");
+  const char* names[] = {"ablation_joint", "ext_writes", "ext_drpm"};
+  const std::uint32_t batches[] = {1, 64, 256};
+  for (const char* name : names) {
+    SCOPED_TRACE(name);
+    spec::Scenario sc = spec::load_for_run(std::string(JPM_SCENARIOS_DIR) +
+                                           "/" + name + ".json");
+
+    // Baseline: classic per-event loop, serial, static scheduler.
+    sc.engine.batch_size = 1;
+    ScenarioRun base;
+    {
+      const EnvVar serial("JPM_THREADS", "1");
+      const EnvVar sched("JPM_SCHED", "static");
+      base = run_scenario_capture(sc);
+    }
+    ASSERT_FALSE(base.stdout_text.empty());
+
+    for (const std::uint32_t batch : batches) {
+      SCOPED_TRACE(testing::Message() << "batch=" << batch);
+      sc.engine.batch_size = batch;
+      {
+        const EnvVar serial("JPM_THREADS", "1");
+        const EnvVar sched("JPM_SCHED", "static");
+        const ScenarioRun got = run_scenario_capture(sc);
+        EXPECT_EQ(got.stdout_text, base.stdout_text);
+        EXPECT_EQ(strip_scenario(got.report), strip_scenario(base.report));
+      }
+      {
+        const EnvVar wide("JPM_THREADS", "8");
+        const EnvVar sched("JPM_SCHED", "static");
+        const ScenarioRun got = run_scenario_capture(sc);
+        EXPECT_EQ(got.stdout_text, base.stdout_text);
+        EXPECT_EQ(strip_scenario(got.report), strip_scenario(base.report));
+      }
+      {
+        const EnvVar wide("JPM_THREADS", "8");
+        const EnvVar sched("JPM_SCHED", "steal");
+        const ScenarioRun got = run_scenario_capture(sc);
+        EXPECT_EQ(got.stdout_text, base.stdout_text);
+        EXPECT_EQ(strip_scenario(got.report), strip_scenario(base.report));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jpm::sim
+
+#endif  // JPM_SCENARIOS_DIR
